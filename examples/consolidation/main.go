@@ -1,0 +1,75 @@
+// Consolidation reproduces the Sec. 5.5 provisioning scenario on
+// bodytrack: a 4-machine system provisioned for peak load is replaced by
+// a single PowerDial-equipped machine that absorbs load spikes by
+// trading tracking accuracy, then both are evaluated on a spiky
+// day-in-the-life load trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	powerdial "repro"
+	"repro/internal/cluster"
+)
+
+func main() {
+	app := powerdial.NewBodytrackBenchmark(powerdial.ScaleSmall)
+	settings, err := powerdial.SweepSettings(app, powerdial.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := powerdial.Prepare(app, powerdial.PrepareOptions{Settings: settings})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Apply the paper's 5% QoS-loss bound for consolidation.
+	profile := sys.Profile.WithCap(0.05)
+
+	origCfg := powerdial.ClusterConfig{Machines: 4}
+	orig, err := powerdial.NewCluster(origCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons, err := powerdial.ConsolidateCluster(origCfg, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bodytrack: consolidated %d machines -> %d (max speedup %.1fx within 5%% QoS)\n\n",
+		orig.Machines(), cons.Machines(), profile.MaxSpeedup())
+
+	// Utilization sweep (Fig. 8c).
+	peak := orig.Capacity()
+	po, err := orig.Sweep(peak, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc, err := cons.Sweep(peak, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%5s | %8s | %8s | %8s | %s\n", "util", "orig W", "cons W", "saved", "QoS loss")
+	for i := range po {
+		u := float64(i) / 5
+		fmt.Printf("%5.1f | %8.1f | %8.1f | %7.0f%% | %.3f%%\n",
+			u, po[i].PowerWatts, pc[i].PowerWatts,
+			(po[i].PowerWatts-pc[i].PowerWatts)/po[i].PowerWatts*100,
+			pc[i].MeanLoss*100)
+	}
+
+	// A spiky load trace: mostly ~20% utilization with bursts to peak.
+	trace := cluster.LoadTrace(peak, 1000, 2026)
+	so, err := orig.EvaluateTrace(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := cons.EvaluateTrace(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspiky load trace (%d steps):\n", len(trace))
+	fmt.Printf("  original:     mean power %7.1f W, perf violations %d\n", so.MeanPower, so.PerfViolated)
+	fmt.Printf("  consolidated: mean power %7.1f W, perf violations %d, max QoS loss %.2f%%\n",
+		sc.MeanPower, sc.PerfViolated, sc.MaxLoss*100)
+	fmt.Printf("  energy saved: %.0f%%\n", (so.MeanPower-sc.MeanPower)/so.MeanPower*100)
+}

@@ -1,0 +1,115 @@
+// Powercap reproduces the Sec. 5.4 scenario on the x264 encoder: a video
+// encoding service holds its frame rate through the imposition and
+// lifting of a power cap, trading a little encoding quality while the
+// cap is active. It prints the Fig. 7-style timeline of normalized
+// performance and knob gain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	powerdial "repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// loopFrames feeds the encoder a continuous frame stream by cycling the
+// production videos.
+type loopFrames struct {
+	streams []powerdial.Stream
+	total   int
+}
+
+func (l *loopFrames) Name() string { return "camera-feed" }
+func (l *loopFrames) Len() int     { return l.total }
+func (l *loopFrames) NewRun() powerdial.Run {
+	return &loopRun{l: l}
+}
+
+type loopRun struct {
+	l      *loopFrames
+	idx    int
+	cur    powerdial.Run
+	served int
+	last   workload.Output
+}
+
+func (r *loopRun) Step() (float64, bool) {
+	if r.served >= r.l.total {
+		return 0, false
+	}
+	for {
+		if r.cur == nil {
+			r.cur = r.l.streams[r.idx%len(r.l.streams)].NewRun()
+			r.idx++
+		}
+		if cost, ok := r.cur.Step(); ok {
+			r.served++
+			return cost, true
+		}
+		r.last = r.cur.Output()
+		r.cur = nil
+	}
+}
+
+func (r *loopRun) Output() workload.Output { return r.last }
+
+func main() {
+	app, err := powerdial.NewX264Benchmark(powerdial.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	settings, err := powerdial.SweepSettings(app, powerdial.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := powerdial.Prepare(app, powerdial.PrepareOptions{Settings: settings})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mach, err := powerdial.NewMachine(powerdial.MachineConfig{Clock: powerdial.NewVirtualClock()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	costPerBeat, err := core.BaselineCostPerBeat(app, powerdial.Production)
+	if err != nil {
+		log.Fatal(err)
+	}
+	goal := mach.Speed() / costPerBeat
+
+	const totalFrames = 240
+	capAt, liftAt := totalFrames/4, 3*totalFrames/4
+	rt, err := powerdial.NewRuntime(powerdial.RuntimeConfig{
+		System:  sys,
+		Machine: mach,
+		Target:  powerdial.Target{Min: goal, Max: goal},
+		Record:  true,
+		BeatHook: func(beats int) {
+			switch beats {
+			case capAt:
+				mach.ImposePowerCap()
+			case liftAt:
+				mach.LiftPowerCap()
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	feed := &loopFrames{streams: app.Streams(powerdial.Production), total: totalFrames}
+	if _, err := rt.RunStream(feed); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("x264 under a power cap (frames %d..%d at 1.6 GHz, else 2.4 GHz)\n", capAt, liftAt)
+	fmt.Printf("%6s | %5s | %9s | %5s | %s\n", "frame", "GHz", "norm perf", "gain", "knob setting (subme,merange,ref)")
+	trace := rt.Trace()
+	for i := 0; i < len(trace); i += 8 {
+		tp := trace[i]
+		fmt.Printf("%6d | %5.2f | %9.3f | %5.2f | %s\n",
+			i, tp.Frequency, tp.NormPerf, tp.Gain, tp.Setting.Key())
+	}
+}

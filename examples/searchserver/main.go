@@ -1,0 +1,81 @@
+// Searchserver runs swish++ as an HTTP search service (the paper's
+// deployment: "all queries originate from a remote location") and
+// demonstrates a live dynamic-knob change: the max-results control
+// variable is rewritten while the server handles requests, without a
+// restart.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	powerdial "repro"
+	"repro/internal/apps/swishpp"
+)
+
+func main() {
+	app := powerdial.NewSwishBenchmark(powerdial.ScaleSmall)
+	settings, err := powerdial.SweepSettings(app, powerdial.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Identify the control variables and record per-setting values so
+	// the knob registry — not the application — performs the retuning.
+	reg, report, err := powerdial.Identify(app, settings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("identified control variables:", report.VarNames())
+
+	srv := httptest.NewServer(swishpp.NewServer(app))
+	defer srv.Close()
+	fmt.Println("search server listening on", srv.URL)
+
+	query := swishpp.NewServer(app).SampleQuery(0)
+	fetch := func() string {
+		resp, err := http.Get(srv.URL + "/search?q=" + strings.ReplaceAll(query, " ", "+"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return string(body)
+	}
+
+	show := func(label, body string) {
+		lines := strings.Split(strings.TrimSpace(body), "\n")
+		fmt.Printf("\n[%s] %s\n", label, lines[0])
+		max := 3
+		if len(lines)-1 < max {
+			max = len(lines) - 1
+		}
+		for _, l := range lines[1 : 1+max] {
+			fmt.Println("   ", l)
+		}
+		fmt.Printf("    ... (%d result lines total)\n", len(lines)-1)
+	}
+
+	show("baseline knob: max-results=100", fetch())
+
+	// A load spike arrives: the PowerDial runtime would now apply a
+	// faster knob setting. Poke the recorded values through the
+	// registry exactly as the control system does.
+	fast := powerdial.Setting{5}
+	if err := reg.Apply(fast); err != nil {
+		log.Fatal(err)
+	}
+	show("after registry.Apply(max-results=5)", fetch())
+
+	// Spike over: restore baseline QoS.
+	if err := reg.Apply(powerdial.Setting{100}); err != nil {
+		log.Fatal(err)
+	}
+	show("restored baseline", fetch())
+}

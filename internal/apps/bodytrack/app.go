@@ -1,0 +1,271 @@
+package bodytrack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+// Knob defaults from the paper (Sec. 4.3).
+const (
+	DefaultParticles = 4000
+	MinParticles     = 100
+	ParticleStep     = 100
+	DefaultLayers    = 5
+	MinLayers        = 1
+)
+
+// Options sizes the benchmark. Zero fields take the noted defaults.
+type Options struct {
+	// TrainingFrames is the training sequence length (default 25;
+	// paper: 100).
+	TrainingFrames int
+	// ProductionFrames is the total production frames (default 40;
+	// paper: 261).
+	ProductionFrames int
+	// FramesPerStream splits production frames into sequences (default
+	// 20).
+	FramesPerStream int
+	// Seed randomizes observation noise (default 1).
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.TrainingFrames == 0 {
+		o.TrainingFrames = 25
+	}
+	if o.ProductionFrames == 0 {
+		o.ProductionFrames = 40
+	}
+	if o.FramesPerStream == 0 {
+		o.FramesPerStream = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// App is the bodytrack benchmark.
+type App struct {
+	mu  sync.RWMutex
+	cfg filterConfig
+
+	train []*sequence
+	prod  []*sequence
+}
+
+var _ workload.Traceable = (*App)(nil)
+var _ workload.Bindable = (*App)(nil)
+
+// New builds the benchmark with synthetic camera sequences.
+func New(opts Options) *App {
+	opts.fill()
+	a := &App{cfg: deriveConfig(DefaultParticles, DefaultLayers)}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	a.train = []*sequence{newSequence(a, "train-0", 0, opts.TrainingFrames, rng.Int63())}
+	frame := 1000 // production gait is offset in phase from training
+	for total := 0; total < opts.ProductionFrames; {
+		n := opts.FramesPerStream
+		if rem := opts.ProductionFrames - total; rem < n {
+			n = rem
+		}
+		a.prod = append(a.prod, newSequence(a, fmt.Sprintf("prod-%d", len(a.prod)), frame, n, rng.Int63()))
+		frame += n + 37
+		total += n
+	}
+	return a
+}
+
+// Name implements workload.App.
+func (a *App) Name() string { return "bodytrack" }
+
+// Specs implements workload.App: the paper's two positional parameters,
+// argv[4] (particles) and argv[5] (annealing layers).
+func (a *App) Specs() []knobs.Spec {
+	return []knobs.Spec{
+		{Name: "particles", Values: knobs.Range(MinParticles, DefaultParticles, ParticleStep), Default: DefaultParticles},
+		{Name: "layers", Values: knobs.Range(MinLayers, DefaultLayers, 1), Default: DefaultLayers},
+	}
+}
+
+// Apply implements workload.App.
+func (a *App) Apply(s knobs.Setting) {
+	cfg := deriveConfig(s[0], s[1])
+	a.mu.Lock()
+	a.cfg = cfg
+	a.mu.Unlock()
+}
+
+// config snapshots the current control variables.
+func (a *App) config() filterConfig {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cfg
+}
+
+// Particles returns the live particle-count control variable.
+func (a *App) Particles() int { return a.config().particles }
+
+// Layers returns the live layer-count control variable.
+func (a *App) Layers() int { return a.config().layers }
+
+// TraceInit implements workload.Traceable: both knob parameters flow into
+// scalar control variables, and the annealing schedule is a derived
+// vector control variable whose every element is influenced by the layer
+// parameter.
+func (a *App) TraceInit(tr *influence.Tracer, s knobs.Setting) {
+	particles := tr.Param("particles", float64(s[0]))
+	layers := tr.Param("layers", float64(s[1]))
+	tr.Store("nParticles", "app.go:Apply", particles)
+	tr.Store("nLayers", "app.go:Apply", layers)
+	n := int(layers.Int())
+	sched := make([]influence.Val, n)
+	for l := 0; l < n; l++ {
+		sched[l] = influence.Div(influence.Add(influence.ConstInt(int64(l)), influence.Const(1)), layers)
+	}
+	tr.StoreVec("betaSchedule", "filter.go:deriveConfig", sched)
+	tr.FirstHeartbeat()
+	_ = tr.Load("nParticles", "filter.go:step")
+	_ = tr.Load("nLayers", "filter.go:step")
+	_ = tr.LoadVec("betaSchedule", "filter.go:step")
+}
+
+// RegisterVars implements workload.Bindable. The three control variables
+// are written together by the runtime; writers update a staged copy and
+// the last one installs it atomically.
+func (a *App) RegisterVars(reg *knobs.Registry) error {
+	staged := &filterConfig{}
+	if err := reg.RegisterVar("nParticles", func(v knobs.Value) {
+		staged.particles = int(v[0])
+	}); err != nil {
+		return err
+	}
+	if err := reg.RegisterVar("nLayers", func(v knobs.Value) {
+		staged.layers = int(v[0])
+	}); err != nil {
+		return err
+	}
+	return reg.RegisterVar("betaSchedule", func(v knobs.Value) {
+		staged.betaSchedule = append([]float64(nil), v...)
+		a.mu.Lock()
+		a.cfg = *staged
+		a.mu.Unlock()
+	})
+}
+
+// Streams implements workload.App.
+func (a *App) Streams(set workload.InputSet) []workload.Stream {
+	src := a.train
+	if set == workload.Production {
+		src = a.prod
+	}
+	out := make([]workload.Stream, len(src))
+	for i, s := range src {
+		out[i] = s
+	}
+	return out
+}
+
+// Output is the tracked pose abstraction for one sequence: per frame, the
+// root position plus root-relative part endpoints (22 numbers per frame).
+type Output struct {
+	Vectors []float64
+}
+
+// Loss implements workload.App: magnitude-weighted distortion of the
+// body-part vectors (Sec. 4.3: "the weight of each vector component is
+// proportional to its magnitude", so large parts such as the torso count
+// more than forearms).
+func (a *App) Loss(baseline, observed workload.Output) float64 {
+	b := baseline.(Output)
+	o := observed.(Output)
+	w := qos.MagnitudeWeights(qos.Abstraction(b.Vectors))
+	d, err := qos.WeightedDistortion(qos.Abstraction(b.Vectors), qos.Abstraction(o.Vectors), w)
+	if err != nil {
+		panic(fmt.Sprintf("bodytrack: %v", err))
+	}
+	return d
+}
+
+// sequence is one camera sequence: precomputed noisy observations of the
+// ground-truth gait.
+type sequence struct {
+	app        *App
+	name       string
+	startFrame int
+	obs        []Observation
+	start      Pose
+	seed       int64
+}
+
+func newSequence(a *App, name string, startFrame, frames int, seed int64) *sequence {
+	rng := rand.New(rand.NewSource(seed))
+	s := &sequence{app: a, name: name, startFrame: startFrame, seed: seed}
+	s.start = truthPose(startFrame)
+	for t := 0; t < frames; t++ {
+		truth := truthPose(startFrame + t)
+		ends := truth.Endpoints()
+		var ob Observation
+		for p := 0; p < NumParts; p++ {
+			if rng.Float64() < clutterProb {
+				ob[p] = Point{
+					X: ends[p].X + (rng.Float64()*2-1)*clutterRange,
+					Y: ends[p].Y + (rng.Float64()*2-1)*clutterRange,
+				}
+				continue
+			}
+			ob[p] = Point{X: ends[p].X + rng.NormFloat64()*obsNoise, Y: ends[p].Y + rng.NormFloat64()*obsNoise}
+		}
+		s.obs = append(s.obs, ob)
+	}
+	return s
+}
+
+func (s *sequence) Name() string { return s.name }
+func (s *sequence) Len() int     { return len(s.obs) }
+
+func (s *sequence) NewRun() workload.Run {
+	cfg := s.app.config()
+	return &run{
+		seq: s,
+		f:   newFilter(cfg, s.start, s.seed+1),
+	}
+}
+
+type run struct {
+	seq  *sequence
+	f    *filter
+	next int
+	out  Output
+}
+
+// Step processes one frame: one heartbeat in the paper's main control
+// loop. The filter re-reads the control variables every frame so a
+// dynamic-knob change takes effect at the next iteration.
+func (r *run) Step() (float64, bool) {
+	if r.next >= len(r.seq.obs) {
+		return 0, false
+	}
+	cfg := r.seq.app.config()
+	r.f.reconfigure(cfg)
+	est, cost := r.f.step(&r.seq.obs[r.next])
+	// Charge the knob-independent camera pipeline stage (see
+	// observationProcessingOps).
+	cost += observationProcessingOps
+	r.next++
+	ends := est.Endpoints()
+	r.out.Vectors = append(r.out.Vectors, est[ixRootX], est[ixRootY])
+	for p := 0; p < NumParts; p++ {
+		r.out.Vectors = append(r.out.Vectors, ends[p].X-est[ixRootX], ends[p].Y-est[ixRootY])
+	}
+	return cost, true
+}
+
+func (r *run) Output() workload.Output {
+	return Output{Vectors: append([]float64(nil), r.out.Vectors...)}
+}

@@ -1,0 +1,245 @@
+package bodytrack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func testApp() *App {
+	return New(Options{TrainingFrames: 12, ProductionFrames: 12, FramesPerStream: 12, Seed: 3})
+}
+
+func TestSpecs(t *testing.T) {
+	a := testApp()
+	sp, err := workload.Space(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Size(); got != 40*5 {
+		t.Errorf("setting-space size = %d, want 200 (paper: 40 particle values x 5 layers)", got)
+	}
+	if !sp.Default().Equal(knobs.Setting{4000, 5}) {
+		t.Errorf("default = %v", sp.Default())
+	}
+}
+
+func TestApplyDerivesConfig(t *testing.T) {
+	a := testApp()
+	a.Apply(knobs.Setting{700, 3})
+	if a.Particles() != 700 || a.Layers() != 3 {
+		t.Fatalf("config = %d particles %d layers", a.Particles(), a.Layers())
+	}
+	cfg := a.config()
+	if len(cfg.betaSchedule) != 3 {
+		t.Fatalf("betaSchedule = %v, want length 3", cfg.betaSchedule)
+	}
+	if math.Abs(cfg.betaSchedule[2]-1) > 1e-12 {
+		t.Fatalf("final beta = %v, want 1", cfg.betaSchedule[2])
+	}
+	for i := 1; i < len(cfg.betaSchedule); i++ {
+		if cfg.betaSchedule[i] <= cfg.betaSchedule[i-1] {
+			t.Fatal("beta schedule must increase (anneal soft to sharp)")
+		}
+	}
+}
+
+func TestEndpointsConnectivity(t *testing.T) {
+	p := truthPose(0)
+	ends := p.Endpoints()
+	// Head sits above the neck (torso end), which sits above the root.
+	if !(ends[Head].Y < ends[Torso].Y && ends[Torso].Y < p[ixRootY]) {
+		t.Fatalf("vertical ordering wrong: head %v torso %v root %v", ends[Head].Y, ends[Torso].Y, p[ixRootY])
+	}
+	// Limb segment lengths are preserved by forward kinematics.
+	dist := func(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+	if d := dist(ends[ForearmL], ends[UpperArmL]); math.Abs(d-partLengths[ForearmL]) > 1e-9 {
+		t.Fatalf("forearm length = %v, want %v", d, partLengths[ForearmL])
+	}
+	if d := dist(ends[CalfR], ends[ThighR]); math.Abs(d-partLengths[CalfR]) > 1e-9 {
+		t.Fatalf("calf length = %v, want %v", d, partLengths[CalfR])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := testApp()
+	a.Apply(knobs.Setting{300, 3})
+	st := a.Streams(workload.Training)[0]
+	r1 := st.NewRun()
+	c1, _ := workload.RunToEnd(r1)
+	r2 := st.NewRun()
+	c2, _ := workload.RunToEnd(r2)
+	if c1 != c2 {
+		t.Fatalf("cost not deterministic: %v vs %v", c1, c2)
+	}
+	o1 := r1.Output().(Output)
+	o2 := r2.Output().(Output)
+	for i := range o1.Vectors {
+		if o1.Vectors[i] != o2.Vectors[i] {
+			t.Fatal("output not deterministic")
+		}
+	}
+}
+
+func TestCostScalesWithKnobs(t *testing.T) {
+	a := testApp()
+	st := a.Streams(workload.Training)[0]
+	cost := func(particles, layers int64) float64 {
+		c, _ := workload.MeasureStream(a, st, knobs.Setting{particles, layers})
+		return c
+	}
+	// Monotone in each knob.
+	if !(cost(100, 1) < cost(400, 1) && cost(400, 1) < cost(400, 3) && cost(400, 3) < cost(4000, 5)) {
+		t.Fatal("cost not monotone in knobs")
+	}
+	// The knob-independent camera-pipeline stage bounds the total span
+	// to the paper's ~7-8x (Fig. 5c), not the raw 200x particle-layer
+	// ratio.
+	span := cost(4000, 5) / cost(100, 1)
+	if span < 5 || span > 12 {
+		t.Fatalf("cost span = %.1f, want the paper's ~7-8x shape", span)
+	}
+}
+
+func TestTrackingAccuracyImprovesWithParticles(t *testing.T) {
+	a := New(Options{TrainingFrames: 16, ProductionFrames: 12, Seed: 9})
+	st := a.Streams(workload.Training)[0]
+	_, base := workload.MeasureStream(a, st, knobs.Setting{2000, 5})
+	_, mid := workload.MeasureStream(a, st, knobs.Setting{500, 5})
+	_, low := workload.MeasureStream(a, st, knobs.Setting{100, 1})
+	lMid := a.Loss(base, mid)
+	lLow := a.Loss(base, low)
+	if lMid <= 0 || lLow <= 0 {
+		t.Fatalf("losses should be positive: mid=%v low=%v", lMid, lLow)
+	}
+	if lLow <= lMid {
+		t.Fatalf("loss should grow as knobs shrink: low=%v mid=%v", lLow, lMid)
+	}
+	if lMid > 0.2 {
+		t.Fatalf("mid-setting loss = %v, implausibly large", lMid)
+	}
+}
+
+func TestEstimateTracksTruth(t *testing.T) {
+	// With generous particles the estimate should stay within a few
+	// pixels of ground truth throughout.
+	a := New(Options{TrainingFrames: 16, ProductionFrames: 12, Seed: 11})
+	a.Apply(knobs.Setting{1000, 5})
+	st := a.Streams(workload.Training)[0]
+	run := st.NewRun()
+	workload.RunToEnd(run)
+	out := run.Output().(Output)
+	perFrame := 2 + 2*NumParts
+	frames := len(out.Vectors) / perFrame
+	for f := 0; f < frames; f++ {
+		truth := truthPose(0 + f)
+		gotX := out.Vectors[f*perFrame]
+		gotY := out.Vectors[f*perFrame+1]
+		if math.Abs(gotX-truth[ixRootX]) > 12 || math.Abs(gotY-truth[ixRootY]) > 12 {
+			t.Fatalf("frame %d: root estimate (%.1f,%.1f) far from truth (%.1f,%.1f)",
+				f, gotX, gotY, truth[ixRootX], truth[ixRootY])
+		}
+	}
+}
+
+func TestReconfigureMidRun(t *testing.T) {
+	a := testApp()
+	a.Apply(knobs.Setting{400, 5})
+	st := a.Streams(workload.Training)[0]
+	run := st.NewRun()
+	c1, ok := run.Step()
+	if !ok {
+		t.Fatal("unexpected end")
+	}
+	// Dynamic knob change between heartbeats.
+	a.Apply(knobs.Setting{100, 1})
+	c2, ok := run.Step()
+	if !ok {
+		t.Fatal("unexpected end")
+	}
+	if c2 >= c1 {
+		t.Fatalf("cost after shrink = %v, want < %v", c2, c1)
+	}
+	// Growing again also works.
+	a.Apply(knobs.Setting{400, 5})
+	c3, _ := run.Step()
+	if c3 <= c2 {
+		t.Fatalf("cost after grow = %v, want > %v", c3, c2)
+	}
+}
+
+func TestTraceInitControlVariables(t *testing.T) {
+	a := testApp()
+	var reports []influence.Report
+	for _, s := range []knobs.Setting{{100, 1}, {2000, 3}, {4000, 5}} {
+		tr := influence.NewTracer()
+		a.TraceInit(tr, s)
+		rep := tr.Analyze()
+		if rep.Rejected() {
+			t.Fatal(rep.Err())
+		}
+		reports = append(reports, rep)
+	}
+	if err := influence.CheckConsistency(reports); err != nil {
+		t.Fatal(err)
+	}
+	names := reports[0].VarNames()
+	want := []string{"betaSchedule", "nLayers", "nParticles"}
+	if len(names) != len(want) {
+		t.Fatalf("control variables = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("control variables = %v, want %v", names, want)
+		}
+	}
+	// The vector control variable's recorded length follows the layers
+	// knob.
+	if got := reports[1].Values()["betaSchedule"]; len(got) != 3 {
+		t.Fatalf("betaSchedule at layers=3: %v", got)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	a := testApp()
+	reg := knobs.NewRegistry()
+	if err := a.RegisterVars(reg); err != nil {
+		t.Fatal(err)
+	}
+	s := knobs.Setting{300, 2}
+	err := reg.Record(s, map[string]knobs.Value{
+		"nParticles":   {300},
+		"nLayers":      {2},
+		"betaSchedule": {0.5, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if a.Particles() != 300 || a.Layers() != 2 {
+		t.Fatalf("after registry apply: %d particles %d layers", a.Particles(), a.Layers())
+	}
+	if got := a.config().betaSchedule; len(got) != 2 || got[1] != 1 {
+		t.Fatalf("betaSchedule = %v", got)
+	}
+}
+
+func TestProductionStreamsSplit(t *testing.T) {
+	a := New(Options{TrainingFrames: 10, ProductionFrames: 50, FramesPerStream: 20, Seed: 2})
+	prod := a.Streams(workload.Production)
+	if len(prod) != 3 {
+		t.Fatalf("production streams = %d, want 3 (20+20+10)", len(prod))
+	}
+	total := 0
+	for _, s := range prod {
+		total += s.Len()
+	}
+	if total != 50 {
+		t.Fatalf("production frames = %d, want 50", total)
+	}
+}

@@ -1,0 +1,145 @@
+package bodytrack
+
+import (
+	"math"
+	"math/rand"
+)
+
+// diffusion scales per state dimension: pixels for the root, radians for
+// angles. The annealing schedule shrinks these layer by layer.
+var diffusionScale = [StateDim]float64{4, 4, 0.06, 0.12, 0.12, 0.12, 0.12, 0.12, 0.12, 0.12, 0.12}
+
+// filterConfig is the filter's control-variable block: the values derived
+// from the two knob parameters during initialization. betaSchedule is a
+// vector control variable (its length is the layer count).
+type filterConfig struct {
+	particles    int
+	layers       int
+	betaSchedule []float64
+}
+
+// deriveConfig computes the control variables from the knob parameters —
+// the derivation TraceInit replays under the influence tracer.
+func deriveConfig(particles, layers int64) filterConfig {
+	betas := make([]float64, layers)
+	for l := range betas {
+		// Anneal from soft to sharp: beta ramps linearly to 1.
+		betas[l] = float64(l+1) / float64(layers)
+	}
+	return filterConfig{particles: int(particles), layers: int(layers), betaSchedule: betas}
+}
+
+// filter tracks one sequence.
+type filter struct {
+	cfg     filterConfig
+	rng     *rand.Rand
+	states  []Pose
+	scratch []Pose
+	weights []float64
+	cum     []float64
+}
+
+// newFilter initializes particles around the first observation's implied
+// pose (the paper's filter is given an initial pose estimate).
+func newFilter(cfg filterConfig, start Pose, seed int64) *filter {
+	f := &filter{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	f.resize()
+	for i := range f.states {
+		f.states[i] = start
+		for d := 0; d < StateDim; d++ {
+			f.states[i][d] += f.rng.NormFloat64() * diffusionScale[d] * 0.5
+		}
+	}
+	return f
+}
+
+func (f *filter) resize() {
+	n := f.cfg.particles
+	if n < 1 {
+		n = 1
+	}
+	f.states = make([]Pose, n)
+	f.scratch = make([]Pose, n)
+	f.weights = make([]float64, n)
+	f.cum = make([]float64, n)
+}
+
+// reconfigure adapts the particle population to a new control-variable
+// block between frames (the dynamic-knob runtime can retune the filter
+// mid-sequence). Shrinking keeps a prefix; growing replicates existing
+// particles round-robin.
+func (f *filter) reconfigure(cfg filterConfig) {
+	if cfg.particles == f.cfg.particles && cfg.layers == f.cfg.layers {
+		f.cfg = cfg
+		return
+	}
+	old := f.states
+	f.cfg = cfg
+	f.resize()
+	if len(old) == 0 {
+		return
+	}
+	for i := range f.states {
+		f.states[i] = old[i%len(old)]
+	}
+}
+
+// step advances the filter by one frame through all annealing layers and
+// returns the pose estimate and the work units consumed.
+func (f *filter) step(obs *Observation) (Pose, float64) {
+	var cost float64
+	n := len(f.states)
+	for l := 0; l < f.cfg.layers; l++ {
+		beta := f.cfg.betaSchedule[l]
+		// Diffusion shrinks as the layer sharpens.
+		shrink := math.Pow(0.6, float64(l))
+		var wsum float64
+		for i := 0; i < n; i++ {
+			for d := 0; d < StateDim; d++ {
+				f.states[i][d] += f.rng.NormFloat64() * diffusionScale[d] * shrink
+			}
+			e, ops := energy(&f.states[i], obs)
+			w := math.Exp(-beta * e)
+			f.weights[i] = w
+			wsum += w
+			cost += ops + 2*StateDim + 4
+		}
+		if wsum <= 0 || math.IsNaN(wsum) {
+			// Degenerate layer: all particles impossibly far. Reset
+			// weights to uniform rather than dividing by zero.
+			for i := range f.weights {
+				f.weights[i] = 1
+			}
+			wsum = float64(n)
+		}
+		// Systematic resampling (deterministic given the RNG stream).
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += f.weights[i] / wsum
+			f.cum[i] = acc
+		}
+		u := f.rng.Float64() / float64(n)
+		j := 0
+		for i := 0; i < n; i++ {
+			target := u + float64(i)/float64(n)
+			for j < n-1 && f.cum[j] < target {
+				j++
+			}
+			f.scratch[i] = f.states[j]
+			cost += 3
+		}
+		f.states, f.scratch = f.scratch, f.states
+	}
+	// Estimate: mean of the resampled population.
+	var est Pose
+	for i := 0; i < n; i++ {
+		for d := 0; d < StateDim; d++ {
+			est[d] += f.states[i][d]
+		}
+		cost += StateDim
+	}
+	for d := 0; d < StateDim; d++ {
+		est[d] /= float64(n)
+	}
+	return est, cost
+}

@@ -1,0 +1,217 @@
+package swaptions
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func testApp() *App {
+	return New(Options{TrainingSwaptions: 4, ProductionSwaptions: 4, Seed: 7})
+}
+
+func TestSpecs(t *testing.T) {
+	a := testApp()
+	sp, err := workload.Space(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Size(); got != 100 {
+		t.Errorf("setting-space size = %d, want 100 (paper: 100 -sm values)", got)
+	}
+	if !sp.Default().Equal(knobs.Setting{DefaultTrials}) {
+		t.Errorf("default = %v", sp.Default())
+	}
+}
+
+func TestApplyChangesTrials(t *testing.T) {
+	a := testApp()
+	a.Apply(knobs.Setting{400})
+	if a.Trials() != 400 {
+		t.Errorf("Trials = %d, want 400", a.Trials())
+	}
+}
+
+func TestPriceDeterministic(t *testing.T) {
+	sw := Params{Strike: 0.03, Maturity: 5, Tenor: 10, Rate: 0.04, Vol: 0.2, Seed: 42}
+	p1, c1 := PriceSwaption(sw, 1000)
+	p2, c2 := PriceSwaption(sw, 1000)
+	if p1 != p2 || c1 != c2 {
+		t.Fatalf("pricing not deterministic: (%v,%v) vs (%v,%v)", p1, c1, p2, c2)
+	}
+	if p1 <= 0 {
+		t.Fatalf("price = %v, want > 0", p1)
+	}
+}
+
+func TestCostLinearInTrials(t *testing.T) {
+	sw := Params{Strike: 0.03, Maturity: 5, Tenor: 10, Rate: 0.04, Vol: 0.2, Seed: 42}
+	_, c1 := PriceSwaption(sw, 500)
+	_, c2 := PriceSwaption(sw, 1000)
+	if math.Abs(c2/c1-2) > 1e-9 {
+		t.Fatalf("cost ratio = %v, want exactly 2 (cost linear in trials)", c2/c1)
+	}
+}
+
+func TestMonteCarloConvergence(t *testing.T) {
+	// Error vs the high-trial estimate should shrink as trials grow.
+	sw := Params{Strike: 0.03, Maturity: 5, Tenor: 10, Rate: 0.04, Vol: 0.2, Seed: 9}
+	ref, _ := PriceSwaption(sw, 40000)
+	errAt := func(n int64) float64 {
+		p, _ := PriceSwaption(sw, n)
+		return math.Abs(p-ref) / ref
+	}
+	e200, e20000 := errAt(200), errAt(20000)
+	if e20000 >= e200 {
+		t.Fatalf("error did not shrink: err(200)=%v err(20000)=%v", e200, e20000)
+	}
+	if e200 > 0.25 {
+		t.Fatalf("err(200) = %v, implausibly large", e200)
+	}
+}
+
+func TestPrefixProperty(t *testing.T) {
+	// The n-trial estimate must be the prefix mean of the baseline's
+	// trial stream: price(n) computed twice with different later usage
+	// is identical, and price(2n) is the average of two n-prefix halves
+	// only when draws are sequential — verify stability of the prefix.
+	sw := Params{Strike: 0.03, Maturity: 2, Tenor: 6, Rate: 0.05, Vol: 0.15, Seed: 11}
+	pSmall1, _ := PriceSwaption(sw, 300)
+	_, _ = PriceSwaption(sw, 20000) // unrelated longer run must not disturb
+	pSmall2, _ := PriceSwaption(sw, 300)
+	if pSmall1 != pSmall2 {
+		t.Fatal("prefix estimates unstable across runs")
+	}
+}
+
+func TestStreamsAndRun(t *testing.T) {
+	a := testApp()
+	tr := a.Streams(workload.Training)
+	pr := a.Streams(workload.Production)
+	if len(tr) != 1 || len(pr) != 1 {
+		t.Fatalf("streams: train=%d prod=%d, want 1 and 1", len(tr), len(pr))
+	}
+	if tr[0].Len() != 4 {
+		t.Fatalf("training stream len = %d, want 4", tr[0].Len())
+	}
+	a.Apply(knobs.Setting{MinTrials})
+	run := tr[0].NewRun()
+	cost, iters := workload.RunToEnd(run)
+	if iters != 4 {
+		t.Fatalf("iterations = %d, want 4", iters)
+	}
+	if cost <= 0 {
+		t.Fatal("cost should be positive")
+	}
+	out := run.Output().(Output)
+	if len(out.Prices) != 4 {
+		t.Fatalf("prices = %d, want 4", len(out.Prices))
+	}
+	// Stepping past the end reports done.
+	if _, ok := run.Step(); ok {
+		t.Fatal("Step past end should report done")
+	}
+}
+
+func TestSpeedupMatchesTrialRatio(t *testing.T) {
+	a := testApp()
+	st := a.Streams(workload.Training)[0]
+	costBase, _ := workload.MeasureStream(a, st, knobs.Setting{DefaultTrials})
+	costFast, _ := workload.MeasureStream(a, st, knobs.Setting{MinTrials})
+	speedup := costBase / costFast
+	want := float64(DefaultTrials) / float64(MinTrials)
+	if math.Abs(speedup/want-1) > 1e-9 {
+		t.Fatalf("speedup = %v, want %v", speedup, want)
+	}
+}
+
+func TestLossZeroAtBaselineAndSmallAtHighTrials(t *testing.T) {
+	a := testApp()
+	st := a.Streams(workload.Training)[0]
+	_, base := workload.MeasureStream(a, st, knobs.Setting{DefaultTrials})
+	_, same := workload.MeasureStream(a, st, knobs.Setting{DefaultTrials})
+	if l := a.Loss(base, same); l != 0 {
+		t.Fatalf("loss at baseline = %v, want 0", l)
+	}
+	_, fast := workload.MeasureStream(a, st, knobs.Setting{MinTrials})
+	lFast := a.Loss(base, fast)
+	if lFast <= 0 {
+		t.Fatalf("loss at min trials = %v, want > 0", lFast)
+	}
+	if lFast > 0.08 {
+		t.Fatalf("loss at min trials = %v, implausibly large for MC convergence (paper: <=2.5%% at 100x)", lFast)
+	}
+	_, mid := workload.MeasureStream(a, st, knobs.Setting{DefaultTrials / 2})
+	if lMid := a.Loss(base, mid); lMid >= lFast {
+		t.Fatalf("loss should broadly shrink with trials: loss(mid)=%v loss(min)=%v", lMid, lFast)
+	}
+}
+
+func TestTraceInitIdentifiesControlVariable(t *testing.T) {
+	a := testApp()
+	var reports []influence.Report
+	for _, s := range []knobs.Setting{{200}, {10000}, {20000}} {
+		tr := influence.NewTracer()
+		a.TraceInit(tr, s)
+		rep := tr.Analyze()
+		if rep.Rejected() {
+			t.Fatal(rep.Err())
+		}
+		reports = append(reports, rep)
+	}
+	if err := influence.CheckConsistency(reports); err != nil {
+		t.Fatal(err)
+	}
+	names := reports[0].VarNames()
+	if len(names) != 1 || names[0] != "nTrials" {
+		t.Fatalf("control variables = %v, want [nTrials]", names)
+	}
+	if got := reports[1].Values()["nTrials"][0]; got != 10000 {
+		t.Fatalf("recorded nTrials = %v, want 10000", got)
+	}
+}
+
+func TestRegisterVarsRoundTrip(t *testing.T) {
+	a := testApp()
+	reg := knobs.NewRegistry()
+	if err := a.RegisterVars(reg); err != nil {
+		t.Fatal(err)
+	}
+	s := knobs.Setting{600}
+	if err := reg.Record(s, map[string]knobs.Value{"nTrials": {600}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if a.Trials() != 600 {
+		t.Fatalf("Trials after registry apply = %d, want 600", a.Trials())
+	}
+}
+
+func TestInputPartition(t *testing.T) {
+	a := New(Options{TrainingSwaptions: 8, ProductionSwaptions: 20, SwaptionsPerStream: 8, Seed: 3})
+	prod := a.Streams(workload.Production)
+	if len(prod) != 3 {
+		t.Fatalf("production portfolios = %d, want 3 (8+8+4)", len(prod))
+	}
+	total := 0
+	for _, p := range prod {
+		total += p.Len()
+	}
+	if total != 20 {
+		t.Fatalf("production swaptions = %d, want 20", total)
+	}
+}
+
+func TestPriceTrialsFloor(t *testing.T) {
+	sw := Params{Strike: 0.03, Maturity: 1, Tenor: 4, Rate: 0.04, Vol: 0.1, Seed: 5}
+	p0, _ := PriceSwaption(sw, 0)
+	p1, _ := PriceSwaption(sw, 1)
+	if p0 != p1 {
+		t.Fatal("trials < 1 should be clamped to 1")
+	}
+}

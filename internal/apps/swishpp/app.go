@@ -1,0 +1,196 @@
+package swishpp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/qos"
+	"repro/internal/workload"
+)
+
+// App is the swish++ benchmark configured as a server: every main-loop
+// iteration services one query arriving from a remote client and returns
+// the formatted results.
+type App struct {
+	// maxResults is the control variable derived from the -m
+	// (max-results) parameter; the server loop reads it on every query.
+	maxResults atomic.Int64
+
+	trainIndex *Index
+	prodIndex  *Index
+	train      []*batch
+	prod       []*batch
+}
+
+var _ workload.Traceable = (*App)(nil)
+var _ workload.Bindable = (*App)(nil)
+
+// New builds the benchmark: two synthetic corpora (training and
+// production document sets), their indices, and query batches for each.
+func New(opts Options) *App {
+	opts.fill()
+	a := &App{}
+	a.maxResults.Store(DefaultMaxResults)
+	rng := newRNG(opts.Seed)
+	a.trainIndex = buildIndex(opts.Docs, opts.Vocabulary, rng, "train")
+	a.prodIndex = buildIndex(opts.Docs, opts.Vocabulary, rng, "prod")
+	trainQ := generateQueries(a.trainIndex, opts.Vocabulary, opts.Queries, rng, "train")
+	prodQ := generateQueries(a.prodIndex, opts.Vocabulary, opts.Queries, rng, "prod")
+	a.train = makeBatches(a, a.trainIndex, trainQ, opts.QueriesPerStream, "train")
+	a.prod = makeBatches(a, a.prodIndex, prodQ, opts.QueriesPerStream, "prod")
+	return a
+}
+
+func makeBatches(a *App, ix *Index, qs []Query, per int, prefix string) []*batch {
+	var out []*batch
+	for start := 0; start < len(qs); start += per {
+		end := start + per
+		if end > len(qs) {
+			end = len(qs)
+		}
+		out = append(out, &batch{
+			app:     a,
+			ix:      ix,
+			name:    fmt.Sprintf("%s-batch-%d", prefix, len(out)),
+			queries: qs[start:end],
+		})
+	}
+	return out
+}
+
+// Name implements workload.App.
+func (a *App) Name() string { return "swish++" }
+
+// Specs implements workload.App: the paper's max-results values.
+func (a *App) Specs() []knobs.Spec {
+	return []knobs.Spec{{
+		Name:    "max-results",
+		Values:  append([]int64(nil), knobValues...),
+		Default: DefaultMaxResults,
+	}}
+}
+
+// Apply implements workload.App.
+func (a *App) Apply(s knobs.Setting) {
+	a.maxResults.Store(s[0])
+}
+
+// MaxResults returns the live control-variable value.
+func (a *App) MaxResults() int64 { return a.maxResults.Load() }
+
+// TraceInit implements workload.Traceable: max-results flows into the
+// maxResults control variable (and the derived result-heap capacity);
+// the indexing path depends only on the corpus, not on the knob.
+func (a *App) TraceInit(tr *influence.Tracer, s knobs.Setting) {
+	m := tr.Param("max-results", float64(s[0]))
+	tr.Store("maxResults", "swishpp.go:Apply", m)
+	tr.Store("heapCap", "heap.go:newDocHeap", m)
+	tr.FirstHeartbeat()
+	_ = tr.Load("maxResults", "swishpp.go:Search")
+	_ = tr.Load("heapCap", "heap.go:push")
+}
+
+// RegisterVars implements workload.Bindable.
+func (a *App) RegisterVars(reg *knobs.Registry) error {
+	if err := reg.RegisterVar("maxResults", func(v knobs.Value) {
+		a.maxResults.Store(int64(v[0]))
+	}); err != nil {
+		return err
+	}
+	// heapCap is derived from the same parameter and always equals
+	// maxResults; the search path sizes its heap from maxResults, so
+	// the second writer is a no-op kept for report fidelity.
+	return reg.RegisterVar("heapCap", func(knobs.Value) {})
+}
+
+// Streams implements workload.App.
+func (a *App) Streams(set workload.InputSet) []workload.Stream {
+	src := a.train
+	if set == workload.Production {
+		src = a.prod
+	}
+	out := make([]workload.Stream, len(src))
+	for i, b := range src {
+		out[i] = b
+	}
+	return out
+}
+
+// Output is the per-query ranked result lists for one batch.
+type Output struct {
+	Results []SearchResult
+}
+
+// Loss implements workload.App: 1 - mean F-measure at cutoff 100
+// (P@100), measuring observed result lists against the baseline's
+// returned set as the relevant set. The top results are preserved in
+// order and truncation reduces recall, so the loss grows linearly as the
+// knob shrinks — the paper's observed behaviour ("the QoS loss increases
+// linearly with the dynamic knob setting"; "the majority of the QoS loss
+// ... is due to a reduction in recall").
+func (a *App) Loss(baseline, observed workload.Output) float64 {
+	return LossAt(baseline, observed, DefaultMaxResults)
+}
+
+// LossAt computes 1 - mean F@n of observed against baseline — P@10 and
+// P@100 in the paper's notation (Fig. 5d plots both).
+func LossAt(baseline, observed workload.Output, n int) float64 {
+	b := baseline.(Output)
+	o := observed.(Output)
+	if len(b.Results) != len(o.Results) {
+		panic(fmt.Sprintf("swishpp: result count mismatch %d vs %d", len(b.Results), len(o.Results)))
+	}
+	rrs := make([]qos.RetrievalResult, len(b.Results))
+	for i := range b.Results {
+		relevant := make(map[int]bool)
+		ref := b.Results[i].Docs
+		if n > 0 && n < len(ref) {
+			ref = ref[:n]
+		}
+		for _, d := range ref {
+			relevant[int(d)] = true
+		}
+		ret := make([]int, len(o.Results[i].Docs))
+		for j, d := range o.Results[i].Docs {
+			ret[j] = int(d)
+		}
+		rrs[i] = qos.RetrievalResult{Returned: ret, Relevant: relevant}
+	}
+	return 1 - qos.MeanFMeasure(rrs, n)
+}
+
+// batch is one stream: a sequence of queries, one heartbeat per query.
+type batch struct {
+	app     *App
+	ix      *Index
+	name    string
+	queries []Query
+}
+
+func (b *batch) Name() string { return b.name }
+func (b *batch) Len() int     { return len(b.queries) }
+
+func (b *batch) NewRun() workload.Run { return &run{b: b} }
+
+type run struct {
+	b       *batch
+	next    int
+	results []SearchResult
+}
+
+func (r *run) Step() (float64, bool) {
+	if r.next >= len(r.b.queries) {
+		return 0, false
+	}
+	q := r.b.queries[r.next]
+	r.next++
+	res, cost := r.b.ix.Search(q, int(r.b.app.maxResults.Load()))
+	r.results = append(r.results, res)
+	return cost, true
+}
+
+func (r *run) Output() workload.Output {
+	return Output{Results: append([]SearchResult(nil), r.results...)}
+}

@@ -1,0 +1,91 @@
+package swishpp
+
+import (
+	"math"
+	"sort"
+)
+
+// docScore pairs a document with its query score.
+type docScore struct {
+	doc   int32
+	score float64
+}
+
+// docHeap is a bounded min-heap keeping the top-K documents by score
+// (ties broken toward lower doc ids, deterministically). Its push method
+// returns the work units the operation consumed so the search cost model
+// reflects the real selection work, which shrinks with the max-results
+// knob.
+type docHeap struct {
+	cap   int
+	items []docScore
+}
+
+func newDocHeap(capacity int) *docHeap {
+	return &docHeap{cap: capacity, items: make([]docScore, 0, capacity)}
+}
+
+// better reports whether a should rank above b in final results.
+func better(a, b docScore) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.doc < b.doc
+}
+
+// push offers a candidate, returning the ops consumed.
+func (h *docHeap) push(doc int32, score float64) float64 {
+	it := docScore{doc: doc, score: score}
+	logCap := math.Log2(float64(h.cap) + 2)
+	if len(h.items) < h.cap {
+		h.items = append(h.items, it)
+		h.up(len(h.items) - 1)
+		return logCap
+	}
+	// Full: replace the root (worst kept) if the candidate ranks above it.
+	if better(it, h.items[0]) {
+		h.items[0] = it
+		h.down(0)
+		return logCap + 1
+	}
+	return 1
+}
+
+// up restores the heap property from index i toward the root. The heap
+// order places the *worst* kept item at the root.
+func (h *docHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if better(h.items[parent], h.items[i]) {
+			h.items[parent], h.items[i] = h.items[i], h.items[parent]
+			i = parent
+			continue
+		}
+		return
+	}
+}
+
+func (h *docHeap) down(i int) {
+	n := len(h.items)
+	for {
+		worst := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < n && better(h.items[worst], h.items[c]) {
+				worst = c
+			}
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// sorted returns the kept documents best-first.
+func (h *docHeap) sorted() []docScore {
+	out := make([]docScore, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}

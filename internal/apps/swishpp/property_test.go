@@ -1,0 +1,108 @@
+package swishpp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// Property: search results are sorted by score (ties by doc id), contain
+// no duplicates, and never exceed maxResults, for random queries against
+// a fixed corpus.
+func TestSearchRankingInvariantsProperty(t *testing.T) {
+	ix := buildIndex(300, 2500, newRNG(9), "prop")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Query
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			q.Terms = append(q.Terms, rng.Intn(2500))
+		}
+		k := []int{1, 5, 10, 25, 50, 100}[rng.Intn(6)]
+		res, cost := ix.Search(q, k)
+		if cost <= 0 {
+			return false
+		}
+		if len(res.Docs) > k {
+			return false
+		}
+		seen := make(map[int32]bool)
+		var prev docScore
+		for i, d := range res.Docs {
+			if seen[d] {
+				return false
+			}
+			seen[d] = true
+			// Recompute scores to verify ordering.
+			var sc float64
+			for _, term := range q.Terms {
+				for _, p := range ix.postings[term] {
+					if p.doc == d {
+						sc += float64(p.tf) * logIDF(ix.numDocs, len(ix.postings[term]))
+					}
+				}
+			}
+			cur := docScore{doc: d, score: sc}
+			if i > 0 && better(cur, prev) {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corpus generation is deterministic in the seed and the
+// document-frequency distribution is Zipf-like (head words much more
+// frequent than tail words).
+func TestCorpusShape(t *testing.T) {
+	a := buildIndex(200, 2000, newRNG(4), "a")
+	b := buildIndex(200, 2000, newRNG(4), "a")
+	if len(a.postings) != len(b.postings) {
+		t.Fatal("corpus not deterministic")
+	}
+	headDF, tailDF := 0, 0
+	for w := 0; w < 50; w++ {
+		headDF += a.df[w]
+	}
+	for w := 1500; w < 1550; w++ {
+		tailDF += a.df[w]
+	}
+	if headDF <= tailDF*5 {
+		t.Fatalf("df distribution not Zipf-like: head %d vs tail %d", headDF, tailDF)
+	}
+}
+
+// Failure injection: queries made entirely of unknown terms return no
+// results without error, and the app's Loss treats two such runs as
+// lossless.
+func TestUnknownTermsQuery(t *testing.T) {
+	ix := buildIndex(100, 1000, newRNG(2), "x")
+	res, cost := ix.Search(Query{Terms: []int{999999, 888888}}, 10)
+	if len(res.Docs) != 0 {
+		t.Fatalf("unknown terms returned %d docs", len(res.Docs))
+	}
+	if cost <= 0 {
+		t.Fatal("query parsing should still cost work")
+	}
+}
+
+// Property: cost is monotone non-decreasing in maxResults for a fixed
+// query (more selection and formatting work).
+func TestCostMonotoneInKnobProperty(t *testing.T) {
+	app := New(Options{Docs: 400, Vocabulary: 3000, Queries: 6, Seed: 8})
+	st := app.Streams(workload.Training)[0]
+	prev := -1.0
+	for _, k := range knobValues {
+		cost, _ := workload.MeasureStream(app, st, knobs.Setting{k})
+		if cost < prev {
+			t.Fatalf("cost at K=%d is %v, below cost at smaller K %v", k, cost, prev)
+		}
+		prev = cost
+	}
+}

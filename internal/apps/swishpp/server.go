@@ -1,0 +1,74 @@
+package swishpp
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Server exposes an index over HTTP the way the benchmark is deployed in
+// the paper ("we configure this benchmark to run as a server — all
+// queries originate from a remote location and search results must be
+// returned to the appropriate location"). The handler reads the live
+// max-results control variable on every request, so the dynamic-knob
+// runtime can retune a running server.
+type Server struct {
+	app *App
+	ix  *Index
+}
+
+// NewServer serves the application's production index.
+func NewServer(app *App) *Server {
+	return &Server{app: app, ix: app.prodIndex}
+}
+
+// ServeHTTP answers GET /search?q=w123+w456 with ranked result lines.
+// Terms use the synthetic vocabulary's "w<number>" naming.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("q")
+	if raw == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	var q Query
+	q.Name = "http"
+	for _, tok := range strings.Fields(raw) {
+		id, err := ParseTerm(tok)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q.Terms = append(q.Terms, id)
+	}
+	res, _ := s.ix.Search(q, int(s.app.maxResults.Load()))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "results: %d (max-results=%d)\n", len(res.Lines), s.app.maxResults.Load())
+	for _, line := range res.Lines {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// ParseTerm converts a "w<number>" token to a vocabulary word id.
+func ParseTerm(tok string) (int, error) {
+	if !strings.HasPrefix(tok, "w") {
+		return 0, fmt.Errorf("swishpp: term %q must look like w123", tok)
+	}
+	id, err := strconv.Atoi(tok[1:])
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("swishpp: bad term %q", tok)
+	}
+	return id, nil
+}
+
+// SampleQuery returns a generated query against the production index,
+// formatted for the HTTP API — convenient for examples and smoke tests.
+func (s *Server) SampleQuery(i int) string {
+	qs := generateQueries(s.ix, 8000, i+1, newRNG(int64(1000+i)), "sample")
+	q := qs[i]
+	toks := make([]string, len(q.Terms))
+	for j, t := range q.Terms {
+		toks[j] = fmt.Sprintf("w%d", t)
+	}
+	return strings.Join(toks, " ")
+}

@@ -1,0 +1,98 @@
+package x264
+
+// In-loop deblocking: H.264 encoders filter reconstructed 4×4 block
+// boundaries before the frame is used as a reference, suppressing the
+// blocking artifacts quantization introduces at block edges while
+// leaving true image edges alone. This simplified filter follows the
+// standard's structure: an edge is filtered only when the boundary step
+// is small enough to be an artifact (|p0−q0| < alpha) and both sides are
+// locally smooth (|p1−p0| < beta, |q1−q0| < beta).
+const (
+	deblockAlpha = 24
+	deblockBeta  = 9
+	// deblockOpsPerEdgePixel is the charged cost of examining and
+	// (possibly) filtering one boundary-pixel pair.
+	deblockOpsPerEdgePixel = 1
+)
+
+// deblockFrame filters all internal 4-aligned block boundaries of a
+// reconstructed frame in place and returns the charged ops.
+func deblockFrame(f *Frame) float64 {
+	var ops float64
+	// Vertical edges (filter across columns x = 4, 8, ...).
+	for x := 4; x < f.W; x += 4 {
+		for y := 0; y < f.H; y++ {
+			filterPair(f, x-2, y, x-1, y, x, y, x+1, y)
+			ops += deblockOpsPerEdgePixel
+		}
+	}
+	// Horizontal edges (filter across rows y = 4, 8, ...).
+	for y := 4; y < f.H; y += 4 {
+		for x := 0; x < f.W; x++ {
+			filterPair(f, x, y-2, x, y-1, x, y, x, y+1)
+			ops += deblockOpsPerEdgePixel
+		}
+	}
+	return ops
+}
+
+// filterPair examines the boundary samples p1 p0 | q0 q1 and smooths p0
+// and q0 when the step looks like a quantization artifact.
+func filterPair(f *Frame, p1x, p1y, p0x, p0y, q0x, q0y, q1x, q1y int) {
+	p1 := int(f.At(p1x, p1y))
+	p0 := int(f.At(p0x, p0y))
+	q0 := int(f.At(q0x, q0y))
+	q1 := int(f.At(q1x, q1y))
+	step := p0 - q0
+	if step < 0 {
+		step = -step
+	}
+	if step == 0 || step >= deblockAlpha {
+		return // flat already, or a true edge: leave it
+	}
+	d1 := p1 - p0
+	if d1 < 0 {
+		d1 = -d1
+	}
+	d2 := q1 - q0
+	if d2 < 0 {
+		d2 = -d2
+	}
+	if d1 >= deblockBeta || d2 >= deblockBeta {
+		return
+	}
+	f.Set(p0x, p0y, clip8((2*p0+q0+p1+2)>>2))
+	f.Set(q0x, q0y, clip8((2*q0+p0+q1+2)>>2))
+}
+
+// blockinessAt measures the mean absolute step across internal 4-aligned
+// boundaries — the artifact the deblocker exists to reduce (exported to
+// tests).
+func blockinessAt(f *Frame) float64 {
+	var sum float64
+	var n int
+	for x := 4; x < f.W; x += 4 {
+		for y := 0; y < f.H; y++ {
+			d := int(f.At(x-1, y)) - int(f.At(x, y))
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+			n++
+		}
+	}
+	for y := 4; y < f.H; y += 4 {
+		for x := 0; x < f.W; x++ {
+			d := int(f.At(x, y-1)) - int(f.At(x, y))
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,83 @@
+package x264
+
+import "testing"
+
+func TestDeblockLeavesFlatFrameUntouched(t *testing.T) {
+	f, _ := NewFrame(32, 16)
+	for i := range f.Pix {
+		f.Pix[i] = 100
+	}
+	ops := deblockFrame(f)
+	if ops <= 0 {
+		t.Fatal("deblocking charged no work")
+	}
+	for i, v := range f.Pix {
+		if v != 100 {
+			t.Fatalf("flat frame modified at %d: %d", i, v)
+		}
+	}
+}
+
+func TestDeblockPreservesTrueEdges(t *testing.T) {
+	// A strong vertical edge (step 120 >= alpha) must not be smoothed.
+	f, _ := NewFrame(32, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 32; x++ {
+			if x < 8 {
+				f.Set(x, y, 40)
+			} else {
+				f.Set(x, y, 160)
+			}
+		}
+	}
+	deblockFrame(f)
+	if f.At(7, 8) != 40 || f.At(8, 8) != 160 {
+		t.Fatalf("true edge smoothed: %d | %d", f.At(7, 8), f.At(8, 8))
+	}
+}
+
+func TestDeblockSmoothsQuantizationStep(t *testing.T) {
+	// A small step at a block boundary with smooth sides is an
+	// artifact: it must shrink.
+	f, _ := NewFrame(32, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 32; x++ {
+			if x < 8 {
+				f.Set(x, y, 100)
+			} else {
+				f.Set(x, y, 110)
+			}
+		}
+	}
+	before := blockinessAt(f)
+	deblockFrame(f)
+	after := blockinessAt(f)
+	if after >= before {
+		t.Fatalf("blockiness did not shrink: %v -> %v", before, after)
+	}
+}
+
+func TestDeblockReducesBlockinessOnRealEncode(t *testing.T) {
+	// Encode a noisy-but-smooth scene and compare boundary artifacts on
+	// the reconstruction with and without the in-loop filter.
+	v, err := GenerateVideo("db", VideoOptions{W: 64, H: 32, Frames: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := deriveConfig(4, 8, 1)
+	recon := func(filter bool) *Frame {
+		r := &Frame{W: 64, H: 32, Pix: make([]uint8, 64*32)}
+		encodeIntraFrame(v.Frames[0], r)
+		if filter {
+			deblockFrame(r)
+		}
+		return r
+	}
+	_ = cfg
+	unfiltered := recon(false)
+	filtered := recon(true)
+	if blockinessAt(filtered) >= blockinessAt(unfiltered) {
+		t.Fatalf("deblocking did not reduce boundary artifacts: %v vs %v",
+			blockinessAt(filtered), blockinessAt(unfiltered))
+	}
+}

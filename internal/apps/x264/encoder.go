@@ -1,0 +1,202 @@
+package x264
+
+// Config is the encoder's control-variable block, derived from the three
+// knob parameters during initialization (and rewritten at runtime by the
+// dynamic-knob system).
+type Config struct {
+	SearchRange     int // from merange
+	RefFrames       int // from ref
+	HalfPelIters    int // from subme
+	QuarterPelIters int // from subme
+}
+
+// deriveConfig maps the knob parameters to control variables. The subme
+// level expands into sub-pel refinement depths the way x264's presets do:
+// level 1 is integer-only; levels 2–3 add half-pel rounds; 4–5 add
+// quarter-pel rounds; 6–7 deepen both.
+func deriveConfig(subme, merange, ref int64) Config {
+	clamp := func(v, lo, hi int64) int64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	half := clamp(subme-1, 0, 2) + clamp(subme-5, 0, 2)
+	quarter := clamp(subme-3, 0, 2) + clamp(subme-5, 0, 2)
+	return Config{
+		SearchRange:     int(merange),
+		RefFrames:       int(ref),
+		HalfPelIters:    int(half),
+		QuarterPelIters: int(quarter),
+	}
+}
+
+// maxRefWindow is the deepest reference list any knob setting can ask
+// for.
+const maxRefWindow = 5
+
+// Encoder encodes one video, holding the reconstructed reference window.
+type Encoder struct {
+	refs []*Frame // most recent first
+}
+
+// FrameStats reports one encoded frame.
+type FrameStats struct {
+	Bits int
+	PSNR float64
+	Work float64
+}
+
+// EncodeFrame encodes the next frame under cfg and returns its stats.
+// The first frame of a sequence is coded intra; subsequent frames are
+// P-frames predicted from up to cfg.RefFrames reconstructed references.
+func (e *Encoder) EncodeFrame(orig *Frame, cfg Config) (FrameStats, error) {
+	recon := &Frame{W: orig.W, H: orig.H, Pix: make([]uint8, len(orig.Pix))}
+	var bits int
+	var work float64
+	if len(e.refs) == 0 {
+		bits, work = encodeIntraFrame(orig, recon)
+	} else {
+		n := cfg.RefFrames
+		if n < 1 {
+			n = 1
+		}
+		if n > len(e.refs) {
+			n = len(e.refs)
+		}
+		bits, work = encodePFrame(orig, recon, e.refs[:n], cfg)
+	}
+	// In-loop deblocking before the frame enters the reference window.
+	work += deblockFrame(recon)
+	psnr, err := planePSNR(orig.Pix, recon.Pix)
+	if err != nil {
+		return FrameStats{}, err
+	}
+	e.refs = append([]*Frame{recon}, e.refs...)
+	if len(e.refs) > maxRefWindow {
+		e.refs = e.refs[:maxRefWindow]
+	}
+	return FrameStats{Bits: bits, PSNR: psnr, Work: work}, nil
+}
+
+// encodeIntraFrame codes every macroblock with DC prediction from the
+// reconstructed top/left neighbours.
+func encodeIntraFrame(orig, recon *Frame) (int, float64) {
+	var bits int
+	var work float64
+	for by := 0; by < orig.H; by += MBSize {
+		for bx := 0; bx < orig.W; bx += MBSize {
+			dc := predictDC(recon, bx, by)
+			b, w := encodeResidualMB(orig, recon, bx, by, func(x, y int) int { return dc })
+			bits += b + 8 // mode + DC header
+			work += w + 32
+		}
+	}
+	return bits, work
+}
+
+// predictDC averages the reconstructed row above and column left of the
+// macroblock (128 when neither exists).
+func predictDC(recon *Frame, bx, by int) int {
+	sum, n := 0, 0
+	if by > 0 {
+		for x := 0; x < MBSize; x++ {
+			sum += int(recon.At(bx+x, by-1))
+			n++
+		}
+	}
+	if bx > 0 {
+		for y := 0; y < MBSize; y++ {
+			sum += int(recon.At(bx-1, by+y))
+			n++
+		}
+	}
+	if n == 0 {
+		return 128
+	}
+	return sum / n
+}
+
+// encodePFrame motion-compensates every macroblock and codes the
+// residual. It also evaluates the intra (DC) alternative per macroblock,
+// as real encoders do, and picks the cheaper prediction.
+func encodePFrame(orig, recon *Frame, refs []*Frame, cfg Config) (int, float64) {
+	var bits int
+	var work float64
+	for by := 0; by < orig.H; by += MBSize {
+		predMV := MV{}
+		for bx := 0; bx < orig.W; bx += MBSize {
+			me := motionSearch(orig, refs, bx, by, predMV, cfg.SearchRange, cfg.HalfPelIters, cfg.QuarterPelIters)
+			work += me.work
+
+			// Intra alternative: SAD against the DC prediction.
+			dc := predictDC(recon, bx, by)
+			intraSAD := 0
+			for y := 0; y < MBSize; y++ {
+				for x := 0; x < MBSize; x++ {
+					d := int(orig.At(bx+x, by+y)) - dc
+					if d < 0 {
+						d = -d
+					}
+					intraSAD += d
+				}
+			}
+			work += MBSize * MBSize * sadOpsPerPixel
+
+			if intraSAD+lambdaMV*8 < me.cost {
+				b, w := encodeResidualMB(orig, recon, bx, by, func(x, y int) int { return dc })
+				bits += b + 8
+				work += w
+				predMV = MV{}
+				continue
+			}
+
+			ref := refs[me.ref]
+			mv := me.mv
+			pred := func(x, y int) int { return ref.sampleQPel(x<<2+mv.X, y<<2+mv.Y) }
+			b, w := encodeResidualMB(orig, recon, bx, by, pred)
+			bits += b + mvCost(mv, predMV)/lambdaMV + golombBits(me.ref) + 2
+			work += w + MBSize*MBSize*subpelOpsPerPixel // prediction construction
+			predMV = mv
+		}
+	}
+	return bits, work
+}
+
+// encodeResidualMB codes the residual between orig and the prediction for
+// one macroblock as 16 4×4 transformed blocks, writing the reconstruction
+// (prediction + decoded residual) into recon.
+func encodeResidualMB(orig, recon *Frame, bx, by int, pred func(x, y int) int) (int, float64) {
+	var bits int
+	var work float64
+	var blk [16]int
+	var predBuf [MBSize * MBSize]int
+	for y := 0; y < MBSize; y++ {
+		for x := 0; x < MBSize; x++ {
+			predBuf[y*MBSize+x] = pred(bx+x, by+y)
+		}
+	}
+	for sy := 0; sy < MBSize; sy += 4 {
+		for sx := 0; sx < MBSize; sx += 4 {
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					px, py := bx+sx+x, by+sy+y
+					blk[y*4+x] = int(orig.At(px, py)) - predBuf[(sy+y)*MBSize+sx+x]
+				}
+			}
+			b, w := encodeResidualBlock(&blk)
+			bits += b
+			work += w
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					px, py := bx+sx+x, by+sy+y
+					recon.Set(px, py, clip8(predBuf[(sy+y)*MBSize+sx+x]+blk[y*4+x]))
+				}
+			}
+		}
+	}
+	return bits, work
+}

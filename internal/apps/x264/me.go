@@ -1,0 +1,157 @@
+package x264
+
+// Motion estimation: predictor-seeded diamond integer search bounded by
+// the merange knob over up to `ref` reference frames, followed by
+// sub-pixel refinement whose depth is set by the subme knob — the same
+// division of labour as x264's motion search.
+
+// MV is a motion vector in quarter-pel units.
+type MV struct {
+	X, Y int
+}
+
+// fullPel reports the integer-pel components.
+func (m MV) fullPel() (int, int) { return m.X >> 2, m.Y >> 2 }
+
+// lambdaMV weights the motion-vector bit cost against SAD in candidate
+// selection (a standard rate-constrained ME cost).
+const lambdaMV = 4
+
+// mvCost estimates the rate cost of coding mv relative to the predictor.
+func mvCost(mv, pred MV) int {
+	return lambdaMV * (golombBits((mv.X-pred.X)/4) + golombBits((mv.Y-pred.Y)/4))
+}
+
+// largeDiamond and smallDiamond are the classic LDSP/SDSP patterns, in
+// full-pel units.
+var largeDiamond = [8][2]int{{0, -2}, {1, -1}, {2, 0}, {1, 1}, {0, 2}, {-1, 1}, {-2, 0}, {-1, -1}}
+var smallDiamond = [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}}
+
+// quarterNeighbors is the refinement pattern at sub-pel resolution
+// (in units supplied by the caller: 2 = half-pel, 1 = quarter-pel).
+var eightNeighbors = [8][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+
+// meResult is the outcome of motion estimation for one macroblock.
+type meResult struct {
+	mv    MV  // chosen motion vector, quarter-pel
+	ref   int // chosen reference frame index (0 = most recent)
+	cost  int // SAD + mv rate cost
+	sad   int
+	work  float64 // charged ops
+	preds int     // candidates evaluated (for tests)
+}
+
+// searchRef runs integer diamond search plus sub-pel refinement on one
+// reference frame.
+func searchRef(cur, ref *Frame, bx, by int, pred MV, rangePel, subpelHalfIters, subpelQuarterIters int) meResult {
+	res := meResult{}
+	clampPel := func(v int) int {
+		if v < -rangePel {
+			return -rangePel
+		}
+		if v > rangePel {
+			return rangePel
+		}
+		return v
+	}
+	// Evaluate a full-pel candidate.
+	best := struct {
+		mx, my int
+		cost   int
+		sad    int
+	}{cost: int(^uint(0) >> 1)}
+	tryFull := func(mx, my int) {
+		mx, my = clampPel(mx), clampPel(my)
+		sad, ops := sadFullPel(cur, ref, bx, by, mx, my)
+		res.work += ops
+		res.preds++
+		c := sad + mvCost(MV{mx << 2, my << 2}, pred)
+		if c < best.cost || (c == best.cost && (my < best.my || (my == best.my && mx < best.mx))) {
+			best.cost, best.sad, best.mx, best.my = c, sad, mx, my
+		}
+	}
+	// Seed with the zero vector and the predictor.
+	tryFull(0, 0)
+	px, py := pred.fullPel()
+	if px != 0 || py != 0 {
+		tryFull(px, py)
+	}
+	// Cross stage (as in x264's UMH search): sample the axes at
+	// half-density out to the full search range. This is what makes the
+	// merange knob cost-proportional and lets the search escape local
+	// minima toward large motions.
+	for d := 2; d <= rangePel; d += 2 {
+		tryFull(best.mx+d, best.my)
+		tryFull(best.mx-d, best.my)
+		tryFull(best.mx, best.my+d)
+		tryFull(best.mx, best.my-d)
+	}
+	// Large diamond until the center wins or the range bound stops us.
+	for iter := 0; iter < rangePel; iter++ {
+		cx, cy := best.mx, best.my
+		for _, d := range largeDiamond {
+			tryFull(cx+d[0], cy+d[1])
+		}
+		if best.mx == cx && best.my == cy {
+			break
+		}
+	}
+	// Small diamond polish.
+	cx, cy := best.mx, best.my
+	for _, d := range smallDiamond {
+		tryFull(cx+d[0], cy+d[1])
+	}
+
+	mv := MV{best.mx << 2, best.my << 2}
+	bestSAD := best.sad
+	bestCost := best.cost
+	// Sub-pel refinement: half-pel rounds then quarter-pel rounds.
+	refine := func(stepQPel, rounds int) {
+		for r := 0; r < rounds; r++ {
+			c0 := mv
+			for _, d := range eightNeighbors {
+				cand := MV{c0.X + d[0]*stepQPel, c0.Y + d[1]*stepQPel}
+				if cand.X < -rangePel<<2 || cand.X > rangePel<<2 || cand.Y < -rangePel<<2 || cand.Y > rangePel<<2 {
+					continue
+				}
+				sad, ops := sadQPel(cur, ref, bx, by, cand.X, cand.Y)
+				res.work += ops
+				res.preds++
+				c := sad + mvCost(cand, pred)
+				if c < bestCost {
+					bestCost, bestSAD, mv = c, sad, cand
+				}
+			}
+			if mv == c0 {
+				return
+			}
+		}
+	}
+	refine(2, subpelHalfIters)
+	refine(1, subpelQuarterIters)
+	res.mv, res.cost, res.sad = mv, bestCost, bestSAD
+	return res
+}
+
+// motionSearch runs searchRef across the reference list and keeps the
+// best candidate (with a small per-extra-reference rate penalty, as
+// coding a farther reference costs bits).
+func motionSearch(cur *Frame, refs []*Frame, bx, by int, pred MV, rangePel, halfIters, quarterIters int) meResult {
+	best := meResult{cost: int(^uint(0) >> 1)}
+	var work float64
+	var preds int
+	for ri, rf := range refs {
+		r := searchRef(cur, rf, bx, by, pred, rangePel, halfIters, quarterIters)
+		work += r.work
+		preds += r.preds
+		c := r.cost + lambdaMV*ri
+		if c < best.cost {
+			best = r
+			best.ref = ri
+			best.cost = c
+		}
+	}
+	best.work = work
+	best.preds = preds
+	return best
+}

@@ -1,0 +1,148 @@
+package x264
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the zigzag scan is a permutation of 0..15.
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [16]bool{}
+	for _, idx := range zigzag4 {
+		if idx < 0 || idx > 15 || seen[idx] {
+			t.Fatalf("zigzag4 is not a permutation: %v", zigzag4)
+		}
+		seen[idx] = true
+	}
+}
+
+// Property: golombBits is positive, odd (unary prefix + suffix), and
+// monotone in |v| for same-sign inputs.
+func TestGolombBitsProperty(t *testing.T) {
+	f := func(v int16) bool {
+		b := golombBits(int(v))
+		if b < 1 || b%2 == 0 {
+			return false
+		}
+		if v > 0 && golombBits(int(v)+1) < b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any residual block, the reconstruction error after
+// transform + quantization + inverse is bounded by the quantizer step in
+// every sample, and the bit cost is positive.
+func TestResidualPathBoundedErrorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b [16]int
+		for i := range b {
+			b[i] = rng.Intn(511) - 255 // full residual dynamic range
+		}
+		orig := b
+		bits, ops := encodeResidualBlock(&b)
+		if bits <= 0 || ops <= 0 {
+			return false
+		}
+		for i := range b {
+			d := b[i] - orig[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > quantStep {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization of the zero block costs the minimum (EOB only)
+// and reconstructs to zero.
+func TestZeroBlockCodesToEOB(t *testing.T) {
+	var b [16]int
+	bits, _ := encodeResidualBlock(&b)
+	if bits != 1 {
+		t.Fatalf("zero block bits = %d, want 1 (EOB flag)", bits)
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("zero block reconstructed nonzero at %d: %d", i, v)
+		}
+	}
+}
+
+// Property: motion vectors returned by searchRef never exceed the search
+// range, for random frames, predictors and knob-derived refinement
+// depths.
+func TestSearchRangeInvariantProperty(t *testing.T) {
+	base, _ := NewFrame(48, 32)
+	rng := rand.New(rand.NewSource(11))
+	for i := range base.Pix {
+		base.Pix[i] = uint8(rng.Intn(256))
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rangePel := 1 + r.Intn(16)
+		pred := MV{X: (r.Intn(9) - 4) << 2, Y: (r.Intn(9) - 4) << 2}
+		res := searchRef(base, base, 16, 16, pred, rangePel, r.Intn(4), r.Intn(4))
+		fx, fy := res.mv.fullPel()
+		qx, qy := res.mv.X, res.mv.Y
+		if fx < -rangePel || fx > rangePel || fy < -rangePel || fy > rangePel {
+			return false
+		}
+		if qx < -rangePel<<2 || qx > rangePel<<2 || qy < -rangePel<<2 || qy > rangePel<<2 {
+			return false
+		}
+		return res.work > 0 && res.preds > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical frames encode with the zero vector winning (SAD 0
+// at (0,0) cannot be beaten) and near-minimal residual bits.
+func TestIdenticalFrameZeroMotion(t *testing.T) {
+	ref, _ := NewFrame(48, 32)
+	rng := rand.New(rand.NewSource(5))
+	for i := range ref.Pix {
+		ref.Pix[i] = uint8(rng.Intn(256))
+	}
+	res := motionSearch(ref, []*Frame{ref}, 16, 0, MV{}, 8, 2, 2)
+	if res.sad != 0 {
+		t.Fatalf("identical frames: SAD = %d, want 0", res.sad)
+	}
+	if res.mv != (MV{}) {
+		t.Fatalf("identical frames: MV = %+v, want zero", res.mv)
+	}
+}
+
+// Failure injection: extreme configs (zero refinement, range 1, single
+// ref) must keep the encoder functional on degenerate flat frames.
+func TestEncoderDegenerateInputs(t *testing.T) {
+	flat, _ := NewFrame(32, 16)
+	for i := range flat.Pix {
+		flat.Pix[i] = 128
+	}
+	enc := &Encoder{}
+	cfg := deriveConfig(1, 1, 1)
+	for frame := 0; frame < 3; frame++ {
+		st, err := enc.EncodeFrame(flat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PSNR < 40 {
+			t.Fatalf("flat frame PSNR = %v, want near-lossless", st.PSNR)
+		}
+	}
+}

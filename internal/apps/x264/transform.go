@@ -1,0 +1,161 @@
+package x264
+
+// The residual path: H.264-style 4×4 integer core transform, flat
+// quantization, exp-Golomb entropy sizing, and exact inverse for in-loop
+// reconstruction.
+
+// transformOps is the charged cost of one 4×4 forward or inverse
+// transform pass (two butterflied matrix products).
+const transformOps = 64
+
+// quantStep is the quantization step. It sets the rate/distortion
+// operating point (roughly QP≈30 in H.264 terms) and is deliberately
+// coarse enough that bitrate is dominated by structure (motion vectors,
+// DC terms) rather than fine residual texture.
+const quantStep = 16
+
+// fwd4x4 applies the H.264 core transform Y = C·X·Cᵀ to a 4×4 block.
+// C = [[1,1,1,1],[2,1,-1,-2],[1,-1,-1,1],[1,-2,2,-1]].
+func fwd4x4(b *[16]int) {
+	var t [16]int
+	// Rows.
+	for i := 0; i < 4; i++ {
+		r := b[i*4 : i*4+4]
+		s0, s1, s2, s3 := r[0]+r[3], r[1]+r[2], r[1]-r[2], r[0]-r[3]
+		t[i*4+0] = s0 + s1
+		t[i*4+1] = 2*s3 + s2
+		t[i*4+2] = s0 - s1
+		t[i*4+3] = s3 - 2*s2
+	}
+	// Columns.
+	for j := 0; j < 4; j++ {
+		c0, c1, c2, c3 := t[j], t[4+j], t[8+j], t[12+j]
+		s0, s1, s2, s3 := c0+c3, c1+c2, c1-c2, c0-c3
+		b[j] = s0 + s1
+		b[4+j] = 2*s3 + s2
+		b[8+j] = s0 - s1
+		b[12+j] = s3 - 2*s2
+	}
+}
+
+// inv4x4 applies the matching inverse transform with the standard >>6
+// normalization (the forward/inverse pair has gain 64 on the main
+// diagonal for this integer approximation).
+func inv4x4(b *[16]int) {
+	var t [16]int
+	for i := 0; i < 4; i++ {
+		r := b[i*4 : i*4+4]
+		s0 := r[0] + r[2]
+		s1 := r[0] - r[2]
+		s2 := r[1]/2 - r[3]
+		s3 := r[1] + r[3]/2
+		t[i*4+0] = s0 + s3
+		t[i*4+1] = s1 + s2
+		t[i*4+2] = s1 - s2
+		t[i*4+3] = s0 - s3
+	}
+	for j := 0; j < 4; j++ {
+		c0, c1, c2, c3 := t[j], t[4+j], t[8+j], t[12+j]
+		s0 := c0 + c2
+		s1 := c0 - c2
+		s2 := c1/2 - c3
+		s3 := c1 + c3/2
+		b[j] = (s0 + s3 + 32) >> 6
+		b[4+j] = (s1 + s2 + 32) >> 6
+		b[8+j] = (s1 - s2 + 32) >> 6
+		b[12+j] = (s0 - s3 + 32) >> 6
+	}
+}
+
+// The forward/inverse pair above has per-dimension gain diag(4,5,4,5):
+// invRaw(fwd(X))_ij = d_i·d_j·X_ij before the >>6 shift. As in the H.264
+// standard, quantization folds the normalization in: the effective step
+// at position (i,j) is quantStep·d_i·d_j/16, and dequantization scales a
+// level back by quantStep·d_i·d_j/16 · 64/(d_i·d_j) = 4·quantStep, which
+// the >>6 in inv4x4 then cancels against the transform gain exactly.
+var dGain = [4]int{4, 5, 4, 5}
+
+// quantStepAt returns the quantizer step for coefficient position i.
+// With quantStep a multiple of 16 the steps are exact integers.
+func quantStepAt(i int) int {
+	return quantStep * dGain[i/4] * dGain[i%4] / 16
+}
+
+// quant quantizes transform coefficients in place (coefficients become
+// levels) and returns the number of nonzero levels.
+func quant(b *[16]int) int {
+	nz := 0
+	for i := range b {
+		step := quantStepAt(i)
+		v := b[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		q := (v + step/2) / step
+		if neg {
+			q = -q
+		}
+		b[i] = q
+		if q != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// dequant scales levels back to the domain inv4x4 expects (see dGain).
+func dequant(b *[16]int) {
+	for i := range b {
+		b[i] *= 4 * quantStep
+	}
+}
+
+// zigzag4 is the 4×4 zigzag scan order.
+var zigzag4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}
+
+// golombBits returns the bits needed to code v (signed) with exp-Golomb.
+func golombBits(v int) int {
+	// Signed mapping: 0,-1,1,-2,2... -> 0,1,2,3,4...
+	var u int
+	if v <= 0 {
+		u = -2 * v
+	} else {
+		u = 2*v - 1
+	}
+	bits := 1
+	for n := u + 1; n > 1; n >>= 1 {
+		bits += 2
+	}
+	return bits
+}
+
+// entropySize returns the bit cost of a quantized 4×4 block: run-level
+// coding of the zigzag scan with exp-Golomb level and run codes.
+// It also returns the charged ops.
+func entropySize(b *[16]int) (bits int, ops float64) {
+	run := 0
+	for _, idx := range zigzag4 {
+		v := b[idx]
+		if v == 0 {
+			run++
+			continue
+		}
+		bits += golombBits(run) + golombBits(v)
+		run = 0
+	}
+	bits++ // end-of-block flag
+	return bits, 24
+}
+
+// encodeResidualBlock transforms, quantizes and entropy-sizes one 4×4
+// residual block, reconstructs it in place (dequant + inverse), and
+// returns the bit cost and charged ops.
+func encodeResidualBlock(b *[16]int) (bits int, ops float64) {
+	fwd4x4(b)
+	quant(b)
+	bits, eops := entropySize(b)
+	dequant(b)
+	inv4x4(b)
+	return bits, 2*transformOps + 16 + eops
+}

@@ -1,0 +1,157 @@
+package x264
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// VideoOptions configures synthetic video generation.
+type VideoOptions struct {
+	W, H   int
+	Frames int
+	// Objects is the number of moving textured rectangles (default 3).
+	Objects int
+	Seed    int64
+}
+
+func (o *VideoOptions) fill() {
+	if o.W == 0 {
+		o.W = 128
+	}
+	if o.H == 0 {
+		o.H = 64
+	}
+	if o.Frames == 0 {
+		o.Frames = 10
+	}
+	if o.Objects == 0 {
+		o.Objects = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// object is a textured rectangle translating across the scene.
+type object struct {
+	w, h     int
+	x0, y0   float64
+	vx, vy   float64
+	phase    float64
+	wobble   float64
+	texture  []uint8
+	txW, txH int
+}
+
+// Video is a generated sequence of frames.
+type Video struct {
+	NameStr string
+	Frames  []*Frame
+}
+
+// Name returns the video's identifier.
+func (v *Video) Name() string { return v.NameStr }
+
+// GenerateVideo synthesizes a moving scene: a smooth background gradient
+// with static texture, plus textured objects translating with gentle
+// wobble, and light sensor noise. The motion magnitudes (a few pixels per
+// frame) are typical of the 1080p content the paper encodes after the
+// resolution scale-down.
+func GenerateVideo(name string, opts VideoOptions) (*Video, error) {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	base, err := NewFrame(opts.W, opts.H)
+	if err != nil {
+		return nil, err
+	}
+	// Background: gradient plus smoothed noise texture.
+	noise := make([]float64, opts.W*opts.H)
+	for i := range noise {
+		noise[i] = rng.Float64()
+	}
+	smooth := func(x, y int) float64 {
+		var s float64
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				xx := (x + dx + opts.W) % opts.W
+				yy := (y + dy + opts.H) % opts.H
+				s += noise[yy*opts.W+xx]
+			}
+		}
+		return s / 9
+	}
+	for y := 0; y < opts.H; y++ {
+		for x := 0; x < opts.W; x++ {
+			g := 60 + 80*float64(x)/float64(opts.W) + 40*float64(y)/float64(opts.H)
+			base.Set(x, y, clip8(int(g+30*smooth(x, y))))
+		}
+	}
+	objs := make([]*object, opts.Objects)
+	for i := range objs {
+		o := &object{
+			w:      12 + rng.Intn(20),
+			h:      10 + rng.Intn(16),
+			x0:     rng.Float64() * float64(opts.W-24),
+			y0:     rng.Float64() * float64(opts.H-20),
+			vx:     (rng.Float64() - 0.5) * 5,
+			vy:     (rng.Float64() - 0.5) * 3,
+			phase:  rng.Float64() * 6,
+			wobble: rng.Float64() * 1.5,
+		}
+		o.txW, o.txH = o.w, o.h
+		o.texture = make([]uint8, o.txW*o.txH)
+		tone := 40 + rng.Intn(160)
+		for j := range o.texture {
+			o.texture[j] = clip8(tone + rng.Intn(60) - 30)
+		}
+		objs[i] = o
+	}
+	v := &Video{NameStr: name}
+	for t := 0; t < opts.Frames; t++ {
+		f := base.Clone()
+		for _, o := range objs {
+			ox := o.x0 + o.vx*float64(t) + o.wobble*math.Sin(0.5*float64(t)+o.phase)
+			oy := o.y0 + o.vy*float64(t) + o.wobble*math.Cos(0.4*float64(t)+o.phase)
+			drawObject(f, o, int(ox), int(oy))
+		}
+		// Light sensor noise so residuals are never exactly zero.
+		for i := 0; i < len(f.Pix)/16; i++ {
+			p := rng.Intn(len(f.Pix))
+			f.Pix[p] = clip8(int(f.Pix[p]) + rng.Intn(5) - 2)
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	return v, nil
+}
+
+func drawObject(f *Frame, o *object, ox, oy int) {
+	for y := 0; y < o.h; y++ {
+		fy := oy + y
+		if fy < 0 || fy >= f.H {
+			continue
+		}
+		for x := 0; x < o.w; x++ {
+			fx := ox + x
+			if fx < 0 || fx >= f.W {
+				continue
+			}
+			f.Set(fx, fy, o.texture[y*o.txW+x])
+		}
+	}
+}
+
+// generateInputSet builds n videos with distinct seeds.
+func generateInputSet(prefix string, n int, opts VideoOptions, seed int64) ([]*Video, error) {
+	out := make([]*Video, n)
+	for i := range out {
+		o := opts
+		o.Seed = seed + int64(i)*7919
+		v, err := GenerateVideo(fmt.Sprintf("%s-%d", prefix, i), o)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

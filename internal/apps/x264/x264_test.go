@@ -1,0 +1,388 @@
+package x264
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+func testApp(t *testing.T) *App {
+	t.Helper()
+	a, err := New(Options{
+		TrainingVideos:   1,
+		ProductionVideos: 1,
+		Video:            VideoOptions{W: 96, H: 48, Frames: 6},
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSpecs(t *testing.T) {
+	a := testApp(t)
+	sp, err := workload.Space(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Size(); got != 7*16*5 {
+		t.Errorf("setting-space size = %d, want 560 (paper: subme 7 x merange 16 x ref 5)", got)
+	}
+	if !sp.Default().Equal(knobs.Setting{7, 16, 5}) {
+		t.Errorf("default = %v", sp.Default())
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	if _, err := NewFrame(0, 16); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewFrame(17, 16); err == nil {
+		t.Error("non-multiple width accepted")
+	}
+	if _, err := NewFrame(32, 16); err != nil {
+		t.Errorf("valid size rejected: %v", err)
+	}
+}
+
+func TestFrameAtClamps(t *testing.T) {
+	f, _ := NewFrame(16, 16)
+	f.Set(0, 0, 7)
+	f.Set(15, 15, 9)
+	if f.At(-3, -3) != 7 {
+		t.Error("negative coords should clamp to (0,0)")
+	}
+	if f.At(20, 20) != 9 {
+		t.Error("overflow coords should clamp to max")
+	}
+}
+
+func TestSampleQPelIntegerPositions(t *testing.T) {
+	f, _ := NewFrame(16, 16)
+	f.Set(3, 4, 100)
+	if got := f.sampleQPel(3<<2, 4<<2); got != 100 {
+		t.Errorf("integer qpel sample = %d, want 100", got)
+	}
+	// Halfway between two pixels averages them.
+	f.Set(4, 4, 200)
+	if got := f.sampleQPel(3<<2+2, 4<<2); got != 150 {
+		t.Errorf("half-pel sample = %d, want 150", got)
+	}
+}
+
+func TestTransformRoundTripExactWithoutQuantError(t *testing.T) {
+	// With residuals that are multiples of every positional quant step,
+	// the transform+quant round trip is exact.
+	var b [16]int
+	for i := range b {
+		b[i] = 0
+	}
+	b[0] = 80 // constant block: DC only
+	for i := range b {
+		b[i] = 80
+	}
+	orig := b
+	bits, _ := encodeResidualBlock(&b)
+	if bits <= 0 {
+		t.Fatal("no bits produced")
+	}
+	for i := range b {
+		if d := b[i] - orig[i]; d < -quantStep || d > quantStep {
+			t.Fatalf("reconstruction error %d at %d exceeds a quant step", d, i)
+		}
+	}
+}
+
+func TestTransformRoundTripBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		var b [16]int
+		for i := range b {
+			b[i] = rng.Intn(255) - 127
+		}
+		orig := b
+		encodeResidualBlock(&b)
+		for i := range b {
+			d := b[i] - orig[i]
+			if d < 0 {
+				d = -d
+			}
+			// Max error is half the largest positional step plus
+			// rounding slack.
+			if d > quantStep {
+				t.Fatalf("trial %d: reconstruction error %d at %d (block %v)", trial, d, i, orig)
+			}
+		}
+	}
+}
+
+func TestGolombBits(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 3, -1: 3, 2: 5, 3: 5, -3: 5, 4: 7}
+	for v, want := range cases {
+		if got := golombBits(v); got != want {
+			t.Errorf("golombBits(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestDeriveConfigSubmeLadder(t *testing.T) {
+	wantHalf := []int64{0, 1, 2, 2, 2, 3, 4}
+	wantQuarter := []int64{0, 0, 0, 1, 2, 3, 4}
+	for subme := int64(1); subme <= 7; subme++ {
+		cfg := deriveConfig(subme, 16, 5)
+		if int64(cfg.HalfPelIters) != wantHalf[subme-1] || int64(cfg.QuarterPelIters) != wantQuarter[subme-1] {
+			t.Errorf("subme %d: half=%d quarter=%d, want %d/%d",
+				subme, cfg.HalfPelIters, cfg.QuarterPelIters, wantHalf[subme-1], wantQuarter[subme-1])
+		}
+	}
+	cfg := deriveConfig(7, 9, 3)
+	if cfg.SearchRange != 9 || cfg.RefFrames != 3 {
+		t.Errorf("range/ref not passed through: %+v", cfg)
+	}
+}
+
+func TestTraceInitMatchesDeriveConfig(t *testing.T) {
+	a := testApp(t)
+	var reports []influence.Report
+	for _, s := range []knobs.Setting{{1, 1, 1}, {4, 8, 3}, {7, 16, 5}} {
+		tr := influence.NewTracer()
+		a.TraceInit(tr, s)
+		rep := tr.Analyze()
+		if rep.Rejected() {
+			t.Fatal(rep.Err())
+		}
+		vals := rep.Values()
+		cfg := deriveConfig(s[0], s[1], s[2])
+		if int(vals["searchRange"][0]) != cfg.SearchRange ||
+			int(vals["refFrames"][0]) != cfg.RefFrames ||
+			int(vals["halfPelIters"][0]) != cfg.HalfPelIters ||
+			int(vals["quarterPelIters"][0]) != cfg.QuarterPelIters {
+			t.Fatalf("setting %v: traced %v vs derived %+v", s, vals, cfg)
+		}
+		reports = append(reports, rep)
+	}
+	if err := influence.CheckConsistency(reports); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := testApp(t)
+	st := a.Streams(workload.Training)[0]
+	c1, o1 := workload.MeasureStream(a, st, knobs.Setting{4, 8, 2})
+	c2, o2 := workload.MeasureStream(a, st, knobs.Setting{4, 8, 2})
+	if c1 != c2 || o1.(Output) != o2.(Output) {
+		t.Fatalf("encode not deterministic: %v/%v vs %v/%v", c1, o1, c2, o2)
+	}
+}
+
+func TestEncodeQualityReasonable(t *testing.T) {
+	a := testApp(t)
+	st := a.Streams(workload.Training)[0]
+	_, out := workload.MeasureStream(a, st, knobs.Setting{7, 16, 5})
+	o := out.(Output)
+	if o.MeanPSNR < 28 || o.MeanPSNR > 99 {
+		t.Fatalf("baseline PSNR = %v dB, outside plausible encode range", o.MeanPSNR)
+	}
+	if o.Bits <= 0 {
+		t.Fatal("no bits produced")
+	}
+	// Compression: raw frames are W*H*8 bits each.
+	raw := float64(96 * 48 * 8 * st.Len())
+	if o.Bits >= raw {
+		t.Fatalf("encoded size %v not smaller than raw %v", o.Bits, raw)
+	}
+}
+
+func TestCostDecreasesWithFasterKnobs(t *testing.T) {
+	a := testApp(t)
+	st := a.Streams(workload.Training)[0]
+	cBase, _ := workload.MeasureStream(a, st, knobs.Setting{7, 16, 5})
+	cFast, _ := workload.MeasureStream(a, st, knobs.Setting{1, 1, 1})
+	if cFast >= cBase {
+		t.Fatalf("fast setting cost %v not below baseline %v", cFast, cBase)
+	}
+	speedup := cBase / cFast
+	if speedup < 2.5 || speedup > 12 {
+		t.Fatalf("knob-range speedup = %.2f, want a paper-like span (~4.5)", speedup)
+	}
+}
+
+func TestLossGrowsTowardFastSettings(t *testing.T) {
+	a := testApp(t)
+	st := a.Streams(workload.Training)[0]
+	_, base := workload.MeasureStream(a, st, knobs.Setting{7, 16, 5})
+	_, fast := workload.MeasureStream(a, st, knobs.Setting{1, 1, 1})
+	_, mid := workload.MeasureStream(a, st, knobs.Setting{5, 8, 3})
+	lFast := a.Loss(base, fast)
+	lMid := a.Loss(base, mid)
+	if lFast <= 0 {
+		t.Fatal("fast-setting loss should be positive")
+	}
+	if lMid >= lFast {
+		t.Fatalf("loss should grow toward faster settings: mid=%v fast=%v", lMid, lFast)
+	}
+	if lFast > 0.30 {
+		t.Fatalf("fast-setting loss = %v, implausibly large", lFast)
+	}
+}
+
+func TestMidRunKnobChange(t *testing.T) {
+	a := testApp(t)
+	a.Apply(knobs.Setting{7, 16, 5})
+	st := a.Streams(workload.Training)[0]
+	run := st.NewRun()
+	if _, ok := run.Step(); !ok { // intra frame
+		t.Fatal("unexpected end")
+	}
+	c1, _ := run.Step() // P-frame at baseline
+	a.Apply(knobs.Setting{1, 1, 1})
+	c2, _ := run.Step() // P-frame at fastest
+	if c2 >= c1 {
+		t.Fatalf("cost after knob drop = %v, want < %v", c2, c1)
+	}
+}
+
+func TestMotionSearchFindsKnownTranslation(t *testing.T) {
+	// A smoothly textured frame translated by (-3, +2) should be found
+	// exactly: cur(x,y) = ref(x-3, y+2) means the best vector displacing
+	// ref onto cur is (mx,my) = (-3, +2). The texture must be smooth for
+	// a gradient-descent search (diamond) to follow the SAD slope —
+	// exactly the property of real video that makes diamond search work.
+	ref, _ := NewFrame(64, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 64; x++ {
+			v := 128 + 60*math.Sin(float64(x)/5) + 40*math.Cos(float64(y)/4)
+			ref.Set(x, y, clip8(int(v)))
+		}
+	}
+	cur, _ := NewFrame(64, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 64; x++ {
+			cur.Set(x, y, ref.At(x-3, y+2))
+		}
+	}
+	res := motionSearch(cur, []*Frame{ref}, 16, 0, MV{}, 8, 2, 2)
+	fx, fy := res.mv.fullPel()
+	if fx != -3 || fy != 2 {
+		t.Fatalf("ME found (%d,%d), want (-3,2); sad=%d", fx, fy, res.sad)
+	}
+	if res.sad != 0 {
+		t.Fatalf("SAD at true motion = %d, want 0", res.sad)
+	}
+}
+
+func TestSearchRangeBoundsVectors(t *testing.T) {
+	ref, _ := NewFrame(64, 32)
+	rng := rand.New(rand.NewSource(8))
+	for i := range ref.Pix {
+		ref.Pix[i] = uint8(rng.Intn(256))
+	}
+	cur := ref.Clone()
+	res := motionSearch(cur, []*Frame{ref}, 16, 0, MV{}, 2, 4, 4)
+	fx, fy := res.mv.fullPel()
+	if fx < -2 || fx > 2 || fy < -2 || fy > 2 {
+		t.Fatalf("MV (%d,%d) escapes merange 2", fx, fy)
+	}
+}
+
+func TestMoreRefsNeverWorseCost(t *testing.T) {
+	a := testApp(t)
+	v := a.train[0]
+	enc1 := &Encoder{}
+	enc5 := &Encoder{}
+	cfg1 := deriveConfig(7, 16, 1)
+	cfg5 := deriveConfig(7, 16, 5)
+	var sad1, sad5 int
+	for i, f := range v.Frames {
+		s1, _ := enc1.EncodeFrame(f, cfg1)
+		s5, _ := enc5.EncodeFrame(f, cfg5)
+		if i > 0 {
+			sad1 += s1.Bits
+			sad5 += s5.Bits
+		}
+	}
+	// More reference frames can only improve (or tie) the prediction;
+	// allow a little slack for reconstruction feedback interactions.
+	if float64(sad5) > float64(sad1)*1.05 {
+		t.Fatalf("5-ref bits %d much worse than 1-ref bits %d", sad5, sad1)
+	}
+}
+
+func TestGenerateVideoShape(t *testing.T) {
+	v, err := GenerateVideo("t", VideoOptions{W: 32, H: 32, Frames: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Frames) != 4 {
+		t.Fatalf("frames = %d", len(v.Frames))
+	}
+	// Frames must actually change over time (motion present).
+	diff := 0
+	for i := range v.Frames[0].Pix {
+		if v.Frames[0].Pix[i] != v.Frames[3].Pix[i] {
+			diff++
+		}
+	}
+	if diff < 50 {
+		t.Fatalf("only %d pixels differ across frames; no motion", diff)
+	}
+	if _, err := GenerateVideo("bad", VideoOptions{W: 17, H: 16, Frames: 1}); err == nil {
+		t.Fatal("invalid dimensions accepted")
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	a := testApp(t)
+	reg := knobs.NewRegistry()
+	if err := a.RegisterVars(reg); err != nil {
+		t.Fatal(err)
+	}
+	s := knobs.Setting{3, 4, 2}
+	cfg := deriveConfig(3, 4, 2)
+	err := reg.Record(s, map[string]knobs.Value{
+		"searchRange":     {float64(cfg.SearchRange)},
+		"refFrames":       {float64(cfg.RefFrames)},
+		"halfPelIters":    {float64(cfg.HalfPelIters)},
+		"quarterPelIters": {float64(cfg.QuarterPelIters)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.ConfigSnapshot(); got != cfg {
+		t.Fatalf("config after registry apply = %+v, want %+v", got, cfg)
+	}
+}
+
+func TestPSNRImprovesWithSubme(t *testing.T) {
+	a := testApp(t)
+	st := a.Streams(workload.Training)[0]
+	_, o1 := workload.MeasureStream(a, st, knobs.Setting{1, 16, 5})
+	_, o7 := workload.MeasureStream(a, st, knobs.Setting{7, 16, 5})
+	p1 := o1.(Output)
+	p7 := o7.(Output)
+	// Deeper sub-pel refinement must not lose quality; typically it
+	// gains PSNR and/or saves bits.
+	if p7.MeanPSNR < p1.MeanPSNR-0.05 && p7.Bits > p1.Bits {
+		t.Fatalf("subme 7 (psnr %.2f bits %.0f) worse than subme 1 (psnr %.2f bits %.0f)",
+			p7.MeanPSNR, p7.Bits, p1.MeanPSNR, p1.Bits)
+	}
+}
+
+func TestPlanePSNRCap(t *testing.T) {
+	p, err := planePSNR([]uint8{1, 2, 3}, []uint8{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(p, 1) || p != 99 {
+		t.Fatalf("identical planes PSNR = %v, want capped 99", p)
+	}
+}

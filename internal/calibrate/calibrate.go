@@ -1,0 +1,337 @@
+// Package calibrate implements dynamic knob calibration (Sec. 2.2 of the
+// paper): it executes all combinations of representative inputs and
+// configuration parameters, records the mean speedup and mean QoS loss of
+// each parameter combination relative to the baseline (highest-QoS)
+// setting, identifies the Pareto-optimal points in the explored trade-off
+// space, and supports user caps on QoS loss. Profiles serialize to JSON
+// so a calibration can be performed once and reused by the runtime.
+//
+// It also implements the Table 2 methodology: correlating training
+// behaviour against production behaviour per metric.
+package calibrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/knobs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SettingResult is the calibrated behaviour of one knob setting.
+type SettingResult struct {
+	Setting knobs.Setting `json:"setting"`
+	// Speedup is the mean over inputs of (baseline execution cost /
+	// this setting's execution cost) — on a fixed-frequency machine,
+	// exactly the paper's execution-time speedup.
+	Speedup float64 `json:"speedup"`
+	// Loss is the mean QoS loss versus the baseline setting (fraction,
+	// not percent).
+	Loss float64 `json:"loss"`
+	// Pareto marks membership in the Pareto-optimal frontier.
+	Pareto bool `json:"pareto"`
+	// Capped marks settings excluded from the frontier by the QoS cap.
+	Capped bool `json:"capped,omitempty"`
+}
+
+// Profile is a calibrated trade-off space for one application and input
+// set.
+type Profile struct {
+	App      string          `json:"app"`
+	InputSet string          `json:"input_set"`
+	Specs    []knobs.Spec    `json:"specs"`
+	Baseline knobs.Setting   `json:"baseline"`
+	QoSCap   float64         `json:"qos_cap,omitempty"`
+	Results  []SettingResult `json:"results"`
+}
+
+// Options configures a calibration sweep.
+type Options struct {
+	// Set selects training (default) or production inputs.
+	Set workload.InputSet
+	// Settings restricts the sweep (default: the full setting space;
+	// use knobs.Space.Coarse for large spaces).
+	Settings []knobs.Setting
+	// QoSCap excludes settings with Loss > QoSCap from the Pareto
+	// frontier ("if a specific parameter setting produces a QoS loss
+	// that exceeds a user-specified bound, the system can exclude the
+	// corresponding dynamic knob setting"). Zero means no cap.
+	QoSCap float64
+}
+
+// Run sweeps the setting space: for every setting, every input stream is
+// processed completely and compared against the baseline execution.
+func Run(app workload.App, opts Options) (*Profile, error) {
+	space, err := workload.Space(app)
+	if err != nil {
+		return nil, err
+	}
+	settings := opts.Settings
+	if settings == nil {
+		settings = space.All()
+	}
+	baseline := space.Default()
+	streams := app.Streams(opts.Set)
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("calibrate: app %s has no %s streams", app.Name(), opts.Set)
+	}
+
+	baseCosts := make([]float64, len(streams))
+	baseOuts := make([]workload.Output, len(streams))
+	for i, st := range streams {
+		baseCosts[i], baseOuts[i] = workload.MeasureStream(app, st, baseline)
+		if baseCosts[i] <= 0 {
+			return nil, fmt.Errorf("calibrate: baseline run of %s consumed no work", st.Name())
+		}
+	}
+
+	p := &Profile{
+		App:      app.Name(),
+		InputSet: opts.Set.String(),
+		Specs:    app.Specs(),
+		Baseline: baseline,
+		QoSCap:   opts.QoSCap,
+	}
+	hasBaseline := false
+	for _, s := range settings {
+		if !space.Contains(s) {
+			return nil, fmt.Errorf("calibrate: setting %v not in %s's space", s, app.Name())
+		}
+		var sp, loss float64
+		if s.Equal(baseline) {
+			sp, loss = 1, 0 // by definition; skip re-measurement
+			hasBaseline = true
+		} else {
+			for i, st := range streams {
+				cost, out := workload.MeasureStream(app, st, s)
+				if cost <= 0 {
+					return nil, fmt.Errorf("calibrate: setting %v on %s consumed no work", s, st.Name())
+				}
+				sp += baseCosts[i] / cost
+				loss += app.Loss(baseOuts[i], out)
+			}
+			sp /= float64(len(streams))
+			loss /= float64(len(streams))
+		}
+		p.Results = append(p.Results, SettingResult{Setting: s.Clone(), Speedup: sp, Loss: loss})
+	}
+	if !hasBaseline {
+		p.Results = append(p.Results, SettingResult{Setting: baseline.Clone(), Speedup: 1, Loss: 0})
+	}
+	// Restore the application's default configuration.
+	app.Apply(baseline)
+	p.computeFrontier()
+	return p, nil
+}
+
+// computeFrontier marks Pareto-optimal results, honoring the QoS cap.
+func (p *Profile) computeFrontier() {
+	var pts []stats.Point
+	var idx []int
+	for i := range p.Results {
+		p.Results[i].Pareto = false
+		p.Results[i].Capped = p.QoSCap > 0 && p.Results[i].Loss > p.QoSCap
+		if p.Results[i].Capped {
+			continue
+		}
+		pts = append(pts, stats.Point{Loss: p.Results[i].Loss, Speedup: p.Results[i].Speedup})
+		idx = append(idx, i)
+	}
+	for _, fi := range stats.ParetoFront(pts) {
+		p.Results[idx[fi]].Pareto = true
+	}
+}
+
+// Frontier returns the Pareto-optimal results sorted by increasing loss
+// (and therefore non-decreasing speedup).
+func (p *Profile) Frontier() []SettingResult {
+	var out []SettingResult
+	for _, r := range p.Results {
+		if r.Pareto {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loss != out[j].Loss {
+			return out[i].Loss < out[j].Loss
+		}
+		return out[i].Speedup < out[j].Speedup
+	})
+	return out
+}
+
+// MaxSpeedup returns the largest Pareto speedup (>= 1).
+func (p *Profile) MaxSpeedup() float64 {
+	max := 1.0
+	for _, r := range p.Results {
+		if r.Pareto && r.Speedup > max {
+			max = r.Speedup
+		}
+	}
+	return max
+}
+
+// Lookup finds the result for a setting.
+func (p *Profile) Lookup(s knobs.Setting) (SettingResult, bool) {
+	for _, r := range p.Results {
+		if r.Setting.Equal(s) {
+			return r, true
+		}
+	}
+	return SettingResult{}, false
+}
+
+// SettingFor returns the Pareto setting with the smallest speedup >= want
+// (the actuator's s_min choice). ok is false when want exceeds the
+// maximum achievable speedup.
+func (p *Profile) SettingFor(want float64) (SettingResult, bool) {
+	best := SettingResult{}
+	found := false
+	for _, r := range p.Results {
+		if !r.Pareto || r.Speedup < want {
+			continue
+		}
+		if !found || r.Speedup < best.Speedup || (r.Speedup == best.Speedup && r.Loss < best.Loss) {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// FastestSetting returns the Pareto setting with the maximum speedup
+// (ties broken toward lower loss).
+func (p *Profile) FastestSetting() SettingResult {
+	best := SettingResult{Speedup: -1}
+	for _, r := range p.Results {
+		if !r.Pareto {
+			continue
+		}
+		if r.Speedup > best.Speedup || (r.Speedup == best.Speedup && r.Loss < best.Loss) {
+			best = r
+		}
+	}
+	return best
+}
+
+// WithCap returns a copy of the profile with a different QoS-loss cap
+// and a recomputed Pareto frontier — the measurements are reused, only
+// the admissible set changes (used when the same calibration backs
+// scenarios with different loss bounds, e.g. Fig. 8's 5%/30% caps).
+func (p *Profile) WithCap(cap float64) *Profile {
+	q := &Profile{
+		App:      p.App,
+		InputSet: p.InputSet,
+		Specs:    p.Specs,
+		Baseline: p.Baseline.Clone(),
+		QoSCap:   cap,
+		Results:  make([]SettingResult, len(p.Results)),
+	}
+	for i, r := range p.Results {
+		q.Results[i] = r
+		q.Results[i].Setting = r.Setting.Clone()
+	}
+	q.computeFrontier()
+	return q
+}
+
+// String renders the profile as a text table: every swept setting with
+// its speedup, loss and frontier membership.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "calibration profile: %s (%s inputs, %d settings", p.App, p.InputSet, len(p.Results))
+	if p.QoSCap > 0 {
+		fmt.Fprintf(&b, ", QoS cap %.1f%%", p.QoSCap*100)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "%-24s | %9s | %9s | %s\n", "setting "+specNames(p.Specs), "speedup", "loss %", "frontier")
+	for _, r := range p.Results {
+		mark := ""
+		switch {
+		case r.Pareto:
+			mark = "pareto"
+		case r.Capped:
+			mark = "capped"
+		}
+		fmt.Fprintf(&b, "%-24s | %9.3f | %9.4f | %s\n", r.Setting.Key(), r.Speedup, r.Loss*100, mark)
+	}
+	return b.String()
+}
+
+func specNames(specs []knobs.Spec) string {
+	if len(specs) == 0 {
+		return ""
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return "(" + strings.Join(names, ",") + ")"
+}
+
+// Save writes the profile as JSON.
+func (p *Profile) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a profile written by Save.
+func Load(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("calibrate: parsing %s: %v", path, err)
+	}
+	return &p, nil
+}
+
+// Correlation is the Table 2 result for one application: the correlation
+// coefficients of the least-squares fits of training to production
+// behaviour, per metric.
+type Correlation struct {
+	Speedup float64
+	Loss    float64
+	N       int // settings compared
+}
+
+// Correlate matches settings across two profiles (training and
+// production) and computes the Table 2 correlation coefficients.
+func Correlate(train, prod *Profile) (Correlation, error) {
+	prodByKey := make(map[string]SettingResult, len(prod.Results))
+	for _, r := range prod.Results {
+		prodByKey[r.Setting.Key()] = r
+	}
+	var ts, ps, tl, pl []float64
+	for _, r := range train.Results {
+		pr, ok := prodByKey[r.Setting.Key()]
+		if !ok {
+			continue
+		}
+		ts = append(ts, r.Speedup)
+		ps = append(ps, pr.Speedup)
+		tl = append(tl, r.Loss)
+		pl = append(pl, pr.Loss)
+	}
+	if len(ts) < 2 {
+		return Correlation{}, fmt.Errorf("calibrate: only %d shared settings between profiles", len(ts))
+	}
+	rs, err := stats.Correlation(ts, ps)
+	if err != nil {
+		return Correlation{}, err
+	}
+	rl, err := stats.Correlation(tl, pl)
+	if err != nil {
+		return Correlation{}, err
+	}
+	return Correlation{Speedup: rs, Loss: rl, N: len(ts)}, nil
+}

@@ -1,0 +1,275 @@
+package calibrate
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/swaptions"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// fakeApp is a deterministic synthetic application with a known
+// trade-off: speedup = default/value, loss = (default-value)/default.
+type fakeApp struct {
+	cur int64
+}
+
+func (f *fakeApp) Name() string { return "fake" }
+func (f *fakeApp) Specs() []knobs.Spec {
+	return []knobs.Spec{{Name: "k", Values: knobs.Range(10, 100, 10), Default: 100}}
+}
+func (f *fakeApp) Apply(s knobs.Setting) { f.cur = s[0] }
+func (f *fakeApp) Loss(b, o workload.Output) float64 {
+	return math.Abs(b.(float64)-o.(float64)) / b.(float64)
+}
+func (f *fakeApp) Streams(set workload.InputSet) []workload.Stream {
+	return []workload.Stream{&fakeStream{app: f}}
+}
+
+type fakeStream struct{ app *fakeApp }
+
+func (s *fakeStream) Name() string         { return "s" }
+func (s *fakeStream) Len() int             { return 4 }
+func (s *fakeStream) NewRun() workload.Run { return &fakeRun{app: s.app} }
+
+type fakeRun struct {
+	app  *fakeApp
+	step int
+}
+
+func (r *fakeRun) Step() (float64, bool) {
+	if r.step >= 4 {
+		return 0, false
+	}
+	r.step++
+	return float64(r.app.cur), true
+}
+func (r *fakeRun) Output() workload.Output { return float64(r.app.cur) }
+
+func TestRunComputesKnownTradeoff(t *testing.T) {
+	app := &fakeApp{}
+	p, err := Run(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Results) != 10 {
+		t.Fatalf("results = %d, want 10", len(p.Results))
+	}
+	for _, r := range p.Results {
+		wantSpeedup := 100 / float64(r.Setting[0])
+		wantLoss := (100 - float64(r.Setting[0])) / 100
+		if math.Abs(r.Speedup-wantSpeedup) > 1e-9 {
+			t.Errorf("setting %v speedup = %v, want %v", r.Setting, r.Speedup, wantSpeedup)
+		}
+		if math.Abs(r.Loss-wantLoss) > 1e-9 {
+			t.Errorf("setting %v loss = %v, want %v", r.Setting, r.Loss, wantLoss)
+		}
+		// This synthetic trade-off is strictly monotone: every point is
+		// Pareto-optimal.
+		if !r.Pareto {
+			t.Errorf("setting %v should be Pareto-optimal", r.Setting)
+		}
+	}
+	// App restored to baseline after the sweep.
+	if app.cur != 100 {
+		t.Errorf("app left at %d, want baseline 100", app.cur)
+	}
+}
+
+func TestQoSCapExcludesSettings(t *testing.T) {
+	p, err := Run(&fakeApp{}, Options{QoSCap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Results {
+		if r.Loss > 0.5 {
+			if r.Pareto {
+				t.Errorf("capped setting %v still on frontier", r.Setting)
+			}
+			if !r.Capped {
+				t.Errorf("setting %v loss %v should be marked capped", r.Setting, r.Loss)
+			}
+		}
+	}
+	if got := p.MaxSpeedup(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("MaxSpeedup under cap = %v, want 2 (k=50)", got)
+	}
+}
+
+func TestFrontierSortedAndHelpers(t *testing.T) {
+	p, err := Run(&fakeApp{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := p.Frontier()
+	for i := 1; i < len(fr); i++ {
+		if fr[i].Loss < fr[i-1].Loss {
+			t.Fatal("frontier not sorted by loss")
+		}
+		if fr[i].Speedup < fr[i-1].Speedup {
+			t.Fatal("frontier speedup should be non-decreasing with loss")
+		}
+	}
+	if got := p.MaxSpeedup(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("MaxSpeedup = %v, want 10", got)
+	}
+	r, ok := p.SettingFor(3.5)
+	if !ok || r.Setting[0] != 20 { // speedup 5 is the smallest >= 3.5
+		t.Errorf("SettingFor(3.5) = %v ok=%v, want k=20", r.Setting, ok)
+	}
+	if _, ok := p.SettingFor(11); ok {
+		t.Error("SettingFor beyond max should report !ok")
+	}
+	if got := p.FastestSetting(); got.Setting[0] != 10 {
+		t.Errorf("FastestSetting = %v, want k=10", got.Setting)
+	}
+	if _, ok := p.Lookup(knobs.Setting{40}); !ok {
+		t.Error("Lookup of swept setting failed")
+	}
+	if _, ok := p.Lookup(knobs.Setting{41}); ok {
+		t.Error("Lookup of unknown setting succeeded")
+	}
+}
+
+func TestRunWithExplicitSettings(t *testing.T) {
+	p, err := Run(&fakeApp{}, Options{Settings: []knobs.Setting{{10}, {50}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline is always included even when not requested.
+	if len(p.Results) != 3 {
+		t.Fatalf("results = %d, want 3 (10, 50 + baseline)", len(p.Results))
+	}
+	if _, ok := p.Lookup(knobs.Setting{100}); !ok {
+		t.Error("baseline missing from profile")
+	}
+}
+
+func TestRunRejectsForeignSetting(t *testing.T) {
+	if _, err := Run(&fakeApp{}, Options{Settings: []knobs.Setting{{33}}}); err == nil {
+		t.Error("setting outside the space accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, err := Run(&fakeApp{}, Options{QoSCap: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.App != p.App || len(q.Results) != len(p.Results) || q.QoSCap != p.QoSCap {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	for i := range p.Results {
+		if !q.Results[i].Setting.Equal(p.Results[i].Setting) ||
+			q.Results[i].Speedup != p.Results[i].Speedup ||
+			q.Results[i].Pareto != p.Results[i].Pareto {
+			t.Fatalf("result %d mismatch", i)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p, err := Run(&fakeApp{}, Options{QoSCap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"fake", "pareto", "capped", "QoS cap 50.0%", "(k)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("profile table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWithCapRecomputesFrontier(t *testing.T) {
+	p, err := Run(&fakeApp{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.MaxSpeedup()-10) > 1e-9 {
+		t.Fatalf("uncapped max speedup = %v", p.MaxSpeedup())
+	}
+	q := p.WithCap(0.5)
+	if math.Abs(q.MaxSpeedup()-2) > 1e-9 {
+		t.Fatalf("capped max speedup = %v, want 2", q.MaxSpeedup())
+	}
+	// Original untouched.
+	if math.Abs(p.MaxSpeedup()-10) > 1e-9 {
+		t.Fatal("WithCap mutated the original profile")
+	}
+	// Removing the cap restores the full frontier.
+	if r := q.WithCap(0); math.Abs(r.MaxSpeedup()-10) > 1e-9 {
+		t.Fatalf("uncapping = %v, want 10", r.MaxSpeedup())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCorrelatePerfectlyRelatedProfiles(t *testing.T) {
+	train, err := Run(&fakeApp{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := Run(&fakeApp{}, Options{Set: workload.Production})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Correlate(train, prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Speedup-1) > 1e-9 || math.Abs(c.Loss-1) > 1e-9 {
+		t.Fatalf("identical behaviour should correlate perfectly: %+v", c)
+	}
+	if c.N != 10 {
+		t.Fatalf("N = %d, want 10", c.N)
+	}
+}
+
+func TestCorrelateDisjointProfiles(t *testing.T) {
+	train, _ := Run(&fakeApp{}, Options{Settings: []knobs.Setting{{10}}})
+	prod, _ := Run(&fakeApp{}, Options{Settings: []knobs.Setting{{20}}})
+	// Only the baseline is shared: too few points.
+	if _, err := Correlate(train, prod); err == nil {
+		t.Error("want error for <2 shared settings")
+	}
+}
+
+// Integration: calibrating the real swaptions app produces the paper's
+// exact linear speedup shape and a monotone-in-the-large QoS frontier.
+func TestCalibrateSwaptions(t *testing.T) {
+	app := swaptions.New(swaptions.Options{TrainingSwaptions: 4, ProductionSwaptions: 4, Seed: 11})
+	space, _ := workload.Space(app)
+	p, err := Run(app, Options{Settings: space.Coarse(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := p.Lookup(knobs.Setting{swaptions.DefaultTrials})
+	if !ok || base.Speedup != 1 || base.Loss != 0 {
+		t.Fatalf("baseline record wrong: %+v ok=%v", base, ok)
+	}
+	for _, r := range p.Results {
+		want := float64(swaptions.DefaultTrials) / float64(r.Setting[0])
+		if math.Abs(r.Speedup/want-1) > 1e-9 {
+			t.Errorf("setting %v speedup %v, want %v", r.Setting, r.Speedup, want)
+		}
+	}
+	if p.MaxSpeedup() < 50 {
+		t.Errorf("max speedup = %v, want the ~100x span", p.MaxSpeedup())
+	}
+}

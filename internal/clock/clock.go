@@ -1,0 +1,73 @@
+// Package clock provides real and virtual time sources.
+//
+// Every PowerDial subsystem that observes time (heartbeats, controllers,
+// power meters, cluster simulation) takes a Clock rather than calling
+// time.Now directly. Experiments run on a Virtual clock so that results
+// are deterministic and so that simulated DVFS frequency changes can
+// stretch or shrink the duration of application work.
+package clock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonic time source.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+}
+
+// Real is a Clock backed by the system monotonic clock.
+type Real struct{}
+
+// Now returns the current wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Virtual is a manually advanced Clock. The zero value starts at the Unix
+// epoch and is safe for concurrent use.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a Virtual clock positioned at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d. It panics if d is negative:
+// virtual time, like real time, never runs backwards.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("clock: Advance by negative duration %v", d))
+	}
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	v.mu.Unlock()
+}
+
+// AdvanceSeconds moves the clock forward by s seconds, a convenience for
+// simulation code that works in float64 seconds.
+func (v *Virtual) AdvanceSeconds(s float64) {
+	v.Advance(time.Duration(s * float64(time.Second)))
+}
+
+// Set positions the clock at t. It panics if t is earlier than the current
+// virtual time.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.Before(v.now) {
+		panic(fmt.Sprintf("clock: Set to %v before current %v", t, v.now))
+	}
+	v.now = t
+}

@@ -1,0 +1,89 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2011, 3, 5, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Unix(0, 0)
+	v := NewVirtual(start)
+	v.Advance(1500 * time.Millisecond)
+	want := start.Add(1500 * time.Millisecond)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceSeconds(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	v.AdvanceSeconds(2.5)
+	if got, want := v.Now().Sub(time.Unix(0, 0)), 2500*time.Millisecond; got != want {
+		t.Fatalf("elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewVirtual(time.Unix(0, 0)).Advance(-time.Second)
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	v.Set(time.Unix(200, 0))
+	if got := v.Now(); !got.Equal(time.Unix(200, 0)) {
+		t.Fatalf("Now() after Set = %v", got)
+	}
+}
+
+func TestVirtualSetBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set to the past did not panic")
+		}
+	}()
+	v := NewVirtual(time.Unix(100, 0))
+	v.Set(time.Unix(50, 0))
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	const workers, steps = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < steps; j++ {
+				v.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(workers * steps * time.Millisecond)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("concurrent advance lost updates: Now() = %v, want %v", got, want)
+	}
+}
+
+func TestRealClockMovesForward(t *testing.T) {
+	var r Real
+	a := r.Now()
+	b := r.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock ran backwards: %v then %v", a, b)
+	}
+}

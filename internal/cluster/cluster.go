@@ -1,0 +1,265 @@
+// Package cluster simulates the peak-load provisioning experiments of
+// Sec. 5.5 (Fig. 8): an original system provisioned with enough machines
+// to serve peak load at baseline QoS, versus a consolidated system with
+// fewer machines on which PowerDial trades QoS for throughput when load
+// spikes arrive.
+//
+// The sharing arithmetic follows the paper's setup: the target
+// performance is that of one instance on an otherwise-unloaded machine,
+// so one instance at knob speedup s consumes 1/s of a core to hold the
+// target rate. A machine with C cores and I resident instances therefore
+// needs per-instance speedup s = max(1, I/C); the per-instance QoS loss
+// is the actuator's blended plan loss at that speedup; machine
+// utilization is the summed core demand; and power follows the platform
+// power model.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/calibrate"
+	"repro/internal/control"
+	"repro/internal/model"
+	"repro/internal/platform"
+)
+
+// Config describes a provisioned system.
+type Config struct {
+	// Machines is the machine count (the original system's provisioning
+	// for PARSEC apps is 4 machines × 8 cores = 32 instances at peak;
+	// swish++ uses 3 machines).
+	Machines int
+	// CoresPerMachine defaults to 8 (the paper's dual quad-core R410).
+	CoresPerMachine int
+	// Profile is the application's calibrated trade-off space (with any
+	// QoS cap already applied). Nil means a knob-less system (the
+	// original provisioning), which can only serve one instance per
+	// core at target performance.
+	Profile *calibrate.Profile
+	// Power is the machine power model (default platform default).
+	Power platform.PowerModel
+	// Frequency is the operating frequency in GHz (default 2.4).
+	Frequency float64
+}
+
+func (c *Config) fill() error {
+	if c.Machines < 1 {
+		return fmt.Errorf("cluster: machines %d < 1", c.Machines)
+	}
+	if c.CoresPerMachine == 0 {
+		c.CoresPerMachine = 8
+	}
+	if c.CoresPerMachine < 1 {
+		return fmt.Errorf("cluster: cores %d < 1", c.CoresPerMachine)
+	}
+	if c.Power == (platform.PowerModel{}) {
+		c.Power = platform.DefaultPowerModel()
+	}
+	if c.Frequency == 0 {
+		c.Frequency = platform.Frequencies[0]
+	}
+	return nil
+}
+
+// System is a provisioned cluster.
+type System struct {
+	cfg Config
+	act *control.Actuator // nil without a profile
+}
+
+// New builds a system. Profile-less systems model the original
+// provisioning (baseline QoS always, no elasticity).
+func New(cfg Config) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	if cfg.Profile != nil {
+		act, err := control.NewActuator(cfg.Profile, control.MinQoS)
+		if err != nil {
+			return nil, err
+		}
+		s.act = act
+	}
+	return s, nil
+}
+
+// Machines returns the machine count.
+func (s *System) Machines() int { return s.cfg.Machines }
+
+// Capacity returns the instance count the system serves at target
+// performance with baseline QoS.
+func (s *System) Capacity() int { return s.cfg.Machines * s.cfg.CoresPerMachine }
+
+// MaxInstances returns the instance count the system can serve at target
+// performance using its knobs.
+func (s *System) MaxInstances() int {
+	if s.act == nil {
+		return s.Capacity()
+	}
+	return int(math.Floor(float64(s.Capacity()) * s.act.MaxSpeedup()))
+}
+
+// Point is the evaluated state of a system under a given offered load.
+type Point struct {
+	Instances int
+	// PowerWatts is total system power (all machines, idle ones
+	// included — "machines without jobs are idle but not powered off").
+	PowerWatts float64
+	// MeanLoss is the mean per-instance QoS loss (fraction).
+	MeanLoss float64
+	// Speedup is the mean per-instance knob speedup in use.
+	Speedup float64
+	// PerfOK reports whether every instance holds the target rate.
+	PerfOK bool
+}
+
+// Evaluate computes the system state serving the given number of
+// concurrent instances. The load balancer shares load proportionally
+// across machines ("this system load balances all jobs proportionally
+// across available machines"): every machine carries instances/machines
+// instance-loads, time-multiplexed, so machines are symmetric and no
+// machine is overloaded while aggregate capacity remains.
+func (s *System) Evaluate(instances int) (Point, error) {
+	if instances < 0 {
+		return Point{}, fmt.Errorf("cluster: negative instance count")
+	}
+	pt := Point{Instances: instances, PerfOK: true, Speedup: 1}
+	cores := float64(s.cfg.CoresPerMachine)
+	load := float64(instances) / float64(s.cfg.Machines)
+	need := load / cores // per-instance speedup required
+	var speedup, loss, util float64
+	switch {
+	case instances == 0:
+		util = 0
+	case need <= 1:
+		// Load fits the cores: baseline QoS, partial utilization.
+		speedup, loss, util = 1, 0, need
+	case s.act == nil:
+		// Original system overloaded: no knobs to absorb the spike;
+		// instances fall below target rate.
+		speedup, loss, util = 1, 0, 1
+		pt.PerfOK = false
+	default:
+		plan := s.act.PlanFor(need)
+		if plan.Saturated {
+			pt.PerfOK = false
+		}
+		speedup = plan.ExpectedSpeedup()
+		loss = plan.ExpectedLoss()
+		util = 1
+	}
+	pt.PowerWatts = float64(s.cfg.Machines) * s.cfg.Power.Power(s.cfg.Frequency, util)
+	pt.MeanLoss = loss
+	if instances > 0 {
+		pt.Speedup = speedup
+	}
+	return pt, nil
+}
+
+// Sweep evaluates the system across a utilization range of the reference
+// capacity (the original system's peak), producing Fig. 8's x-axis.
+func (s *System) Sweep(referenceCapacity int, steps int) ([]Point, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 sweep steps")
+	}
+	out := make([]Point, 0, steps)
+	for i := 0; i < steps; i++ {
+		u := float64(i) / float64(steps-1)
+		inst := int(math.Round(u * float64(referenceCapacity)))
+		pt, err := s.Evaluate(inst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Consolidate provisions the minimum number of machines that still
+// serves the original system's peak under the profile's QoS cap,
+// following Eq. 21.
+func Consolidate(orig Config, profile *calibrate.Profile) (*System, error) {
+	if err := orig.fill(); err != nil {
+		return nil, err
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("cluster: consolidation requires a calibrated profile")
+	}
+	n, err := model.MachinesNeeded(orig.Machines, profile.MaxSpeedup())
+	if err != nil {
+		return nil, err
+	}
+	cfg := orig
+	cfg.Machines = n
+	cfg.Profile = profile
+	return New(cfg)
+}
+
+// LoadTrace generates a time-varying instance-count trace with
+// intermittent spikes: mostly low utilization with occasional bursts to
+// peak, the workload pattern of Sec. 5.5 (after Barroso & Hölzle).
+func LoadTrace(peak int, length int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, length)
+	level := 0.2
+	spike := 0
+	for i := range out {
+		if spike > 0 {
+			spike--
+			out[i] = peak
+			continue
+		}
+		if rng.Float64() < 0.05 {
+			spike = 1 + rng.Intn(4)
+			out[i] = peak
+			continue
+		}
+		level += (rng.Float64() - 0.5) * 0.08
+		if level < 0.05 {
+			level = 0.05
+		}
+		if level > 0.45 {
+			level = 0.45
+		}
+		out[i] = int(math.Round(level * float64(peak)))
+	}
+	return out
+}
+
+// EvaluateTrace runs both systems over a load trace and reports mean
+// power and QoS statistics.
+type TraceSummary struct {
+	MeanPower    float64
+	MeanLoss     float64
+	MaxLoss      float64
+	PerfViolated int // time steps where target performance was missed
+}
+
+// EvaluateTrace evaluates a system over the instance-count trace.
+func (s *System) EvaluateTrace(trace []int) (TraceSummary, error) {
+	var sum TraceSummary
+	if len(trace) == 0 {
+		return sum, fmt.Errorf("cluster: empty trace")
+	}
+	for _, inst := range trace {
+		pt, err := s.Evaluate(inst)
+		if err != nil {
+			return sum, err
+		}
+		sum.MeanPower += pt.PowerWatts
+		sum.MeanLoss += pt.MeanLoss
+		if pt.MeanLoss > sum.MaxLoss {
+			sum.MaxLoss = pt.MeanLoss
+		}
+		if !pt.PerfOK {
+			sum.PerfViolated++
+		}
+	}
+	n := float64(len(trace))
+	sum.MeanPower /= n
+	sum.MeanLoss /= n
+	return sum, nil
+}

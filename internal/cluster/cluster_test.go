@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/calibrate"
+	"repro/internal/knobs"
+	"repro/internal/platform"
+)
+
+// parsecProfile mimics a PARSEC-like frontier: speedups up to 4.2 within
+// a 5% QoS cap (the paper's consolidation bound for the PARSEC apps).
+func parsecProfile() *calibrate.Profile {
+	p := &calibrate.Profile{
+		App:      "parsec-like",
+		Baseline: knobs.Setting{0},
+		QoSCap:   0.05,
+		Results: []calibrate.SettingResult{
+			{Setting: knobs.Setting{0}, Speedup: 1, Loss: 0, Pareto: true},
+			{Setting: knobs.Setting{1}, Speedup: 1.5, Loss: 0.004, Pareto: true},
+			{Setting: knobs.Setting{2}, Speedup: 2.2, Loss: 0.012, Pareto: true},
+			{Setting: knobs.Setting{3}, Speedup: 3.1, Loss: 0.027, Pareto: true},
+			{Setting: knobs.Setting{4}, Speedup: 4.2, Loss: 0.048, Pareto: true},
+		},
+	}
+	return p
+}
+
+func origSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := New(Config{Machines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func consolidated(t *testing.T) *System {
+	t.Helper()
+	s, err := Consolidate(Config{Machines: 4}, parsecProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConsolidateMachineCount(t *testing.T) {
+	c := consolidated(t)
+	if c.Machines() != 1 {
+		t.Fatalf("consolidated machines = %d, want 1 (paper: 4 -> 1)", c.Machines())
+	}
+	// swish++-like: speedup 1.5, 3 machines -> 2.
+	swish := &calibrate.Profile{
+		App: "swish-like", Baseline: knobs.Setting{100},
+		Results: []calibrate.SettingResult{
+			{Setting: knobs.Setting{100}, Speedup: 1, Loss: 0, Pareto: true},
+			{Setting: knobs.Setting{5}, Speedup: 1.5, Loss: 0.3, Pareto: true},
+		},
+	}
+	c2, err := Consolidate(Config{Machines: 3}, swish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Machines() != 2 {
+		t.Fatalf("swish consolidation = %d machines, want 2 (paper: 3 -> 2)", c2.Machines())
+	}
+}
+
+func TestEvaluateIdleAndPartialLoad(t *testing.T) {
+	s := origSystem(t)
+	pm := platform.DefaultPowerModel()
+	// Zero load: all four machines idle.
+	pt, err := s.Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pt.PowerWatts-4*pm.Idle) > 1e-9 {
+		t.Fatalf("idle power = %v, want %v", pt.PowerWatts, 4*pm.Idle)
+	}
+	if pt.MeanLoss != 0 || !pt.PerfOK {
+		t.Fatalf("idle point = %+v", pt)
+	}
+	// 8 instances over 4 machines: 2 per machine, util 0.25 each.
+	pt, err = s.Evaluate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * pm.Power(2.4, 0.25)
+	if math.Abs(pt.PowerWatts-want) > 1e-9 {
+		t.Fatalf("power at 8 instances = %v, want %v", pt.PowerWatts, want)
+	}
+}
+
+func TestOriginalSystemServesPeakAtBaselineQoS(t *testing.T) {
+	s := origSystem(t)
+	pt, err := s.Evaluate(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.PerfOK || pt.MeanLoss != 0 {
+		t.Fatalf("original at provisioned peak: %+v", pt)
+	}
+	// Beyond provisioning it cannot hold the target.
+	pt, _ = s.Evaluate(40)
+	if pt.PerfOK {
+		t.Fatal("overload should violate target performance")
+	}
+}
+
+func TestConsolidatedServesPeakWithinCap(t *testing.T) {
+	c := consolidated(t)
+	pt, err := c.Evaluate(32) // original peak on 1 machine: 4x speedup needed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.PerfOK {
+		t.Fatalf("consolidated system missed target at peak: %+v", pt)
+	}
+	if pt.MeanLoss <= 0 || pt.MeanLoss > 0.05 {
+		t.Fatalf("peak QoS loss = %v, want within the 5%% cap", pt.MeanLoss)
+	}
+	if pt.Speedup < 3.9 {
+		t.Fatalf("peak speedup = %v, want ~4", pt.Speedup)
+	}
+}
+
+func TestConsolidatedPowerSavings(t *testing.T) {
+	orig := origSystem(t)
+	cons := consolidated(t)
+	// The paper: at 25% utilization, ~400 W (about 2/3) savings; at
+	// 100%, ~75% savings with identical performance.
+	for _, c := range []struct {
+		util    float64
+		minFrac float64
+	}{
+		{0.25, 0.5},
+		{1.0, 0.6},
+	} {
+		inst := int(c.util * 32)
+		po, err := orig.Evaluate(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := cons.Evaluate(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := (po.PowerWatts - pc.PowerWatts) / po.PowerWatts
+		if frac < c.minFrac {
+			t.Errorf("util %v: savings fraction = %v, want >= %v (orig %v W, cons %v W)",
+				c.util, frac, c.minFrac, po.PowerWatts, pc.PowerWatts)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	orig := origSystem(t)
+	cons := consolidated(t)
+	po, err := orig.Sweep(32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := cons.Sweep(32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(po) != 11 || len(pc) != 11 {
+		t.Fatal("sweep lengths wrong")
+	}
+	// Original power rises monotonically with load; consolidated stays
+	// below it everywhere; consolidated loss is 0 until its baseline
+	// capacity (8 instances = ~25% of 32) is exceeded, then grows.
+	for i := range po {
+		if pc[i].PowerWatts >= po[i].PowerWatts {
+			t.Errorf("step %d: consolidated power %v >= original %v", i, pc[i].PowerWatts, po[i].PowerWatts)
+		}
+		if i > 0 && po[i].PowerWatts < po[i-1].PowerWatts-1e-9 {
+			t.Errorf("original power not monotone at step %d", i)
+		}
+	}
+	if pc[1].MeanLoss != 0 { // ~3 instances on 8 cores
+		t.Errorf("loss at low util = %v, want 0", pc[1].MeanLoss)
+	}
+	if pc[10].MeanLoss <= pc[5].MeanLoss {
+		t.Errorf("loss should grow with utilization: %v vs %v", pc[10].MeanLoss, pc[5].MeanLoss)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Machines: 0}); err == nil {
+		t.Error("0 machines accepted")
+	}
+	if _, err := New(Config{Machines: 1, CoresPerMachine: -2}); err == nil {
+		t.Error("negative cores accepted")
+	}
+	if _, err := Consolidate(Config{Machines: 4}, nil); err == nil {
+		t.Error("nil profile accepted for consolidation")
+	}
+	s := origSystem(t)
+	if _, err := s.Evaluate(-1); err == nil {
+		t.Error("negative instances accepted")
+	}
+	if _, err := s.Sweep(32, 1); err == nil {
+		t.Error("1-step sweep accepted")
+	}
+}
+
+func TestMaxInstances(t *testing.T) {
+	if got := origSystem(t).MaxInstances(); got != 32 {
+		t.Fatalf("original max instances = %d, want 32", got)
+	}
+	want := int(math.Floor(8 * 4.2))
+	if got := consolidated(t).MaxInstances(); got != want {
+		t.Fatalf("consolidated max instances = %d, want %d", got, want)
+	}
+}
+
+func TestLoadTraceShape(t *testing.T) {
+	trace := LoadTrace(32, 500, 7)
+	if len(trace) != 500 {
+		t.Fatal("trace length wrong")
+	}
+	spikes, low := 0, 0
+	for _, v := range trace {
+		if v < 0 || v > 32 {
+			t.Fatalf("trace value %d out of range", v)
+		}
+		if v == 32 {
+			spikes++
+		}
+		if v <= 16 {
+			low++
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("no spikes in trace")
+	}
+	if low < 350 {
+		t.Fatalf("trace not predominantly low-utilization: %d/500 low", low)
+	}
+	// Deterministic.
+	again := LoadTrace(32, 500, 7)
+	for i := range trace {
+		if trace[i] != again[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestEvaluateTrace(t *testing.T) {
+	trace := LoadTrace(32, 200, 3)
+	orig := origSystem(t)
+	cons := consolidated(t)
+	so, err := orig.EvaluateTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := cons.EvaluateTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.MeanPower >= so.MeanPower {
+		t.Fatalf("consolidated mean power %v >= original %v", sc.MeanPower, so.MeanPower)
+	}
+	if so.PerfViolated != 0 {
+		t.Fatal("original (provisioned) system should never violate performance")
+	}
+	if sc.PerfViolated != 0 {
+		t.Fatal("consolidated system should absorb spikes with knobs")
+	}
+	if sc.MaxLoss <= 0 || sc.MaxLoss > 0.05 {
+		t.Fatalf("consolidated max loss = %v, want within cap", sc.MaxLoss)
+	}
+	if _, err := orig.EvaluateTrace(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

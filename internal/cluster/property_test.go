@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/calibrate"
+	"repro/internal/knobs"
+)
+
+// randomProfile builds a random but well-formed Pareto frontier.
+func randomProfile(rng *rand.Rand) *calibrate.Profile {
+	p := &calibrate.Profile{
+		App:      "rand",
+		Baseline: knobs.Setting{0},
+		Results:  []calibrate.SettingResult{{Setting: knobs.Setting{0}, Speedup: 1, Loss: 0, Pareto: true}},
+	}
+	speedup, loss := 1.0, 0.0
+	n := 1 + rng.Intn(6)
+	for i := 1; i <= n; i++ {
+		speedup += 0.2 + rng.Float64()*2
+		loss += 0.002 + rng.Float64()*0.03
+		p.Results = append(p.Results, calibrate.SettingResult{
+			Setting: knobs.Setting{int64(i)}, Speedup: speedup, Loss: loss, Pareto: true,
+		})
+	}
+	return p
+}
+
+// Property: for any frontier and any load within the consolidated
+// system's knob capacity, (a) consolidated power never exceeds the
+// original system's, (b) QoS loss is zero while load fits baseline
+// capacity and bounded by the frontier's worst admitted loss otherwise,
+// (c) power is monotone in load for both systems.
+func TestConsolidationInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prof := randomProfile(rng)
+		nOrig := 2 + rng.Intn(5)
+		orig, err := New(Config{Machines: nOrig})
+		if err != nil {
+			return false
+		}
+		cons, err := Consolidate(Config{Machines: nOrig}, prof)
+		if err != nil {
+			return false
+		}
+		if cons.Machines() > orig.Machines() {
+			return false
+		}
+		maxLoss := 0.0
+		for _, r := range prof.Results {
+			if r.Pareto && r.Loss > maxLoss {
+				maxLoss = r.Loss
+			}
+		}
+		peak := orig.Capacity()
+		prevOrig, prevCons := -1.0, -1.0
+		for inst := 0; inst <= peak; inst += 1 + peak/7 {
+			po, err := orig.Evaluate(inst)
+			if err != nil {
+				return false
+			}
+			pc, err := cons.Evaluate(inst)
+			if err != nil {
+				return false
+			}
+			if pc.PowerWatts > po.PowerWatts+1e-9 {
+				return false
+			}
+			if po.PowerWatts < prevOrig-1e-9 || pc.PowerWatts < prevCons-1e-9 {
+				return false
+			}
+			prevOrig, prevCons = po.PowerWatts, pc.PowerWatts
+			if inst <= cons.Capacity() && pc.MeanLoss != 0 {
+				return false
+			}
+			if pc.MeanLoss > maxLoss+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the consolidated system holds target performance for any
+// load up to the original peak (that is the provisioning contract of
+// Eq. 21).
+func TestConsolidationServesPeakProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prof := randomProfile(rng)
+		nOrig := 2 + rng.Intn(5)
+		cons, err := Consolidate(Config{Machines: nOrig}, prof)
+		if err != nil {
+			return false
+		}
+		peak := nOrig * 8
+		pt, err := cons.Evaluate(peak)
+		if err != nil {
+			return false
+		}
+		return pt.PerfOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package control
+
+import "fmt"
+
+// BandController generalizes Controller to a target heart-rate *band*
+// [gmin, gmax], the interface the Heartbeats framework actually exposes
+// ("express a desired performance in terms of a target minimum and
+// maximum heart rate", Sec. 2.3.1). Inside the band the error is zero —
+// the knobs hold still, avoiding QoS churn; below the band it speeds up
+// toward gmin; above the band it slides back toward gmax (recovering QoS,
+// Sec. 1.1's "if the observed heart rate is higher than the target").
+// With gmin == gmax it degenerates to the paper's experimental
+// configuration and to Controller's law.
+type BandController struct {
+	b    float64
+	gmin float64
+	gmax float64
+	s    float64
+	smax float64
+}
+
+// NewBandController builds a band controller with baseline-speed
+// estimate b and achievable speedup bound smax.
+func NewBandController(b, gmin, gmax, smax float64) (*BandController, error) {
+	if b <= 0 || gmin <= 0 {
+		return nil, fmt.Errorf("control: b and gmin must be positive (b=%v gmin=%v)", b, gmin)
+	}
+	if gmax < gmin {
+		return nil, fmt.Errorf("control: gmax %v < gmin %v", gmax, gmin)
+	}
+	if smax < 1 {
+		return nil, fmt.Errorf("control: smax %v < 1", smax)
+	}
+	return &BandController{b: b, gmin: gmin, gmax: gmax, s: 1, smax: smax}, nil
+}
+
+// Update consumes the observed heart rate and returns the commanded
+// speedup, holding the current command while the rate is inside the
+// band.
+func (c *BandController) Update(h float64) float64 {
+	var e float64
+	switch {
+	case h < c.gmin:
+		e = c.gmin - h
+	case h > c.gmax:
+		e = c.gmax - h
+	default:
+		return c.s
+	}
+	c.s += e / c.b
+	if c.s < 1 {
+		c.s = 1
+	}
+	if c.s > c.smax {
+		c.s = c.smax
+	}
+	return c.s
+}
+
+// Speedup returns the current commanded speedup.
+func (c *BandController) Speedup() float64 { return c.s }
+
+// Band returns the target range.
+func (c *BandController) Band() (gmin, gmax float64) { return c.gmin, c.gmax }
+
+// Reset restores the initial state.
+func (c *BandController) Reset() { c.s = 1 }

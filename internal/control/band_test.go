@@ -1,0 +1,130 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandControllerValidation(t *testing.T) {
+	cases := []struct{ b, gmin, gmax, smax float64 }{
+		{0, 1, 2, 4},
+		{1, 0, 2, 4},
+		{1, 3, 2, 4},
+		{1, 1, 2, 0.5},
+	}
+	for _, c := range cases {
+		if _, err := NewBandController(c.b, c.gmin, c.gmax, c.smax); err == nil {
+			t.Errorf("invalid params %v accepted", c)
+		}
+	}
+	if _, err := NewBandController(10, 5, 5, 4); err != nil {
+		t.Errorf("degenerate band rejected: %v", err)
+	}
+}
+
+func TestBandControllerHoldsInsideBand(t *testing.T) {
+	c, _ := NewBandController(10, 9, 11, 4)
+	before := c.Speedup()
+	for _, h := range []float64{9, 10, 10.5, 11} {
+		if got := c.Update(h); got != before {
+			t.Fatalf("Update(%v) changed speedup %v -> %v inside band", h, before, got)
+		}
+	}
+}
+
+func TestBandControllerSpeedsUpBelowBand(t *testing.T) {
+	c, _ := NewBandController(10, 20, 22, 8)
+	h := 10.0 // below band
+	for i := 0; i < 50; i++ {
+		s := c.Update(h)
+		h = 10 * s
+	}
+	if h < 20-0.5 || h > 22+0.5 {
+		t.Fatalf("rate settled at %v, want inside [20, 22]", h)
+	}
+}
+
+func TestBandControllerRecoversQoSAboveBand(t *testing.T) {
+	c, _ := NewBandController(10, 9, 11, 8)
+	// Push the speedup up first (simulated slow phase).
+	for i := 0; i < 20; i++ {
+		c.Update(3)
+	}
+	if c.Speedup() <= 1 {
+		t.Fatal("setup failed: no speedup accumulated")
+	}
+	// Load disappears: rate shoots above the band, the controller must
+	// shed speedup (restoring QoS) until the rate re-enters the band.
+	h := 10 * c.Speedup()
+	for i := 0; i < 200; i++ {
+		s := c.Update(h)
+		h = 10 * s
+	}
+	if h > 11+0.5 {
+		t.Fatalf("rate stuck at %v above band (QoS not restored)", h)
+	}
+	gmin, gmax := c.Band()
+	if gmin != 9 || gmax != 11 {
+		t.Fatal("band accessor wrong")
+	}
+}
+
+func TestBandControllerReset(t *testing.T) {
+	c, _ := NewBandController(10, 50, 60, 8)
+	c.Update(1)
+	c.Reset()
+	if c.Speedup() != 1 {
+		t.Fatal("Reset did not restore s=1")
+	}
+}
+
+func TestBandDegeneratesToPointController(t *testing.T) {
+	// With gmin == gmax the band law must match Controller exactly on
+	// any trajectory that stays outside the (empty) interior.
+	point, _ := NewController(10, 25, 8)
+	band, _ := NewBandController(10, 25, 25, 8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		h := rng.Float64() * 50
+		if h == 25 {
+			continue
+		}
+		sp := point.Update(h)
+		sb := band.Update(h)
+		if math.Abs(sp-sb) > 1e-12 {
+			t.Fatalf("step %d h=%v: point %v vs band %v", i, h, sp, sb)
+		}
+	}
+}
+
+// Property: the commanded speedup always stays within [1, smax], and a
+// plant inside the band never sees a command change (no churn).
+func TestBandControllerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 1 + rng.Float64()*20
+		gmin := b * (0.5 + rng.Float64())
+		gmax := gmin * (1 + rng.Float64()*0.3)
+		c, err := NewBandController(b, gmin, gmax, 8)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			h := rng.Float64() * gmax * 2
+			prev := c.Speedup()
+			s := c.Update(h)
+			if s < 1 || s > 8 {
+				return false
+			}
+			if h >= gmin && h <= gmax && s != prev {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Failure injection: heart-rate measurements are noisy in real
+// deployments (the paper's Fig. 7 shows swish++ with "significant
+// noise"). The integral controller must keep the *time-average* rate on
+// target despite multiplicative measurement noise.
+func TestControllerUnderMeasurementNoise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 5 + rng.Float64()*20
+		g := b * (1.2 + rng.Float64()*1.5)
+		c, err := NewController(b, g, 8)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		n := 600
+		warm := 100
+		h := b
+		for i := 0; i < n; i++ {
+			noise := 1 + rng.NormFloat64()*0.10
+			if noise < 0.5 {
+				noise = 0.5
+			}
+			s := c.Update(h * noise)
+			h = b * s
+			if i >= warm {
+				sum += h
+			}
+		}
+		avg := sum / float64(n-warm)
+		return math.Abs(avg-g)/g < 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: a dropped measurement (h = 0 for a few beats, e.g.
+// the app stalled on I/O) must not destabilize the loop — anti-windup
+// bounds the speedup and the loop recovers once measurements return.
+func TestControllerRecoversFromStall(t *testing.T) {
+	b, g := 10.0, 20.0
+	c, _ := NewController(b, g, 8)
+	h := b
+	for i := 0; i < 50; i++ {
+		s := c.Update(h)
+		h = b * s
+	}
+	// Stall: controller sees zero rate.
+	for i := 0; i < 30; i++ {
+		c.Update(0)
+	}
+	if c.Speedup() != 8 {
+		t.Fatalf("speedup during stall = %v, want clamp at smax", c.Speedup())
+	}
+	// Recovery.
+	for i := 0; i < 100; i++ {
+		s := c.Update(h)
+		h = b * s
+	}
+	if math.Abs(h-g)/g > 0.02 {
+		t.Fatalf("rate after stall recovery = %v, want %v", h, g)
+	}
+}
+
+// Property: for any plan the actuator emits, a plant that executes it
+// faithfully achieves the demanded rate in expectation — closing the
+// loop between PlanFor and BuildSchedule over whole quanta.
+func TestScheduleRealizesPlanProperty(t *testing.T) {
+	a, _ := NewActuator(profile(), MinQoS)
+	f := func(raw float64) bool {
+		s := 1 + math.Mod(math.Abs(raw), 2.8)
+		plan := a.PlanFor(s)
+		sch := BuildSchedule(plan, 20)
+		// Simulate one quantum: each beat at speedup v takes 1/v time
+		// units; the realized average speedup is beats / total time.
+		var tTotal float64
+		for i := 0; i < 20; i++ {
+			set := sch.Setting(i)
+			var v float64
+			switch {
+			case set.Equal(plan.High.Setting):
+				v = plan.High.Speedup
+			case set.Equal(plan.Low.Setting):
+				v = plan.Low.Speedup
+			default:
+				return false
+			}
+			tTotal += 1 / v
+		}
+		realized := 20 / tTotal
+		// Discretization over 20 beats quantizes the mix; allow the
+		// one-beat granularity error.
+		return math.Abs(realized-s)/s < 0.12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

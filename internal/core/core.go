@@ -1,0 +1,132 @@
+// Package core is the PowerDial system itself (Fig. 1 of the paper): it
+// orchestrates dynamic knob identification (influence tracing across
+// setting combinations), dynamic knob insertion (recording control
+// variable values into the knob registry), dynamic knob calibration
+// (delegated to internal/calibrate), and the runtime control loop that
+// monitors Application Heartbeats and actuates the knobs to hold a target
+// heart rate while minimizing QoS loss (Sec. 2.3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/calibrate"
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/workload"
+)
+
+// Identify runs dynamic knob identification (Sec. 2.1): for every setting
+// combination it executes the application's instrumented initialization
+// under the influence tracer, applies the complete/pure/relevant/constant
+// checks, verifies cross-setting consistency, and — when the application
+// is Bindable — registers the control variables and records their
+// per-setting values in a fresh knob registry.
+//
+// It returns the registry (nil if the app is not Bindable), the control
+// variable report of the first setting, and an error if any check fails
+// ("If the application fails any of these checks, PowerDial rejects the
+// transformation").
+func Identify(app workload.Traceable, settings []knobs.Setting) (*knobs.Registry, influence.Report, error) {
+	if len(settings) == 0 {
+		return nil, influence.Report{}, fmt.Errorf("core: no settings to identify for %s", app.Name())
+	}
+	reports := make([]influence.Report, 0, len(settings))
+	for _, s := range settings {
+		tr := influence.NewTracer()
+		app.TraceInit(tr, s)
+		rep := tr.Analyze()
+		if rep.Rejected() {
+			return nil, rep, fmt.Errorf("core: %s setting %s: %v", app.Name(), s.Key(), rep.Err())
+		}
+		reports = append(reports, rep)
+	}
+	if err := influence.CheckConsistency(reports); err != nil {
+		return nil, reports[0], err
+	}
+
+	bindable, ok := app.(workload.Bindable)
+	if !ok {
+		return nil, reports[0], nil
+	}
+	reg := knobs.NewRegistry()
+	if err := bindable.RegisterVars(reg); err != nil {
+		return nil, reports[0], err
+	}
+	// The registered variables must be exactly the traced control
+	// variables (names must match for Record to succeed).
+	for i, s := range settings {
+		vals := make(map[string]knobs.Value)
+		for name, v := range reports[i].Values() {
+			vals[name] = knobs.Value(v)
+		}
+		if err := reg.Record(s, vals); err != nil {
+			return nil, reports[i], fmt.Errorf("core: recording %s setting %s: %v", app.Name(), s.Key(), err)
+		}
+	}
+	return reg, reports[0], nil
+}
+
+// System is a fully prepared PowerDial deployment for one application:
+// identified knobs, recorded control-variable values, and a calibrated
+// training profile.
+type System struct {
+	App      workload.App
+	Registry *knobs.Registry // nil when the app is not Bindable
+	Profile  *calibrate.Profile
+	Report   influence.Report
+	Settings []knobs.Setting
+}
+
+// PrepareOptions configures Prepare.
+type PrepareOptions struct {
+	// Settings restricts the sweep and identification (default: the
+	// full setting space).
+	Settings []knobs.Setting
+	// QoSCap bounds acceptable QoS loss during calibration.
+	QoSCap float64
+}
+
+// Prepare runs the full PowerDial offline pipeline on an application:
+// dynamic knob identification (when supported) followed by calibration on
+// the training inputs.
+func Prepare(app workload.App, opts PrepareOptions) (*System, error) {
+	space, err := workload.Space(app)
+	if err != nil {
+		return nil, err
+	}
+	settings := opts.Settings
+	if settings == nil {
+		settings = space.All()
+	}
+	sys := &System{App: app, Settings: settings}
+	if traceable, ok := app.(workload.Traceable); ok {
+		reg, rep, err := Identify(traceable, settings)
+		if err != nil {
+			return nil, err
+		}
+		sys.Registry = reg
+		sys.Report = rep
+	}
+	prof, err := calibrate.Run(app, calibrate.Options{
+		Set:      workload.Training,
+		Settings: settings,
+		QoSCap:   opts.QoSCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Profile = prof
+	return sys, nil
+}
+
+// ApplySetting moves the application to the given knob setting through
+// the recorded control-variable values when a registry is present (the
+// paper's mechanism), falling back to direct derivation otherwise.
+func (s *System) ApplySetting(set knobs.Setting) error {
+	if s.Registry != nil {
+		return s.Registry.Apply(set)
+	}
+	s.App.Apply(set)
+	return nil
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/apps/swaptions"
+	"repro/internal/clock"
+	"repro/internal/control"
+	"repro/internal/heartbeats"
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func testApp() *swaptions.App {
+	return swaptions.New(swaptions.Options{TrainingSwaptions: 6, ProductionSwaptions: 6, Seed: 13})
+}
+
+func testSettings(app workload.App) []knobs.Setting {
+	space, _ := workload.Space(app)
+	return space.Coarse(8)
+}
+
+func prepared(t *testing.T) *System {
+	t.Helper()
+	app := testApp()
+	sys, err := Prepare(app, PrepareOptions{Settings: testSettings(app)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testMachine(t *testing.T) *platform.Machine {
+	t.Helper()
+	m, err := platform.NewMachine(platform.Config{Clock: clock.NewVirtual(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIdentifyRecordsAllSettings(t *testing.T) {
+	app := testApp()
+	settings := testSettings(app)
+	reg, rep, err := Identify(app, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == nil {
+		t.Fatal("registry should be built for a Bindable app")
+	}
+	if got := len(reg.Recorded()); got != len(settings) {
+		t.Fatalf("recorded %d settings, want %d", got, len(settings))
+	}
+	if names := rep.VarNames(); len(names) != 1 || names[0] != "nTrials" {
+		t.Fatalf("control variables = %v", names)
+	}
+	// Applying through the registry moves the live application.
+	if err := reg.Apply(settings[0]); err != nil {
+		t.Fatal(err)
+	}
+	if app.Trials() != settings[0][0] {
+		t.Fatalf("app trials = %d, want %d", app.Trials(), settings[0][0])
+	}
+}
+
+func TestIdentifyEmptySettings(t *testing.T) {
+	if _, _, err := Identify(testApp(), nil); err == nil {
+		t.Error("want error for no settings")
+	}
+}
+
+// rejectingApp violates the constant check: its init writes a control
+// variable after the first heartbeat.
+type rejectingApp struct{ *swaptions.App }
+
+func (r *rejectingApp) TraceInit(tr *influence.Tracer, s knobs.Setting) {
+	sm := tr.Param("sm", float64(s[0]))
+	tr.Store("nTrials", "init", sm)
+	tr.FirstHeartbeat()
+	_ = tr.Load("nTrials", "loop")
+	tr.Store("nTrials", "loop:write", influence.Const(1)) // illegal write
+}
+
+func TestIdentifyRejectsViolation(t *testing.T) {
+	app := &rejectingApp{testApp()}
+	_, rep, err := Identify(app, []knobs.Setting{{200}})
+	if err == nil {
+		t.Fatal("constant-check violation not rejected")
+	}
+	if !rep.Rejected() {
+		t.Fatal("report should carry the rejection")
+	}
+}
+
+func TestPrepareBuildsSystem(t *testing.T) {
+	sys := prepared(t)
+	if sys.Registry == nil || sys.Profile == nil {
+		t.Fatal("system incomplete")
+	}
+	if sys.Profile.App != "swaptions" {
+		t.Fatalf("profile app = %s", sys.Profile.App)
+	}
+	if sys.Profile.MaxSpeedup() < 50 {
+		t.Fatalf("max speedup = %v, want ~100", sys.Profile.MaxSpeedup())
+	}
+	// ApplySetting goes through the registry.
+	fast := sys.Profile.FastestSetting()
+	if err := sys.ApplySetting(fast.Setting); err != nil {
+		t.Fatal(err)
+	}
+	if sys.App.(*swaptions.App).Trials() != fast.Setting[0] {
+		t.Fatal("ApplySetting did not reach the application")
+	}
+}
+
+func TestBaselineCostPerBeat(t *testing.T) {
+	app := testApp()
+	c, err := BaselineCostPerBeat(app, workload.Training)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Fatalf("cost per beat = %v", c)
+	}
+}
+
+// productionTarget measures the baseline heart rate on the production
+// inputs at the machine's current (full) frequency, removing the
+// train/production input-cost skew from target-tracking assertions.
+func productionTarget(t *testing.T, sys *System, mach *platform.Machine) heartbeats.Target {
+	t.Helper()
+	c, err := BaselineCostPerBeat(sys.App, workload.Production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mach.Speed() / c
+	return heartbeats.Target{Min: b, Max: b}
+}
+
+func TestRuntimeHoldsTargetAtFullSpeed(t *testing.T) {
+	sys := prepared(t)
+	mach := testMachine(t)
+	rt, err := NewRuntime(RuntimeConfig{System: sys, Machine: mach, Target: productionTarget(t, sys, mach)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.App.Streams(workload.Production)[0]
+	sum, err := rt.RunStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Beats != st.Len() {
+		t.Fatalf("beats = %d, want %d", sum.Beats, st.Len())
+	}
+	// At full frequency and baseline configuration the app runs at
+	// target: no speedup needed.
+	if sum.PerfError > 0.10 {
+		t.Fatalf("perf error at full speed = %v, want <= 10%%", sum.PerfError)
+	}
+	if rt.Gain() > 1.5 {
+		t.Fatalf("gain at full speed = %v, want ~1", rt.Gain())
+	}
+}
+
+func TestRuntimeCompensatesPowerCap(t *testing.T) {
+	sys := prepared(t)
+	mach := testMachine(t)
+	rt, err := NewRuntime(RuntimeConfig{System: sys, Machine: mach, Record: true, Target: productionTarget(t, sys, mach)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impose the cap before the run: the controller must raise the knob
+	// gain to ~2.4/1.6 = 1.5 to hold the target rate.
+	mach.ImposePowerCap()
+	// Run several streams back-to-back so the controller has quanta to
+	// converge (streams are short).
+	var last RunSummary
+	for i := 0; i < 6; i++ {
+		for _, st := range sys.App.Streams(workload.Production) {
+			s, err := rt.RunStream(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = s
+		}
+	}
+	if math.Abs(rt.Gain()-1.5) > 0.3 {
+		t.Fatalf("knob gain under cap = %v, want ~1.5", rt.Gain())
+	}
+	if last.PerfError > 0.12 {
+		t.Fatalf("perf error under cap = %v, want near target", last.PerfError)
+	}
+	if rt.CurrentPlanLoss() <= 0 {
+		t.Fatal("plan loss should be positive when trading QoS for speed")
+	}
+	if len(rt.Trace()) == 0 {
+		t.Fatal("trace recording enabled but empty")
+	}
+}
+
+func TestRuntimeDisabledDoesNotAdapt(t *testing.T) {
+	sys := prepared(t)
+	mach := testMachine(t)
+	rt, err := NewRuntime(RuntimeConfig{System: sys, Machine: mach, Disabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.ImposePowerCap()
+	st := sys.App.Streams(workload.Production)[0]
+	sum, err := rt.RunStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without dynamic knobs the rate drops by the frequency ratio:
+	// perf error ~ 1 - 1.6/2.4 = 1/3.
+	if sum.PerfError < 0.2 {
+		t.Fatalf("disabled runtime should miss target under cap: err=%v", sum.PerfError)
+	}
+	if rt.Gain() != 1 {
+		t.Fatalf("disabled gain = %v, want 1", rt.Gain())
+	}
+}
+
+func TestRuntimeRaceToIdlePolicyIdles(t *testing.T) {
+	sys := prepared(t)
+	mach := testMachine(t)
+	rt, err := NewRuntime(RuntimeConfig{System: sys, Machine: mach, Policy: control.RaceToIdle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for _, st := range sys.App.Streams(workload.Production) {
+			if _, err := rt.RunStream(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Race-to-idle at full frequency: the app runs at max speedup and
+	// idles most of the time.
+	if u := mach.Utilization(); u > 0.5 {
+		t.Fatalf("utilization under race-to-idle = %v, want well below 1", u)
+	}
+}
+
+func TestRuntimeConfigValidation(t *testing.T) {
+	if _, err := NewRuntime(RuntimeConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestRuntimeTargetWithinFivePercentAcrossStates(t *testing.T) {
+	// The Sec. 5.3 check: "we verify that, for all power states,
+	// PowerDial delivers performance within 5% of the target."
+	sys := prepared(t)
+	for state := 0; state < len(platform.Frequencies); state += 3 {
+		mach := testMachine(t)
+		rt, err := NewRuntime(RuntimeConfig{System: sys, Machine: mach, Target: productionTarget(t, sys, mach)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mach.SetState(state); err != nil {
+			t.Fatal(err)
+		}
+		var sum RunSummary
+		for i := 0; i < 6; i++ {
+			for _, st := range sys.App.Streams(workload.Production) {
+				sum, err = rt.RunStream(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if sum.PerfError > 0.08 {
+			t.Errorf("state %d (%.2f GHz): perf error %v, want small", state, platform.Frequencies[state], sum.PerfError)
+		}
+	}
+}

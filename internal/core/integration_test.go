@@ -1,0 +1,243 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/apps/bodytrack"
+	"repro/internal/apps/swishpp"
+	"repro/internal/apps/x264"
+	"repro/internal/clock"
+	"repro/internal/heartbeats"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// integrationApps builds small instances of the three remaining
+// benchmarks (swaptions is covered in core_test.go) with coarse sweep
+// grids.
+func integrationApps(t *testing.T) map[string]workload.App {
+	t.Helper()
+	xa, err := x264.New(x264.Options{
+		TrainingVideos: 1, ProductionVideos: 1,
+		Video: x264.VideoOptions{W: 64, H: 32, Frames: 6}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]workload.App{
+		"x264":      xa,
+		"bodytrack": bodytrack.New(bodytrack.Options{TrainingFrames: 10, ProductionFrames: 12, Seed: 7}),
+		"swish++":   swishpp.New(swishpp.Options{Docs: 600, Vocabulary: 4000, Queries: 10, Seed: 7}),
+	}
+}
+
+// TestFullPipelineAllApps runs identification, calibration, and a
+// power-capped controlled execution for every application, with knob
+// actuation flowing through the registry's recorded values (the paper's
+// mechanism), not direct derivation.
+func TestFullPipelineAllApps(t *testing.T) {
+	for name, app := range integrationApps(t) {
+		t.Run(name, func(t *testing.T) {
+			space, err := workload.Space(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			settings := space.Coarse(3)
+			sys, err := Prepare(app, PrepareOptions{Settings: settings})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sys.Registry == nil {
+				t.Fatal("registry missing: identification did not bind")
+			}
+			if len(sys.Report.ControlVars) == 0 {
+				t.Fatal("no control variables identified")
+			}
+			if sys.Profile.MaxSpeedup() <= 1 {
+				t.Fatalf("max speedup = %v, knob space is degenerate", sys.Profile.MaxSpeedup())
+			}
+
+			mach, err := platform.NewMachine(platform.Config{Clock: clock.NewVirtual(time.Unix(0, 0))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			costPerBeat, err := BaselineCostPerBeat(app, workload.Production)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goal := mach.Speed() / costPerBeat
+			rt, err := NewRuntime(RuntimeConfig{
+				System:  sys,
+				Machine: mach,
+				Target:  heartbeats.Target{Min: goal, Max: goal},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach.ImposePowerCap()
+			// Enough passes for the controller to converge on short
+			// streams.
+			var last RunSummary
+			for pass := 0; pass < 8; pass++ {
+				for _, st := range app.Streams(workload.Production) {
+					last, err = rt.RunStream(st)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			needed := 2.4 / 1.6
+			if max := sys.Profile.MaxSpeedup(); max < needed {
+				t.Skipf("knob space max speedup %v below cap compensation %v", max, needed)
+			}
+			if rt.Gain() < 1.15 {
+				t.Errorf("knob gain under cap = %v, want well above 1", rt.Gain())
+			}
+			if last.PerfError > 0.30 {
+				t.Errorf("perf error under cap = %v, want convergence toward target", last.PerfError)
+			}
+			if last.Beats == 0 || last.MeanPower <= 0 {
+				t.Errorf("summary incomplete: %+v", last)
+			}
+		})
+	}
+}
+
+// TestRegistryActuationMatchesDirectApply verifies that moving an
+// application through recorded control-variable values is equivalent to
+// deriving the configuration directly — the core soundness property of
+// dynamic knob insertion.
+func TestRegistryActuationMatchesDirectApply(t *testing.T) {
+	for name, app := range integrationApps(t) {
+		t.Run(name, func(t *testing.T) {
+			traceable, ok := app.(workload.Traceable)
+			if !ok {
+				t.Fatal("app not traceable")
+			}
+			space, err := workload.Space(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			settings := space.Coarse(3)
+			reg, _, err := Identify(traceable, settings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := app.Streams(workload.Training)[0]
+			for _, s := range settings {
+				// Direct derivation.
+				costDirect, outDirect := workload.MeasureStream(app, st, s)
+				// Registry path: recorded values poked into the app.
+				if err := reg.Apply(s); err != nil {
+					t.Fatal(err)
+				}
+				run := st.NewRun()
+				costReg, _ := workload.RunToEnd(run)
+				outReg := run.Output()
+				if costDirect != costReg {
+					t.Fatalf("setting %v: direct cost %v != registry cost %v", s, costDirect, costReg)
+				}
+				if !reflect.DeepEqual(outDirect, outReg) {
+					t.Fatalf("setting %v: outputs differ between actuation paths", s)
+				}
+			}
+		})
+	}
+}
+
+// TestRuntimeCompensatesInterference verifies the paper's general claim
+// (Sec. 7): PowerDial responds to "any event that changes the balance
+// between the computational demand and the resources available" — here a
+// co-located load stealing 40% of the machine, not a DVFS change.
+func TestRuntimeCompensatesInterference(t *testing.T) {
+	apps := integrationApps(t)
+	app := apps["swish++"]
+	space, _ := workload.Space(app)
+	sys, err := Prepare(app, PrepareOptions{Settings: space.All()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := platform.NewMachine(platform.Config{Clock: clock.NewVirtual(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costPerBeat, err := BaselineCostPerBeat(app, workload.Production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := mach.Speed() / costPerBeat
+	rt, err := NewRuntime(RuntimeConfig{
+		System:  sys,
+		Machine: mach,
+		Target:  heartbeats.Target{Min: goal, Max: goal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A neighbour tenant arrives, consuming 40% of the machine. The
+	// knob space must cover 1/(1-0.4) = 1.67x, which swish++'s ~1.9x
+	// max speedup does.
+	mach.SetInterference(0.4)
+	var last RunSummary
+	for pass := 0; pass < 10; pass++ {
+		for _, st := range app.Streams(workload.Production) {
+			last, err = rt.RunStream(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if rt.Gain() < 1.4 {
+		t.Fatalf("knob gain under interference = %v, want ~1.67", rt.Gain())
+	}
+	if last.PerfError > 0.15 {
+		t.Fatalf("perf error under interference = %v, want convergence", last.PerfError)
+	}
+}
+
+// TestBandTargetRuntime exercises a non-degenerate heart-rate band: the
+// runtime should leave the knobs alone while the rate stays within the
+// band.
+func TestBandTargetRuntime(t *testing.T) {
+	apps := integrationApps(t)
+	app := apps["bodytrack"]
+	space, _ := workload.Space(app)
+	sys, err := Prepare(app, PrepareOptions{Settings: space.Coarse(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := platform.NewMachine(platform.Config{Clock: clock.NewVirtual(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costPerBeat, err := BaselineCostPerBeat(app, workload.Production)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := mach.Speed() / costPerBeat
+	// A generous band around the natural rate: no actuation expected.
+	rt, err := NewRuntime(RuntimeConfig{
+		System:  sys,
+		Machine: mach,
+		Target:  heartbeats.Target{Min: goal * 0.7, Max: goal * 1.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 4; pass++ {
+		for _, st := range app.Streams(workload.Production) {
+			if _, err := rt.RunStream(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if rt.Gain() != 1 {
+		t.Fatalf("gain = %v inside band, want 1 (no actuation)", rt.Gain())
+	}
+	bt := app.(*bodytrack.App)
+	if bt.Particles() != int(space.Default()[0]) {
+		t.Fatalf("knobs moved inside band: particles = %d", bt.Particles())
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/calibrate"
+	"repro/internal/control"
+	"repro/internal/heartbeats"
+	"repro/internal/knobs"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// TracePoint is one runtime observation, recorded per heartbeat — the
+// data behind Fig. 7's timelines.
+type TracePoint struct {
+	Time time.Time
+	// NormPerf is the sliding-window heart rate normalized to the
+	// target (1.0 = on target).
+	NormPerf float64
+	// Gain is the knob gain: the actuator plan's expected speedup.
+	Gain float64
+	// Setting is the knob setting used for the beat.
+	Setting knobs.Setting
+	// Frequency is the machine frequency during the beat (GHz).
+	Frequency float64
+}
+
+// RuntimeConfig assembles a runtime.
+type RuntimeConfig struct {
+	System  *System           // prepared PowerDial system (required)
+	Machine *platform.Machine // execution platform (required)
+	// Target is the heart-rate goal. Zero means "measure": the target
+	// is set to the baseline heart rate at the machine's current
+	// frequency, the paper's configuration (Sec. 2.3.1).
+	Target heartbeats.Target
+	// Policy selects the actuation solution (default MinQoS).
+	Policy control.Policy
+	// QuantumBeats is the actuator quantum (default 20).
+	QuantumBeats int
+	// Record enables per-beat trace collection.
+	Record bool
+	// Disabled turns the control system off: the application runs at
+	// the baseline setting regardless of feedback (the "without dynamic
+	// knobs" lines of Fig. 7).
+	Disabled bool
+	// BeatHook, when set, is invoked after every completed iteration
+	// with the total beat count. Experiments use it to impose and lift
+	// power caps mid-run (Sec. 5.4).
+	BeatHook func(completedBeats int)
+}
+
+// Runtime executes application streams on a simulated machine under
+// PowerDial control.
+type Runtime struct {
+	sys     *System
+	mach    *platform.Machine
+	mon     *heartbeats.Monitor
+	ctl     *control.BandController
+	act     *control.Actuator
+	sch     control.Schedule
+	quantum int
+	record  bool
+	off     bool
+
+	baseline knobs.Setting
+	current  knobs.Setting
+	beats    int
+	trace    []TracePoint
+	hook     func(int)
+}
+
+// BaselineCostPerBeat measures the mean work units per iteration of the
+// application at its baseline setting over the given input set — the
+// quantity from which baseline heart rate b is derived (b = machine
+// speed / cost per beat).
+func BaselineCostPerBeat(app workload.App, set workload.InputSet) (float64, error) {
+	space, err := workload.Space(app)
+	if err != nil {
+		return 0, err
+	}
+	streams := app.Streams(set)
+	if len(streams) == 0 {
+		return 0, fmt.Errorf("core: %s has no %s streams", app.Name(), set)
+	}
+	var total float64
+	var n int
+	for _, st := range streams {
+		cost, _ := workload.MeasureStream(app, st, space.Default())
+		total += cost
+		n += st.Len()
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("core: %s %s streams are empty", app.Name(), set)
+	}
+	return total / float64(n), nil
+}
+
+// NewRuntime builds the per-application control runtime. When
+// cfg.Target is zero, the baseline heart rate is measured on the
+// training inputs at the machine's current frequency and used as both
+// minimum and maximum target, as in the paper's experiments.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if cfg.System == nil || cfg.Machine == nil {
+		return nil, fmt.Errorf("core: RuntimeConfig requires System and Machine")
+	}
+	if cfg.QuantumBeats == 0 {
+		cfg.QuantumBeats = control.DefaultQuantumBeats
+	}
+	costPerBeat, err := BaselineCostPerBeat(cfg.System.App, workload.Training)
+	if err != nil {
+		return nil, err
+	}
+	b := cfg.Machine.Speed() / costPerBeat
+	target := cfg.Target
+	if !target.Valid() {
+		target = heartbeats.Target{Min: b, Max: b}
+	}
+	mon, err := heartbeats.NewMonitor(target,
+		heartbeats.WithClock(cfg.Machine.Clock()),
+		heartbeats.WithWindow(cfg.QuantumBeats))
+	if err != nil {
+		return nil, err
+	}
+	// The band controller honors the Heartbeats min/max interface and
+	// degenerates to the paper's point controller when Min == Max (the
+	// experimental configuration).
+	ctl, err := control.NewBandController(b, target.Min, target.Max, cfg.System.Profile.MaxSpeedup())
+	if err != nil {
+		return nil, err
+	}
+	act, err := control.NewActuator(cfg.System.Profile, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	space, err := workload.Space(cfg.System.App)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		sys:      cfg.System,
+		mach:     cfg.Machine,
+		mon:      mon,
+		ctl:      ctl,
+		act:      act,
+		quantum:  cfg.QuantumBeats,
+		record:   cfg.Record,
+		off:      cfg.Disabled,
+		baseline: space.Default(),
+		hook:     cfg.BeatHook,
+	}
+	rt.sch = control.BuildSchedule(act.PlanFor(1), cfg.QuantumBeats)
+	return rt, nil
+}
+
+// Monitor exposes the heartbeat monitor (for tests and experiments).
+func (rt *Runtime) Monitor() *heartbeats.Monitor { return rt.mon }
+
+// Trace returns the recorded per-beat observations.
+func (rt *Runtime) Trace() []TracePoint { return rt.trace }
+
+// Gain returns the current plan's expected speedup (Fig. 7's knob gain).
+func (rt *Runtime) Gain() float64 {
+	if rt.off {
+		return 1
+	}
+	return rt.sch.Plan().ExpectedSpeedup()
+}
+
+// RunSummary reports one controlled stream execution.
+type RunSummary struct {
+	Output    workload.Output
+	Beats     int
+	Elapsed   time.Duration
+	MeanPower float64
+	// PerfError is |mean rate − target| / target over the run.
+	PerfError float64
+}
+
+// RunStream drives one input stream to completion under control,
+// returning its output and summary. The caller may change machine power
+// states concurrently with the run (between beats) to model power caps.
+func (rt *Runtime) RunStream(st workload.Stream) (RunSummary, error) {
+	run := st.NewRun()
+	start := rt.mach.Clock().Now()
+	startBeats := rt.beats
+	rt.mach.Meter().Reset()
+	for {
+		setting := rt.settingForBeat()
+		if err := rt.applySetting(setting); err != nil {
+			return RunSummary{}, err
+		}
+		cost, ok := run.Step()
+		if !ok {
+			// No heartbeat for the loop exit: beats mark completed
+			// iterations, so chaining streams never injects
+			// zero-interval beats.
+			break
+		}
+		d := rt.mach.Execute(cost)
+		if ratio := rt.sch.IdleRatio(); ratio > 0 && !rt.off {
+			rt.mach.Idle(time.Duration(float64(d) * ratio))
+		}
+		rt.beats++
+		rt.beat()
+		if rt.hook != nil {
+			rt.hook(rt.beats)
+		}
+		if rt.record {
+			rt.trace = append(rt.trace, TracePoint{
+				Time:      rt.mach.Clock().Now(),
+				NormPerf:  rt.mon.NormalizedPerformance(),
+				Gain:      rt.Gain(),
+				Setting:   setting.Clone(),
+				Frequency: rt.mach.Frequency(),
+			})
+		}
+	}
+	elapsed := rt.mach.Clock().Now().Sub(start)
+	nbeats := rt.beats - startBeats
+	sum := RunSummary{
+		Output:    run.Output(),
+		Beats:     nbeats,
+		Elapsed:   elapsed,
+		MeanPower: rt.mach.Meter().MeanPower(),
+	}
+	if elapsed > 0 && nbeats > 0 {
+		rate := float64(nbeats) / elapsed.Seconds()
+		g := rt.mon.Target().Goal()
+		err := (rate - g) / g
+		if err < 0 {
+			err = -err
+		}
+		sum.PerfError = err
+	}
+	return sum, nil
+}
+
+// beat emits the heartbeat for the completed iteration and, at quantum
+// boundaries, runs the controller and actuator to produce the next plan.
+func (rt *Runtime) beat() {
+	rt.mon.Beat()
+	if rt.off {
+		return
+	}
+	if rt.beats%rt.quantum != 0 {
+		return
+	}
+	h := rt.mon.WindowRate()
+	if h <= 0 {
+		return
+	}
+	s := rt.ctl.Update(h)
+	rt.sch = control.BuildSchedule(rt.act.PlanFor(s), rt.quantum)
+}
+
+// settingForBeat picks the knob setting for the current beat from the
+// quantum schedule.
+func (rt *Runtime) settingForBeat() knobs.Setting {
+	if rt.off {
+		return rt.baseline
+	}
+	return rt.sch.Setting(rt.beats % rt.quantum)
+}
+
+// applySetting installs the setting if it differs from the current one.
+func (rt *Runtime) applySetting(s knobs.Setting) error {
+	if rt.current != nil && rt.current.Equal(s) {
+		return nil
+	}
+	if err := rt.sys.ApplySetting(s); err != nil {
+		return err
+	}
+	rt.current = s.Clone()
+	return nil
+}
+
+// CurrentPlanLoss returns the expected QoS loss of the active plan.
+func (rt *Runtime) CurrentPlanLoss() float64 {
+	if rt.off {
+		return 0
+	}
+	return rt.sch.Plan().ExpectedLoss()
+}
+
+// ProfileResult looks up the calibrated record of a setting.
+func (rt *Runtime) ProfileResult(s knobs.Setting) (calibrate.SettingResult, bool) {
+	return rt.sys.Profile.Lookup(s)
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	powerdial "repro"
+)
+
+// sharedSuite caches preparations across tests in this package.
+var sharedSuite = NewSuite(powerdial.ScaleSmall)
+
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(&buf, sharedSuite, id); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestIDsIncludeEveryExperiment(t *testing.T) {
+	ids := IDs()
+	want := []string{"all", "table1", "table2", "report", "fig5", "fig6", "fig7", "fig8", "models", "ablations"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for _, w := range want {
+		found := false
+		for _, id := range ids {
+			found = found || id == w
+		}
+		if !found {
+			t.Errorf("missing id %q", w)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := Run(&bytes.Buffer{}, sharedSuite, "fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTable1ListsAllBenchmarks(t *testing.T) {
+	out := runExp(t, "table1")
+	for _, name := range powerdial.BenchmarkNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("table1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2CorrelationsNearOne(t *testing.T) {
+	out := runExp(t, "table2")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	rows := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "|") || strings.Contains(l, "Benchmark") {
+			continue
+		}
+		rows++
+		fields := strings.Split(l, "|")
+		if len(fields) < 3 {
+			t.Fatalf("malformed row %q", l)
+		}
+		var speedupR float64
+		if _, err := scan(fields[1], &speedupR); err != nil {
+			t.Fatalf("row %q: %v", l, err)
+		}
+		if speedupR < 0.95 {
+			t.Errorf("speedup correlation %v below the paper's ~1 pattern in %q", speedupR, l)
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("table2 rows = %d, want 4:\n%s", rows, out)
+	}
+}
+
+func scan(s string, out *float64) (int, error) {
+	return fmt.Sscan(strings.TrimSpace(s), out)
+}
+
+func TestReportShowsControlVariables(t *testing.T) {
+	out := runExp(t, "report")
+	for _, v := range []string{"nTrials", "searchRange", "nParticles", "maxResults", "betaSchedule"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("report missing control variable %s", v)
+		}
+	}
+	if strings.Contains(out, "REJECTED") {
+		t.Error("a benchmark's control variables were rejected")
+	}
+}
+
+func TestFig5ShowsParetoSettings(t *testing.T) {
+	out := runExp(t, "fig5")
+	for _, name := range powerdial.BenchmarkNames() {
+		if !strings.Contains(out, "Fig. 5 ("+name+")") {
+			t.Errorf("fig5 missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "P@10") || !strings.Contains(out, "P@100") {
+		t.Error("fig5 missing the swish++ P@10/P@100 series")
+	}
+}
+
+func TestFig8ConsolidationCounts(t *testing.T) {
+	out := runExp(t, "fig8")
+	if !strings.Contains(out, "(swaptions): consolidation 4 -> 1") {
+		t.Errorf("swaptions should consolidate 4 -> 1:\n%s", firstLines(out, 3))
+	}
+	if !strings.Contains(out, "(swish++): consolidation 3 -> 2") {
+		t.Error("swish++ should consolidate 3 -> 2")
+	}
+	if strings.Contains(out, "MISS") {
+		t.Error("a consolidated system missed target performance")
+	}
+}
+
+func TestModelsOutput(t *testing.T) {
+	out := runExp(t, "models")
+	for _, want := range []string{"Eq. 12", "Eqs. 20-24", "DVFS savings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("models output missing %q", want)
+		}
+	}
+}
+
+func TestFig6PowerAnchorsAndTargetTracking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime experiment; skipped in -short")
+	}
+	out := runExp(t, "fig6")
+	if !strings.Contains(out, "210.0") {
+		t.Error("fig6 missing the 2.4 GHz full-load power anchor (~210 W)")
+	}
+	if !strings.Contains(out, "165.0") {
+		t.Error("fig6 missing the 1.6 GHz full-load power anchor (~165 W)")
+	}
+}
+
+func TestFig7TimelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime experiment; skipped in -short")
+	}
+	out := runExp(t, "fig7")
+	// The no-knobs run must sit near 1.6/2.4 = 0.667 during the cap
+	// while dynamic knobs recover toward 1.0.
+	if !strings.Contains(out, "Fig. 7 (swaptions)") {
+		t.Fatal("fig7 missing swaptions")
+	}
+	if !strings.Contains(out, "0.66") && !strings.Contains(out, "0.67") {
+		t.Error("fig7 missing the uncompensated 2/3-performance plateau")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime experiment; skipped in -short")
+	}
+	out := runExp(t, "ablations")
+	for _, want := range []string{"min-qos", "race-to-idle", "quantum", "pareto"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("ablations missing %q section", want)
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

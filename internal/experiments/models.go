@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	powerdial "repro"
+	"repro/internal/model"
+)
+
+// Models evaluates the Sec. 3 analytical models with the platform's
+// calibrated constants and each application's calibrated speedup
+// (Eqs. 12–24; the paper's Figs. 3 and 4 illustrate these quantities).
+func Models(w io.Writer, s *Suite) error {
+	pm := powerdial.DefaultPowerModel()
+	params := model.DVFSParams{
+		PNoDVFS: pm.Power(2.4, 1),
+		PDVFS:   pm.Power(1.6, 1),
+		PIdle:   pm.Idle,
+		T1:      10,
+		TDelay:  5,
+	}
+	header(w, "Sec. 3 models: DVFS energy accounting (Eqs. 12-19)")
+	fmt.Fprintf(w, "platform: Pnodvfs=%.1fW Pdvfs=%.1fW Pidle=%.1fW t1=%.0fs tdelay=%.0fs\n",
+		params.PNoDVFS, params.PDVFS, params.PIdle, params.T1, params.TDelay)
+	fmt.Fprintf(w, "plain race-to-idle energy (Eq. 12 lhs): %.1f J\n", params.EnergyNoDVFS())
+	fmt.Fprintf(w, "plain DVFS energy        (Eq. 12 rhs): %.1f J\n", params.EnergyDVFS())
+	fmt.Fprintf(w, "DVFS savings             (Eq. 12):     %.1f J\n", params.DVFSSavings())
+	fmt.Fprintf(w, "CPU-bound stretch t2 (2.4->1.6 GHz):    %.2f s for t1=%.0fs\n",
+		model.T2FromFrequencies(params.T1, 2.4, 1.6), params.T1)
+
+	fmt.Fprintf(w, "\n%-10s | %8s | %10s | %10s | %12s\n", "Benchmark", "S(QoS)", "E1 (4a) J", "E2 (4b) J", "savings J")
+	for _, name := range powerdial.BenchmarkNames() {
+		sys, err := s.System(name)
+		if err != nil {
+			return err
+		}
+		sMax := sys.Profile.WithCap(consolidationCap(name)).MaxSpeedup()
+		e1, e2, _, err := params.ElasticEnergy(sMax)
+		if err != nil {
+			return err
+		}
+		sav, err := params.ElasticSavings(sMax)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s | %8.2f | %10.1f | %10.1f | %12.1f\n", name, sMax, e1, e2, sav)
+	}
+
+	header(w, "Sec. 3 models: consolidation (Eqs. 20-24)")
+	fmt.Fprintf(w, "%-10s | %6s | %6s | %10s | %10s | %10s\n", "Benchmark", "Norig", "Nnew", "Porig W", "Pnew W", "saved W")
+	for _, name := range powerdial.BenchmarkNames() {
+		sys, err := s.System(name)
+		if err != nil {
+			return err
+		}
+		sMax := sys.Profile.WithCap(consolidationCap(name)).MaxSpeedup()
+		if name == "swish++" {
+			sMax = sys.Profile.MaxSpeedup() // see Fig8 note
+		}
+		nOrig := origMachines(name)
+		nNew, err := model.MachinesNeeded(nOrig, sMax)
+		if err != nil {
+			return err
+		}
+		pOrig, pNew, saved, err := model.ConsolidationPower(nOrig, nNew, 0.25, pm.Power(2.4, 1), pm.Idle)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s | %6d | %6d | %10.1f | %10.1f | %10.1f\n", name, nOrig, nNew, pOrig, pNew, saved)
+	}
+	return nil
+}

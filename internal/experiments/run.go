@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(io.Writer, *Suite) error
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: input summary", Table1},
+		{"table2", "Table 2: training vs production correlation", Table2},
+		{"report", "Sec. 2.1 control-variable reports", ControlVariableReports},
+		{"fig5", "Fig. 5: speedup vs QoS loss trade-off spaces", Fig5},
+		{"fig6", "Fig. 6: power vs QoS across DVFS states", Fig6},
+		{"fig7", "Fig. 7: power-cap response timelines", Fig7},
+		{"fig8", "Fig. 8: server consolidation sweeps", Fig8},
+		{"models", "Sec. 3 analytical models", Models},
+		{"ablations", "design-choice ablations", Ablations},
+	}
+}
+
+// IDs lists the registered experiment ids plus "all".
+func IDs() []string {
+	ids := []string{"all"}
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id ("all" runs every one in order).
+func Run(w io.Writer, s *Suite, id string) error {
+	if id == "all" {
+		for _, e := range All() {
+			if err := e.Run(w, s); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run(w, s)
+		}
+	}
+	return fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}

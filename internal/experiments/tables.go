@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	powerdial "repro"
+)
+
+// Table1 prints the training/production input summary (the paper's
+// Table 1), with the realized input sizes at the suite's scale.
+func Table1(w io.Writer, s *Suite) error {
+	header(w, "Table 1: training and production inputs ("+s.Scale.String()+" scale)")
+	fmt.Fprintf(w, "%-10s | %-28s | %-28s | %s\n", "Benchmark", "Training Inputs", "Production Inputs", "Source")
+	sources := map[string]string{
+		"swaptions": "randomly generated swaptions (PARSEC-style)",
+		"x264":      "synthetic moving scenes (PARSEC/xiph-style)",
+		"bodytrack": "synthetic articulated-body sequences",
+		"swish++":   "synthetic Zipf corpus + power-law queries",
+	}
+	describe := func(app powerdial.App, set powerdial.InputSet) string {
+		streams := app.Streams(set)
+		items := 0
+		for _, st := range streams {
+			items += st.Len()
+		}
+		unit := map[string]string{
+			"swaptions": "swaptions",
+			"x264":      "frames",
+			"bodytrack": "frames",
+			"swish++":   "queries",
+		}[app.Name()]
+		return fmt.Sprintf("%d streams, %d %s", len(streams), items, unit)
+	}
+	for _, name := range powerdial.BenchmarkNames() {
+		app, err := s.App(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s | %-28s | %-28s | %s\n",
+			name, describe(app, powerdial.Training), describe(app, powerdial.Production), sources[name])
+	}
+	return nil
+}
+
+// Table2 prints the correlation coefficients of training-versus-
+// production behaviour per metric (the paper's Table 2; paper values:
+// x264 0.995/0.975, bodytrack 0.999/0.839, swaptions 1.000/0.999,
+// swish++ 0.996/0.999).
+func Table2(w io.Writer, s *Suite) error {
+	header(w, "Table 2: correlation of training vs production behaviour")
+	fmt.Fprintf(w, "%-10s | %8s | %8s | %s\n", "Benchmark", "Speedup", "QoS Loss", "settings")
+	for _, name := range powerdial.BenchmarkNames() {
+		sys, err := s.System(name)
+		if err != nil {
+			return err
+		}
+		prod, err := s.ProductionProfile(name)
+		if err != nil {
+			return err
+		}
+		c, err := powerdial.Correlate(sys.Profile, prod)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s | %8.3f | %8.3f | %d\n", name, c.Speedup, c.Loss, c.N)
+	}
+	return nil
+}
+
+// ControlVariableReports prints the Sec. 2.1 control-variable report for
+// every benchmark (the developer-facing validity artifact).
+func ControlVariableReports(w io.Writer, s *Suite) error {
+	header(w, "control variable reports (Sec. 2.1)")
+	for _, name := range powerdial.BenchmarkNames() {
+		sys, err := s.System(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n--- %s ---\n%s", name, sys.Report.String())
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package heartbeats
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// LoopProfile accumulates per-loop execution cost during a profiling run.
+// PowerDial "profiles each application to find the most time-consuming
+// loop (in all of our applications this is the main control loop), then
+// inserts a heartbeat call at the top of this loop" (Sec. 2.3.1). Our
+// applications expose their loops through this profiler; SelectLoop picks
+// the insertion point.
+type LoopProfile struct {
+	mu    sync.Mutex
+	total map[string]float64
+	iters map[string]uint64
+}
+
+// NewLoopProfile returns an empty profile.
+func NewLoopProfile() *LoopProfile {
+	return &LoopProfile{
+		total: make(map[string]float64),
+		iters: make(map[string]uint64),
+	}
+}
+
+// RecordIteration charges cost units of work to one iteration of the named
+// loop.
+func (p *LoopProfile) RecordIteration(loop string, cost float64) {
+	p.mu.Lock()
+	p.total[loop] += cost
+	p.iters[loop]++
+	p.mu.Unlock()
+}
+
+// TotalCost returns the accumulated cost of the named loop.
+func (p *LoopProfile) TotalCost(loop string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total[loop]
+}
+
+// Iterations returns the iteration count of the named loop.
+func (p *LoopProfile) Iterations(loop string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.iters[loop]
+}
+
+// Loops returns the profiled loop names, most expensive first; ties break
+// lexicographically for determinism.
+func (p *LoopProfile) Loops() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.total))
+	for n := range p.total {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.total[names[i]] != p.total[names[j]] {
+			return p.total[names[i]] > p.total[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// ErrNoLoops is returned by SelectLoop on an empty profile.
+var ErrNoLoops = errors.New("heartbeats: no loops profiled")
+
+// SelectLoop returns the name of the most time-consuming loop — the
+// heartbeat insertion point.
+func (p *LoopProfile) SelectLoop() (string, error) {
+	loops := p.Loops()
+	if len(loops) == 0 {
+		return "", ErrNoLoops
+	}
+	return loops[0], nil
+}
+
+// Instrumented wraps a Monitor with the loop name chosen by profiling so
+// the application's instrumented build can emit beats only from the
+// selected loop.
+type Instrumented struct {
+	Loop    string
+	Monitor *Monitor
+}
+
+// AutoInsert selects the hottest loop from the profile and returns an
+// Instrumented handle that beats m only for that loop.
+func AutoInsert(p *LoopProfile, m *Monitor) (*Instrumented, error) {
+	loop, err := p.SelectLoop()
+	if err != nil {
+		return nil, err
+	}
+	return &Instrumented{Loop: loop, Monitor: m}, nil
+}
+
+// IterationStart should be called at the top of every profiled loop in the
+// instrumented build; it emits a heartbeat only when the loop is the
+// selected insertion point.
+func (ins *Instrumented) IterationStart(loop string) {
+	if loop == ins.Loop {
+		ins.Monitor.Beat()
+	}
+}

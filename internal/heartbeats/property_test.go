@@ -1,0 +1,92 @@
+package heartbeats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Property: for any sequence of positive beat intervals, WindowRate
+// equals the count of windowed intervals divided by their sum, and
+// GlobalRate equals (beats-1)/total-elapsed.
+func TestRateDefinitionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		window := 1 + rng.Intn(30)
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		m, err := NewMonitor(Target{Min: 1, Max: 1}, WithClock(clk), WithWindow(window))
+		if err != nil {
+			return false
+		}
+		n := 2 + rng.Intn(60)
+		intervals := make([]float64, 0, n)
+		m.Beat()
+		for i := 1; i < n; i++ {
+			dt := 0.001 + rng.Float64()
+			clk.AdvanceSeconds(dt)
+			m.Beat()
+			intervals = append(intervals, dt)
+		}
+		// Reference window rate.
+		w := window
+		if len(intervals) < w {
+			w = len(intervals)
+		}
+		var sum float64
+		for _, dt := range intervals[len(intervals)-w:] {
+			sum += dt
+		}
+		wantWindow := float64(w) / sum
+		var total float64
+		for _, dt := range intervals {
+			total += dt
+		}
+		wantGlobal := float64(n-1) / total
+		// The virtual clock quantizes to nanoseconds.
+		if math.Abs(m.WindowRate()-wantWindow)/wantWindow > 1e-6 {
+			return false
+		}
+		return math.Abs(m.GlobalRate()-wantGlobal)/wantGlobal < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NormalizedPerformance is WindowRate/goal and the
+// below/above-target predicates partition correctly around the band.
+func TestTargetPredicatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		goal := 1 + rng.Float64()*50
+		clk := clock.NewVirtual(time.Unix(0, 0))
+		m, err := NewMonitor(Target{Min: goal, Max: goal}, WithClock(clk), WithWindow(8))
+		if err != nil {
+			return false
+		}
+		dt := 0.001 + rng.Float64()
+		for i := 0; i < 12; i++ {
+			m.Beat()
+			clk.AdvanceSeconds(dt)
+		}
+		rate := m.WindowRate()
+		if math.Abs(m.NormalizedPerformance()-rate/goal) > 1e-9 {
+			return false
+		}
+		switch {
+		case rate < goal:
+			return m.BelowTarget() && !m.AboveTarget()
+		case rate > goal:
+			return m.AboveTarget() && !m.BelowTarget()
+		default:
+			return !m.AboveTarget() && !m.BelowTarget()
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

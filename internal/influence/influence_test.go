@@ -1,0 +1,307 @@
+package influence
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// simulateInit mimics an application startup that derives control
+// variables from parameters, then a main loop that reads them.
+func simulateInit(t *Tracer, sm float64) Report {
+	// Startup: nTrials = sm * 2; threshold = 1/sm; debug = extern.
+	smv := t.Param("sm", sm)
+	t.Store("nTrials", "init.go:10", Mul(smv, Const(2)))
+	t.Store("threshold", "init.go:11", Div(Const(1), smv))
+	t.Store("unused", "init.go:12", Add(smv, Const(5)))
+	t.Store("plain", "init.go:13", Const(42)) // not influenced at all
+	t.FirstHeartbeat()
+	// Main loop: reads nTrials and threshold each iteration.
+	for i := 0; i < 3; i++ {
+		_ = t.Load("nTrials", "loop.go:20")
+		_ = t.Load("threshold", "loop.go:21")
+		_ = t.Load("plain", "loop.go:22")
+	}
+	return t.Analyze()
+}
+
+func TestControlVariableIdentification(t *testing.T) {
+	tr := NewTracer()
+	rep := simulateInit(tr, 1000)
+	if rep.Rejected() {
+		t.Fatalf("unexpected rejection: %v", rep.Err())
+	}
+	names := rep.VarNames()
+	if len(names) != 2 || names[0] != "nTrials" || names[1] != "threshold" {
+		t.Fatalf("control variables = %v, want [nTrials threshold]", names)
+	}
+	vals := rep.Values()
+	if vals["nTrials"][0] != 2000 {
+		t.Errorf("nTrials value = %v, want 2000", vals["nTrials"])
+	}
+	if math.Abs(vals["threshold"][0]-0.001) > 1e-12 {
+		t.Errorf("threshold value = %v, want 0.001", vals["threshold"])
+	}
+	// "unused" is filtered by relevance, not rejected.
+	if len(rep.Filtered) != 1 || rep.Filtered[0].Name != "unused" {
+		t.Errorf("filtered = %+v, want [unused]", rep.Filtered)
+	}
+	// "plain" is not a candidate at all.
+	for _, v := range append(rep.ControlVars, rep.Filtered...) {
+		if v.Name == "plain" {
+			t.Error("uninfluenced variable appeared in report")
+		}
+	}
+}
+
+func TestPureCheckRejectsExternalInfluence(t *testing.T) {
+	tr := NewTracer()
+	sm := tr.Param("sm", 100)
+	other := tr.Extern("verbosity", 3)
+	tr.Store("mixed", "init.go:1", Add(sm, other))
+	tr.FirstHeartbeat()
+	_ = tr.Load("mixed", "loop.go:1")
+	rep := tr.Analyze()
+	if !rep.Rejected() {
+		t.Fatal("mixed-influence variable should be rejected")
+	}
+	if !strings.Contains(rep.Rejections[0].Reason, "pure check") {
+		t.Errorf("reason = %q, want pure check failure", rep.Rejections[0].Reason)
+	}
+	if rep.Err() == nil {
+		t.Error("Err() should be non-nil for rejected report")
+	}
+}
+
+func TestConstantCheckRejectsPostBeatWrite(t *testing.T) {
+	tr := NewTracer()
+	sm := tr.Param("sm", 100)
+	tr.Store("n", "init.go:1", sm)
+	tr.FirstHeartbeat()
+	_ = tr.Load("n", "loop.go:1")
+	tr.Store("n", "loop.go:2", Const(7)) // main loop writes the variable
+	rep := tr.Analyze()
+	if !rep.Rejected() {
+		t.Fatal("post-heartbeat write should be rejected")
+	}
+	if !strings.Contains(rep.Rejections[0].Reason, "constant check") {
+		t.Errorf("reason = %q, want constant check failure", rep.Rejections[0].Reason)
+	}
+}
+
+func TestAnalyzeWithoutHeartbeat(t *testing.T) {
+	tr := NewTracer()
+	tr.Store("x", "s", tr.Param("p", 1))
+	rep := tr.Analyze()
+	if !rep.Rejected() {
+		t.Fatal("analysis without heartbeat must be rejected")
+	}
+}
+
+func TestVectorControlVariable(t *testing.T) {
+	tr := NewTracer()
+	p := tr.Param("layers", 5)
+	vec := []Val{p, Mul(p, Const(2)), Mul(p, Const(3))}
+	tr.StoreVec("schedule", "init.go:1", vec)
+	tr.FirstHeartbeat()
+	_ = tr.LoadVec("schedule", "loop.go:1")
+	rep := tr.Analyze()
+	if rep.Rejected() {
+		t.Fatal(rep.Err())
+	}
+	got := rep.Values()["schedule"]
+	want := []float64{5, 10, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInfluencePropagationOps(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Param("a", 2)
+	b := tr.Param("b", 3)
+	c := Const(10)
+	cases := []struct {
+		v    Val
+		want float64
+	}{
+		{Add(a, b), 5},
+		{Sub(b, a), 1},
+		{Mul(a, b), 6},
+		{Div(b, a), 1.5},
+		{Min(a, b), 2},
+		{Max(a, b), 3},
+	}
+	for i, cse := range cases {
+		if cse.v.F != cse.want {
+			t.Errorf("case %d: value = %v, want %v", i, cse.v.F, cse.want)
+		}
+		if cse.v.Set != a.Set.Union(b.Set) {
+			t.Errorf("case %d: influence set not unioned", i)
+		}
+	}
+	if got := Add(a, c); got.Set != a.Set {
+		t.Error("constant operand should not add influence")
+	}
+	sq := Apply(a, func(x float64) float64 { return x * x })
+	if sq.F != 4 || sq.Set != a.Set {
+		t.Error("Apply should preserve influence")
+	}
+	if !Const(1).Set.Empty() {
+		t.Error("Const should be uninfluenced")
+	}
+	if a.Int() != 2 {
+		t.Error("Int conversion")
+	}
+}
+
+func TestConsistencyAcrossSettings(t *testing.T) {
+	var reports []Report
+	for _, sm := range []float64{100, 1000, 10000} {
+		tr := NewTracer()
+		reports = append(reports, simulateInit(tr, sm))
+	}
+	if err := CheckConsistency(reports); err != nil {
+		t.Fatalf("consistent traces flagged: %v", err)
+	}
+	// A divergent trace (extra control variable) must fail.
+	tr := NewTracer()
+	sm := tr.Param("sm", 5)
+	tr.Store("nTrials", "init.go:10", sm)
+	tr.Store("threshold", "init.go:11", sm)
+	tr.Store("extra", "init.go:12", sm)
+	tr.FirstHeartbeat()
+	_ = tr.Load("nTrials", "l")
+	_ = tr.Load("threshold", "l")
+	_ = tr.Load("extra", "l")
+	reports = append(reports, tr.Analyze())
+	if err := CheckConsistency(reports); err == nil {
+		t.Fatal("divergent control-variable sets not caught")
+	}
+}
+
+func TestCheckConsistencyEmpty(t *testing.T) {
+	if err := CheckConsistency(nil); err == nil {
+		t.Error("empty report list should error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	tr := NewTracer()
+	rep := simulateInit(tr, 100)
+	s := rep.String()
+	for _, want := range []string{"control variable report", "nTrials", "threshold", "init.go:10", "loop.go:20", "filtered", "unused"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLoadReturnsTaggedValue(t *testing.T) {
+	tr := NewTracer()
+	sm := tr.Param("sm", 7)
+	tr.Store("n", "init", Mul(sm, Const(3)))
+	v := tr.Load("n", "init2")
+	if v.F != 21 || v.Set != sm.Set {
+		t.Fatalf("Load = %+v, want value 21 with sm influence", v)
+	}
+	// Storing a value derived from a load propagates influence.
+	tr.Store("m", "init3", Add(v, Const(1)))
+	tr.FirstHeartbeat()
+	_ = tr.Load("m", "loop")
+	_ = tr.Load("n", "loop")
+	rep := tr.Analyze()
+	names := rep.VarNames()
+	if len(names) != 2 {
+		t.Fatalf("control vars = %v, want [m n]", names)
+	}
+}
+
+// Property: influence-set union is commutative, associative, idempotent —
+// the lattice the instrumentor's dataflow relies on.
+func TestInfluenceSetLattice(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := Set(a), Set(b), Set(c)
+		if x.Union(y) != y.Union(x) {
+			return false
+		}
+		if x.Union(y.Union(z)) != x.Union(y).Union(z) {
+			return false
+		}
+		return x.Union(x) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any pipeline of tagged ops starting only from specified
+// parameters yields values whose influences are a subset of those
+// parameters (purity preserved by construction).
+func TestPropagationSubsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracer()
+		params := []Val{tr.Param("p0", 1), tr.Param("p1", 2), tr.Param("p2", 3)}
+		mask := params[0].Set | params[1].Set | params[2].Set
+		v := params[rng.Intn(3)]
+		for i := 0; i < 20; i++ {
+			o := params[rng.Intn(3)]
+			switch rng.Intn(4) {
+			case 0:
+				v = Add(v, o)
+			case 1:
+				v = Mul(v, Const(rng.Float64()))
+			case 2:
+				v = Min(v, o)
+			case 3:
+				v = Apply(v, math.Abs)
+			}
+		}
+		return v.Set&^mask == 0 && !v.Set.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagImprecisionSurfacesWarning(t *testing.T) {
+	tr := NewTracer()
+	sm := tr.Param("sm", 100)
+	tr.Store("table", "init.go:5", sm)
+	// The derivation indexes an array with a parameter-derived value —
+	// the analysis cannot follow that, so the instrumentor flags it.
+	tr.FlagImprecision("table", "init.go:6", "array-index influence")
+	tr.FirstHeartbeat()
+	_ = tr.Load("table", "loop.go:9")
+	rep := tr.Analyze()
+	if rep.Rejected() {
+		t.Fatal(rep.Err())
+	}
+	if len(rep.ControlVars) != 1 {
+		t.Fatalf("control vars = %v", rep.VarNames())
+	}
+	warns := rep.ControlVars[0].Warnings
+	if len(warns) != 1 || !strings.Contains(warns[0], "array-index") {
+		t.Fatalf("warnings = %v", warns)
+	}
+	if !strings.Contains(rep.String(), "WARNING: untraced array-index influence") {
+		t.Fatalf("report does not render the warning:\n%s", rep.String())
+	}
+}
+
+func TestTooManyParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic past 64 sources")
+		}
+	}()
+	tr := NewTracer()
+	for i := 0; i < 70; i++ {
+		tr.Param(string(rune('a'+i%26))+string(rune('0'+i/26)), 1)
+	}
+}

@@ -1,0 +1,183 @@
+package influence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VarReport describes one candidate control variable in the control
+// variable report (Sec. 2.1): the variable, the configuration parameters
+// from which its value is derived, and the statement sites that access it.
+type VarReport struct {
+	Name       string
+	Parameters []string // influencing specified parameters
+	Sites      []string // statement sites accessing the variable
+	Value      []float64
+	Valid      bool
+	Reason     string // why the variable was filtered or rejected (empty when valid)
+	// Warnings lists constructs the dynamic analysis cannot trace
+	// through (indirect control flow, array indexing) that a developer
+	// should verify manually.
+	Warnings []string
+}
+
+// Report is the result of analyzing one instrumented execution.
+type Report struct {
+	// ControlVars are the valid control variables, sorted by name.
+	ControlVars []VarReport
+	// Filtered are candidates excluded by the relevance check (not read
+	// after the first heartbeat) — excluded, but not grounds for
+	// rejection.
+	Filtered []VarReport
+	// Rejections are violations of the pure or constant conditions. Any
+	// rejection means the transformation must be refused.
+	Rejections []VarReport
+}
+
+// Rejected reports whether the trace violates the paper's conditions.
+func (r Report) Rejected() bool { return len(r.Rejections) > 0 }
+
+// Err returns an error describing the first rejection, or nil.
+func (r Report) Err() error {
+	if !r.Rejected() {
+		return nil
+	}
+	v := r.Rejections[0]
+	return fmt.Errorf("influence: control-variable check failed for %q: %s", v.Name, v.Reason)
+}
+
+// Values returns the recorded value of every valid control variable,
+// keyed by name — the data the knob registry stores per setting.
+func (r Report) Values() map[string][]float64 {
+	out := make(map[string][]float64, len(r.ControlVars))
+	for _, v := range r.ControlVars {
+		val := make([]float64, len(v.Value))
+		copy(val, v.Value)
+		out[v.Name] = val
+	}
+	return out
+}
+
+// VarNames returns the names of the valid control variables, sorted.
+func (r Report) VarNames() []string {
+	names := make([]string, len(r.ControlVars))
+	for i, v := range r.ControlVars {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// String renders the human-readable control variable report the paper
+// describes ("This report lists the control variables, the corresponding
+// configuration parameters from which their values are derived, and the
+// statements in the application that access them").
+func (r Report) String() string {
+	var b strings.Builder
+	b.WriteString("control variable report\n")
+	b.WriteString("=======================\n")
+	section := func(title string, vars []VarReport) {
+		if len(vars) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s:\n", title)
+		for _, v := range vars {
+			fmt.Fprintf(&b, "  %-24s params=%v value=%v\n", v.Name, v.Parameters, v.Value)
+			sites := make([]string, len(v.Sites))
+			copy(sites, v.Sites)
+			sort.Strings(sites)
+			for _, s := range sites {
+				fmt.Fprintf(&b, "    site %s\n", s)
+			}
+			if v.Reason != "" {
+				fmt.Fprintf(&b, "    reason: %s\n", v.Reason)
+			}
+			for _, warn := range v.Warnings {
+				fmt.Fprintf(&b, "    WARNING: untraced %s (verify manually)\n", warn)
+			}
+		}
+	}
+	section("control variables", r.ControlVars)
+	section("filtered (not relevant)", r.Filtered)
+	section("REJECTED", r.Rejections)
+	return b.String()
+}
+
+// Analyze applies the complete/pure, relevance, and constant checks to the
+// trace and produces the control variable report.
+func (t *Tracer) Analyze() Report {
+	if !t.beaten {
+		// Without a heartbeat boundary every variable looks irrelevant;
+		// treat as an analysis usage error surfaced via rejection.
+		return Report{Rejections: []VarReport{{
+			Name:   "<trace>",
+			Reason: "no heartbeat observed: cannot establish startup/main-loop boundary",
+		}}}
+	}
+	var rep Report
+	specMask := t.specifiedMask()
+	names := make([]string, 0, len(t.vars))
+	for n := range t.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := t.vars[n]
+		if st.influences&specMask == 0 {
+			// Not influenced by any specified parameter: not a candidate.
+			continue
+		}
+		vr := VarReport{
+			Name:       n,
+			Parameters: t.paramNames(st.influences & specMask),
+			Value:      append([]float64(nil), st.value...),
+			Warnings:   append([]string(nil), st.warnings...),
+		}
+		for s := range st.sites {
+			vr.Sites = append(vr.Sites, s)
+		}
+		sort.Strings(vr.Sites)
+		switch {
+		case st.influences&^specMask != 0:
+			// Pure check: influenced by sources outside the specified set.
+			extra := t.paramNames(st.influences &^ specMask)
+			vr.Reason = fmt.Sprintf("pure check failed: also influenced by %v", extra)
+			rep.Rejections = append(rep.Rejections, vr)
+		case st.writesAfter > 0:
+			// Constant check.
+			vr.Reason = fmt.Sprintf("constant check failed: written %d time(s) after first heartbeat", st.writesAfter)
+			rep.Rejections = append(rep.Rejections, vr)
+		case st.readsAfter == 0:
+			// Relevance check: filtered, not rejected.
+			vr.Reason = "relevance check: not read after first heartbeat"
+			rep.Filtered = append(rep.Filtered, vr)
+		default:
+			vr.Valid = true
+			rep.ControlVars = append(rep.ControlVars, vr)
+		}
+	}
+	return rep
+}
+
+// CheckConsistency verifies the paper's final condition: different
+// combinations of parameter settings must all produce the same set of
+// control variables. It returns an error naming the first divergence.
+func CheckConsistency(reports []Report) error {
+	if len(reports) == 0 {
+		return fmt.Errorf("influence: no reports to check")
+	}
+	ref := reports[0].VarNames()
+	for i, r := range reports[1:] {
+		got := r.VarNames()
+		if len(got) != len(ref) {
+			return fmt.Errorf("influence: consistency check failed: setting 0 has %d control variables %v, setting %d has %d %v",
+				len(ref), ref, i+1, len(got), got)
+		}
+		for j := range ref {
+			if got[j] != ref[j] {
+				return fmt.Errorf("influence: consistency check failed: setting 0 variable %q vs setting %d variable %q", ref[j], i+1, got[j])
+			}
+		}
+	}
+	return nil
+}

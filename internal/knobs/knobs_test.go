@@ -1,0 +1,290 @@
+package knobs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func specs3() []Spec {
+	return []Spec{
+		{Name: "subme", Values: Range(1, 7, 1), Default: 7},
+		{Name: "merange", Values: []int64{1, 2, 4, 8, 16}, Default: 16},
+		{Name: "ref", Values: Range(1, 5, 1), Default: 5},
+	}
+}
+
+func TestRange(t *testing.T) {
+	got := Range(10000, 50000, 10000)
+	want := []int64{10000, 20000, 30000, 40000, 50000}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	for _, c := range []struct{ lo, hi, step int64 }{{5, 1, 1}, {1, 5, 0}, {1, 5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Range(%d,%d,%d) did not panic", c.lo, c.hi, c.step)
+				}
+			}()
+			Range(c.lo, c.hi, c.step)
+		}()
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Name: "k", Values: []int64{1, 2}, Default: 2}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{Name: "", Values: []int64{1}, Default: 1}).Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (Spec{Name: "k", Default: 1}).Validate(); err == nil {
+		t.Error("empty values accepted")
+	}
+	if err := (Spec{Name: "k", Values: []int64{1, 2}, Default: 3}).Validate(); err == nil {
+		t.Error("default outside values accepted")
+	}
+}
+
+func TestSettingKeyRoundTrip(t *testing.T) {
+	s := Setting{7, 16, 5}
+	key := s.Key()
+	if key != "7,16,5" {
+		t.Errorf("Key = %q", key)
+	}
+	back, err := ParseSetting(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Errorf("round trip = %v, want %v", back, s)
+	}
+}
+
+func TestParseSettingErrors(t *testing.T) {
+	if _, err := ParseSetting(""); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := ParseSetting("1,x,3"); err == nil {
+		t.Error("malformed key accepted")
+	}
+}
+
+func TestSettingEqualClone(t *testing.T) {
+	s := Setting{1, 2}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c[0] = 9
+	if s[0] == 9 {
+		t.Error("clone aliases original")
+	}
+	if s.Equal(Setting{1}) || s.Equal(Setting{1, 3}) {
+		t.Error("Equal false positives")
+	}
+}
+
+func TestSpaceSizeAndAll(t *testing.T) {
+	sp, err := NewSpace(specs3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Size(); got != 7*5*5 {
+		t.Fatalf("Size = %d, want 175", got)
+	}
+	all := sp.All()
+	if len(all) != sp.Size() {
+		t.Fatalf("All returned %d settings, want %d", len(all), sp.Size())
+	}
+	seen := make(map[string]bool, len(all))
+	for _, s := range all {
+		if seen[s.Key()] {
+			t.Fatalf("duplicate setting %v", s)
+		}
+		seen[s.Key()] = true
+		if !sp.Contains(s) {
+			t.Fatalf("enumerated setting %v not contained in space", s)
+		}
+	}
+}
+
+func TestSpaceDefault(t *testing.T) {
+	sp, _ := NewSpace(specs3())
+	d := sp.Default()
+	if !d.Equal(Setting{7, 16, 5}) {
+		t.Errorf("Default = %v", d)
+	}
+	if Describe(sp.Specs, d) != "subme=7 merange=16 ref=5" {
+		t.Errorf("Describe = %q", Describe(sp.Specs, d))
+	}
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(nil); err == nil {
+		t.Error("empty specs accepted")
+	}
+	dup := []Spec{
+		{Name: "k", Values: []int64{1}, Default: 1},
+		{Name: "k", Values: []int64{2}, Default: 2},
+	}
+	if _, err := NewSpace(dup); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestCoarseKeepsEndpointsAndDefault(t *testing.T) {
+	sp, _ := NewSpace([]Spec{
+		{Name: "sm", Values: Range(200, 20000, 200), Default: 20000},
+	})
+	coarse := Space{Specs: []Spec{{Name: "sm", Values: Range(200, 20000, 200), Default: 20000}}}.Coarse(8)
+	if len(coarse) > 9 { // 8 requested (+1 slack if default wasn't on the lattice)
+		t.Fatalf("Coarse produced %d settings, want <= 9", len(coarse))
+	}
+	hasLo, hasHi, hasDef := false, false, false
+	for _, s := range coarse {
+		switch s[0] {
+		case 200:
+			hasLo = true
+		case 20000:
+			hasHi = true
+		}
+		if s[0] == sp.Default()[0] {
+			hasDef = true
+		}
+	}
+	if !hasLo || !hasHi || !hasDef {
+		t.Errorf("Coarse missing endpoints/default: %v", coarse)
+	}
+}
+
+func TestCoarseSmallSpaceUnchanged(t *testing.T) {
+	sp, _ := NewSpace(specs3())
+	coarse := sp.Coarse(20)
+	if len(coarse) != sp.Size() {
+		t.Errorf("coarse of small space = %d settings, want %d", len(coarse), sp.Size())
+	}
+}
+
+// Property: Coarse always yields valid, duplicate-free settings contained
+// in the original space, including the default.
+func TestCoarseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i * 3)
+		}
+		def := vals[rng.Intn(n)]
+		sp, err := NewSpace([]Spec{{Name: "k", Values: vals, Default: def}})
+		if err != nil {
+			return false
+		}
+		max := 2 + rng.Intn(10)
+		coarse := sp.Coarse(max)
+		if len(coarse) > max+1 {
+			return false
+		}
+		seen := map[string]bool{}
+		foundDef := false
+		for _, s := range coarse {
+			if seen[s.Key()] || !sp.Contains(s) {
+				return false
+			}
+			seen[s.Key()] = true
+			if s[0] == def {
+				foundDef = true
+			}
+		}
+		return foundDef
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key/ParseSetting round-trips any setting, including negative
+// values.
+func TestSettingKeyRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := Setting(vals)
+		back, err := ParseSetting(s.Key())
+		return err == nil && back.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: All() enumerates exactly Size() unique settings for random
+// small spaces, each contained in the space.
+func TestAllEnumerationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nKnobs := 1 + rng.Intn(3)
+		specs := make([]Spec, nKnobs)
+		for i := range specs {
+			n := 1 + rng.Intn(5)
+			vals := make([]int64, n)
+			for j := range vals {
+				vals[j] = int64(j*2 + i)
+			}
+			specs[i] = Spec{Name: string(rune('a' + i)), Values: vals, Default: vals[rng.Intn(n)]}
+		}
+		sp, err := NewSpace(specs)
+		if err != nil {
+			return false
+		}
+		all := sp.All()
+		if len(all) != sp.Size() {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, s := range all {
+			if seen[s.Key()] || !sp.Contains(s) {
+				return false
+			}
+			seen[s.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	sp, _ := NewSpace(specs3())
+	if sp.IndexOf("merange") != 1 {
+		t.Error("IndexOf merange != 1")
+	}
+	if sp.IndexOf("nope") != -1 {
+		t.Error("IndexOf missing != -1")
+	}
+}
+
+func TestContains(t *testing.T) {
+	sp, _ := NewSpace(specs3())
+	if !sp.Contains(Setting{1, 4, 3}) {
+		t.Error("valid setting rejected")
+	}
+	if sp.Contains(Setting{1, 3, 3}) { // merange 3 not a value
+		t.Error("invalid value accepted")
+	}
+	if sp.Contains(Setting{1, 4}) {
+		t.Error("short setting accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package model implements the analytical models of Sec. 3 of the paper:
+// the energy accounting for DVFS with and without dynamic knobs
+// (Eqs. 12–19, illustrated by the paper's Figs. 3 and 4) and the server
+// consolidation model (Eqs. 20–24).
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// DVFSParams describes one task execution in the Fig. 3 setting.
+type DVFSParams struct {
+	PNoDVFS float64 // watts while running at the high power state
+	PDVFS   float64 // watts while running at the reduced state
+	PIdle   float64 // watts while idle
+	T1      float64 // task time at the high state (seconds)
+	TDelay  float64 // slack between task completion and the deadline
+}
+
+// Validate checks physical sanity.
+func (p DVFSParams) Validate() error {
+	if p.T1 <= 0 || p.TDelay < 0 {
+		return fmt.Errorf("model: T1 must be positive and TDelay non-negative")
+	}
+	if p.PIdle < 0 || p.PDVFS < p.PIdle || p.PNoDVFS < p.PDVFS {
+		return fmt.Errorf("model: want PNoDVFS >= PDVFS >= PIdle >= 0")
+	}
+	return nil
+}
+
+// T2 is the stretched execution time under DVFS: t2 = t1 + tdelay
+// (Fig. 3b — DVFS absorbs exactly the slack).
+func (p DVFSParams) T2() float64 { return p.T1 + p.TDelay }
+
+// T2FromFrequencies predicts t2 for a CPU-bound task from the frequency
+// ratio: t2 = (f_nodvfs / f_dvfs) · t1.
+func T2FromFrequencies(t1, fNoDVFS, fDVFS float64) float64 {
+	return t1 * fNoDVFS / fDVFS
+}
+
+// EnergyNoDVFS is the energy of running hot then idling through the
+// slack: Pnodvfs·t1 + Pidle·tdelay (the first operand of Eq. 12).
+func (p DVFSParams) EnergyNoDVFS() float64 {
+	return p.PNoDVFS*p.T1 + p.PIdle*p.TDelay
+}
+
+// EnergyDVFS is the energy of stretching the task across the slack at the
+// reduced state: Pdvfs·t2 (the second operand of Eq. 12).
+func (p DVFSParams) EnergyDVFS() float64 {
+	return p.PDVFS * p.T2()
+}
+
+// DVFSSavings is Eq. 12: the energy saved by DVFS relative to
+// race-to-idle at the high state.
+func (p DVFSParams) DVFSSavings() float64 {
+	return p.EnergyNoDVFS() - p.EnergyDVFS()
+}
+
+// ElasticEnergy evaluates Eqs. 13–17 for a dynamic-knob speedup S(QoS):
+//
+//	E1 (Fig. 4a): run at the high state for t1/S, idle the rest —
+//	  dynamic knobs accelerating race-to-idle.
+//	E2 (Fig. 4b): run at the reduced state for t2/S, idle the rest —
+//	  dynamic knobs shrinking the stretched execution.
+//
+// It returns both energies and their minimum (Eq. 17).
+func (p DVFSParams) ElasticEnergy(s float64) (e1, e2, eElastic float64, err error) {
+	if s < 1 {
+		return 0, 0, 0, fmt.Errorf("model: speedup %v < 1", s)
+	}
+	t1p := p.T1 / s
+	tDelayP := p.TDelay + p.T1 - t1p
+	e1 = p.PNoDVFS*t1p + p.PIdle*tDelayP // Eq. 14
+	t2 := p.T2()
+	t2p := t2 / s
+	tDelayPP := t2 - t2p
+	e2 = p.PDVFS*t2p + p.PIdle*tDelayPP // Eq. 16
+	return e1, e2, math.Min(e1, e2), nil
+}
+
+// BaselineEnergy is Eq. 18: the better of plain race-to-idle and plain
+// DVFS without dynamic knobs.
+func (p DVFSParams) BaselineEnergy() float64 {
+	return math.Min(p.EnergyNoDVFS(), p.EnergyDVFS())
+}
+
+// ElasticSavings is Eq. 19: energy saved by adding dynamic knobs (at
+// speedup S) on top of the best non-elastic strategy.
+func (p DVFSParams) ElasticSavings(s float64) (float64, error) {
+	_, _, eElastic, err := p.ElasticEnergy(s)
+	if err != nil {
+		return 0, err
+	}
+	return p.BaselineEnergy() - eElastic, nil
+}
+
+// MachinesNeeded is Eq. 21: the machines required to serve the original
+// peak load when every instance can be sped up by S(QoS). With
+// Wtotal = Wmachine·Norig it reduces to ceil(Norig/S).
+func MachinesNeeded(nOrig int, s float64) (int, error) {
+	if nOrig < 1 {
+		return 0, fmt.Errorf("model: nOrig %d < 1", nOrig)
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("model: speedup %v < 1", s)
+	}
+	n := int(math.Ceil(float64(nOrig) / s))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// ConsolidationPower evaluates Eqs. 22–24. uOrig is the average
+// utilization of the original system; the consolidated system's
+// utilization follows as uNew = uOrig·nOrig/nNew (the paper's
+// Unew = Norig/Nnew normalization folded with the load level), capped at
+// 1.
+func ConsolidationPower(nOrig, nNew int, uOrig, pLoad, pIdle float64) (pOrig, pNew, saved float64, err error) {
+	if nOrig < 1 || nNew < 1 || nNew > nOrig {
+		return 0, 0, 0, fmt.Errorf("model: machine counts nOrig=%d nNew=%d invalid", nOrig, nNew)
+	}
+	if uOrig < 0 || uOrig > 1 {
+		return 0, 0, 0, fmt.Errorf("model: utilization %v outside [0,1]", uOrig)
+	}
+	uNew := uOrig * float64(nOrig) / float64(nNew)
+	if uNew > 1 {
+		uNew = 1
+	}
+	pOrig = float64(nOrig) * (uOrig*pLoad + (1-uOrig)*pIdle) // Eq. 22
+	pNew = float64(nNew) * (uNew*pLoad + (1-uNew)*pIdle)     // Eq. 23
+	return pOrig, pNew, pOrig - pNew, nil                    // Eq. 24
+}

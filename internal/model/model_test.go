@@ -1,0 +1,191 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperParams uses the platform's calibrated anchor numbers: 210 W hot,
+// 165 W at the lowest state, 90 W idle.
+func paperParams() DVFSParams {
+	return DVFSParams{PNoDVFS: 210, PDVFS: 165, PIdle: 90, T1: 10, TDelay: 5}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := paperParams()
+	bad.T1 = 0
+	if bad.Validate() == nil {
+		t.Error("T1=0 accepted")
+	}
+	bad = paperParams()
+	bad.PIdle = 300
+	if bad.Validate() == nil {
+		t.Error("inverted power ordering accepted")
+	}
+}
+
+func TestDVFSSavingsEq12(t *testing.T) {
+	p := paperParams()
+	// Eq. 12 by hand: (210·10 + 90·5) − 165·15 = 2550 − 2475 = 75.
+	if got := p.DVFSSavings(); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("DVFS savings = %v, want 75", got)
+	}
+}
+
+func TestT2FromFrequencies(t *testing.T) {
+	if got := T2FromFrequencies(10, 2.4, 1.6); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("t2 = %v, want 15 (CPU-bound stretch)", got)
+	}
+}
+
+func TestElasticEnergyEqs13to17(t *testing.T) {
+	p := paperParams()
+	e1, e2, eMin, err := p.ElasticEnergy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 14: t1' = 5, tdelay' = 10 -> 210·5 + 90·10 = 1950.
+	if math.Abs(e1-1950) > 1e-9 {
+		t.Fatalf("E1 = %v, want 1950", e1)
+	}
+	// Eq. 16: t2' = 7.5, tdelay'' = 7.5 -> 165·7.5 + 90·7.5 = 1912.5.
+	if math.Abs(e2-1912.5) > 1e-9 {
+		t.Fatalf("E2 = %v, want 1912.5", e2)
+	}
+	if eMin != e2 {
+		t.Fatalf("elastic min should pick E2 here")
+	}
+}
+
+func TestElasticSavingsEq19(t *testing.T) {
+	p := paperParams()
+	// Baseline (Eq. 18) = min(2550, 2475) = 2475; elastic = 1912.5.
+	s, err := p.ElasticSavings(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-562.5) > 1e-9 {
+		t.Fatalf("elastic savings = %v, want 562.5", s)
+	}
+	if _, err := p.ElasticSavings(0.5); err == nil {
+		t.Error("speedup < 1 accepted")
+	}
+}
+
+// Property: elastic energy never exceeds the baseline (knobs can only
+// help, Eq. 19 >= 0), and savings grow with speedup.
+func TestElasticMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := DVFSParams{
+			PIdle:  50 + rng.Float64()*100,
+			T1:     1 + rng.Float64()*100,
+			TDelay: rng.Float64() * 100,
+		}
+		p.PDVFS = p.PIdle + rng.Float64()*100
+		p.PNoDVFS = p.PDVFS + rng.Float64()*100
+		s1 := 1 + rng.Float64()*3
+		s2 := s1 + rng.Float64()*3
+		sav1, err := p.ElasticSavings(s1)
+		if err != nil {
+			return false
+		}
+		sav2, err := p.ElasticSavings(s2)
+		if err != nil {
+			return false
+		}
+		return sav1 >= -1e-9 && sav2 >= sav1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachinesNeededEq21(t *testing.T) {
+	cases := []struct {
+		nOrig int
+		s     float64
+		want  int
+	}{
+		{4, 4, 1},   // the paper's PARSEC consolidation: 4 -> 1 (3/4 reduction)
+		{3, 1.5, 2}, // the paper's swish++ consolidation: 3 -> 2 (1/3 reduction)
+		{4, 3, 2},
+		{10, 1, 10},
+		{1, 100, 1},
+	}
+	for _, c := range cases {
+		got, err := MachinesNeeded(c.nOrig, c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("MachinesNeeded(%d, %v) = %d, want %d", c.nOrig, c.s, got, c.want)
+		}
+	}
+	if _, err := MachinesNeeded(0, 2); err == nil {
+		t.Error("nOrig=0 accepted")
+	}
+	if _, err := MachinesNeeded(4, 0.5); err == nil {
+		t.Error("speedup<1 accepted")
+	}
+}
+
+func TestConsolidationPowerEqs22to24(t *testing.T) {
+	// 4 machines at 25% utilization vs 1 machine: the paper reports
+	// ~400 W (66%) savings at this point for the PARSEC benchmarks.
+	pOrig, pNew, saved, err := ConsolidationPower(4, 1, 0.25, 210, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 22: 4·(0.25·210 + 0.75·90) = 4·120 = 480.
+	if math.Abs(pOrig-480) > 1e-9 {
+		t.Fatalf("pOrig = %v, want 480", pOrig)
+	}
+	// uNew = 1.0 -> Eq. 23: 1·210 = 210.
+	if math.Abs(pNew-210) > 1e-9 {
+		t.Fatalf("pNew = %v, want 210", pNew)
+	}
+	if math.Abs(saved-270) > 1e-9 {
+		t.Fatalf("saved = %v, want 270", saved)
+	}
+	savedFrac := saved / pOrig
+	if savedFrac < 0.5 || savedFrac > 0.7 {
+		t.Fatalf("fractional savings = %v, want paper's ~2/3 ballpark", savedFrac)
+	}
+}
+
+func TestConsolidationPowerValidation(t *testing.T) {
+	if _, _, _, err := ConsolidationPower(1, 2, 0.5, 210, 90); err == nil {
+		t.Error("nNew > nOrig accepted")
+	}
+	if _, _, _, err := ConsolidationPower(4, 1, 1.5, 210, 90); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+}
+
+// Property: consolidated power never exceeds original power when both
+// serve the same load (uNew capped at 1 encodes "knobs absorb the
+// overflow").
+func TestConsolidationSavesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nOrig := 2 + rng.Intn(10)
+		nNew := 1 + rng.Intn(nOrig)
+		u := rng.Float64()
+		pIdle := 50 + rng.Float64()*100
+		pLoad := pIdle + 1 + rng.Float64()*200
+		pOrig, pNew, saved, err := ConsolidationPower(nOrig, nNew, u, pLoad, pIdle)
+		if err != nil {
+			return false
+		}
+		return pNew <= pOrig+1e-9 && math.Abs(saved-(pOrig-pNew)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package platform simulates the paper's experimental machine (Sec. 5.1):
+// a Dell PowerEdge R410 whose processors expose seven power states with
+// clock frequencies from 2.4 GHz down to 1.6 GHz, measured by a WattsUp
+// meter sampling full-system power at 1-second intervals, with idle power
+// around 90 W and full load up to ~220 W.
+//
+// Applications execute real computation; the machine converts their
+// measured work units into *virtual time* as a function of the current
+// frequency, so imposing a power cap (forcing a lower DVFS state) slows
+// the application exactly the way the paper's cpufrequtils-driven cap
+// does, deterministically. The power model
+//
+//	P(f, util) = P_idle + util · (c1·f + c3·f³)
+//
+// is fit to the paper's reported measurements: ~90 W idle, ~210 W at full
+// load at 2.4 GHz, ~165 W at full load at 1.6 GHz (Figs. 6a–6d). The
+// cubic term reflects the V²f scaling of dynamic power under DVFS.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Frequencies are the seven DVFS states in GHz, highest first — the
+// x-axis of Fig. 6.
+var Frequencies = []float64{2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.6}
+
+// PowerModel maps frequency and utilization to full-system watts.
+type PowerModel struct {
+	Idle float64 // watts at zero utilization
+	C1   float64 // linear dynamic term, W/GHz
+	C3   float64 // cubic dynamic term, W/GHz³
+}
+
+// DefaultPowerModel is fit to the paper's measurements (see package doc).
+func DefaultPowerModel() PowerModel {
+	// Solve P(2.4,1)=210, P(1.6,1)=165 with Idle=90:
+	//   2.4·c1 + 13.824·c3 = 120
+	//   1.6·c1 +  4.096·c3 =  75
+	return PowerModel{Idle: 90, C1: 44.375, C3: 0.9765625}
+}
+
+// Power returns full-system watts at frequency f (GHz) and utilization
+// util in [0,1].
+func (m PowerModel) Power(f, util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return m.Idle + util*(m.C1*f+m.C3*f*f*f)
+}
+
+// SpeedPerGHz converts work units (application operation counts) to
+// execution rate: a machine at f GHz retires f×SpeedPerGHz work units per
+// second. The constant is a calibration scale — only ratios matter for
+// every reproduced result.
+const SpeedPerGHz = 1e8
+
+// Machine is one simulated server.
+type Machine struct {
+	clk   *clock.Virtual
+	model PowerModel
+	state int // index into Frequencies
+
+	cores int
+
+	meter *Meter
+
+	interference float64 // fraction of capacity consumed by co-located load
+
+	busy time.Duration // accumulated busy time
+	all  time.Duration // accumulated total time
+}
+
+// Config configures a Machine.
+type Config struct {
+	// Clock is the virtual time source (required).
+	Clock *clock.Virtual
+	// Model is the power model (default DefaultPowerModel).
+	Model PowerModel
+	// Cores is the core count (default 8 — the paper's dual quad-core
+	// machines).
+	Cores int
+}
+
+// NewMachine builds a machine in its highest power state.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("platform: Config.Clock is required")
+	}
+	if cfg.Model == (PowerModel{}) {
+		cfg.Model = DefaultPowerModel()
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("platform: cores must be positive")
+	}
+	m := &Machine{clk: cfg.Clock, model: cfg.Model, cores: cfg.Cores}
+	m.meter = newMeter(m)
+	return m, nil
+}
+
+// Clock returns the machine's clock.
+func (m *Machine) Clock() *clock.Virtual { return m.clk }
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return m.cores }
+
+// Frequency returns the current clock frequency in GHz.
+func (m *Machine) Frequency() float64 { return Frequencies[m.state] }
+
+// State returns the current DVFS state index (0 = fastest).
+func (m *Machine) State() int { return m.state }
+
+// SetState selects a DVFS state by index (0 = 2.4 GHz). It returns an
+// error for out-of-range states.
+func (m *Machine) SetState(i int) error {
+	if i < 0 || i >= len(Frequencies) {
+		return fmt.Errorf("platform: power state %d out of range [0,%d]", i, len(Frequencies)-1)
+	}
+	m.meter.catchUp()
+	m.state = i
+	return nil
+}
+
+// ImposePowerCap drops the machine to its lowest-power state (the paper's
+// cap scenario forces 2.4 GHz -> 1.6 GHz).
+func (m *Machine) ImposePowerCap() { _ = m.SetState(len(Frequencies) - 1) }
+
+// LiftPowerCap restores the highest power state.
+func (m *Machine) LiftPowerCap() { _ = m.SetState(0) }
+
+// SetInterference models a co-located load consuming the given fraction
+// of the machine's capacity (a load spike from another tenant, a
+// background job). PowerDial is explicitly "designed to respond to any
+// event that changes the balance between the computational demand and
+// the resources available" (Sec. 7) — interference slows the controlled
+// application exactly like a frequency drop, and the controller
+// compensates the same way. Fractions outside [0, 0.95] are clamped.
+func (m *Machine) SetInterference(fraction float64) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 0.95 {
+		fraction = 0.95
+	}
+	m.interference = fraction
+}
+
+// Interference returns the current co-located-load fraction.
+func (m *Machine) Interference() float64 { return m.interference }
+
+// Speed returns the current execution rate in work units per second for a
+// single-core workload, net of co-located interference.
+func (m *Machine) Speed() float64 {
+	return m.Frequency() * SpeedPerGHz * (1 - m.interference)
+}
+
+// Execute runs cost work units at the current frequency, advancing the
+// virtual clock and accounting the time as busy. It returns the elapsed
+// virtual duration.
+func (m *Machine) Execute(cost float64) time.Duration {
+	if cost <= 0 {
+		return 0
+	}
+	seconds := cost / m.Speed()
+	d := time.Duration(seconds * float64(time.Second))
+	m.meter.accumulate(d, 1)
+	m.clk.Advance(d)
+	m.busy += d
+	m.all += d
+	return d
+}
+
+// Idle advances the clock with the controlled application idle. Any
+// co-located interference keeps consuming its share of the machine, so
+// the meter charges that utilization.
+func (m *Machine) Idle(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.meter.accumulate(d, m.interference)
+	m.clk.Advance(d)
+	m.all += d
+}
+
+// Utilization returns the busy fraction of all accounted time.
+func (m *Machine) Utilization() float64 {
+	if m.all <= 0 {
+		return 0
+	}
+	return float64(m.busy) / float64(m.all)
+}
+
+// Meter returns the machine's power meter.
+func (m *Machine) Meter() *Meter { return m.meter }

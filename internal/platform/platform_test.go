@@ -1,0 +1,226 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func newTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewMachine(Config{Clock: clock.NewVirtual(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPowerModelMatchesPaperAnchors(t *testing.T) {
+	pm := DefaultPowerModel()
+	cases := []struct {
+		f, util, want, tol float64
+	}{
+		{2.4, 0, 90, 0.1},  // idle ~90 W
+		{2.4, 1, 210, 0.5}, // full load, highest state
+		{1.6, 1, 165, 0.5}, // full load, lowest state (power cap)
+	}
+	for _, c := range cases {
+		if got := pm.Power(c.f, c.util); math.Abs(got-c.want) > c.tol {
+			t.Errorf("P(%v, %v) = %v, want ~%v", c.f, c.util, got, c.want)
+		}
+	}
+}
+
+func TestPowerModelMonotone(t *testing.T) {
+	pm := DefaultPowerModel()
+	for i := 1; i < len(Frequencies); i++ {
+		hi := pm.Power(Frequencies[i-1], 1)
+		lo := pm.Power(Frequencies[i], 1)
+		if lo >= hi {
+			t.Errorf("power not decreasing with frequency: P(%v)=%v >= P(%v)=%v",
+				Frequencies[i], lo, Frequencies[i-1], hi)
+		}
+	}
+	if pm.Power(2.4, 0.5) >= pm.Power(2.4, 1) {
+		t.Error("power should increase with utilization")
+	}
+	// Utilization clamps.
+	if pm.Power(2.4, 2) != pm.Power(2.4, 1) || pm.Power(2.4, -1) != pm.Power(2.4, 0) {
+		t.Error("utilization clamping broken")
+	}
+}
+
+func TestSevenPowerStates(t *testing.T) {
+	if len(Frequencies) != 7 {
+		t.Fatalf("states = %d, want 7 (paper Sec. 5.1)", len(Frequencies))
+	}
+	if Frequencies[0] != 2.4 || Frequencies[6] != 1.6 {
+		t.Fatalf("frequency range = [%v, %v], want [2.4, 1.6]", Frequencies[0], Frequencies[6])
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	if _, err := NewMachine(Config{}); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewMachine(Config{Clock: clock.NewVirtual(time.Unix(0, 0)), Cores: -1}); err == nil {
+		t.Error("negative cores accepted")
+	}
+}
+
+func TestExecuteAdvancesVirtualTime(t *testing.T) {
+	m := newTestMachine(t)
+	start := m.Clock().Now()
+	d := m.Execute(2.4 * SpeedPerGHz) // exactly one second at 2.4 GHz
+	if math.Abs(d.Seconds()-1) > 1e-9 {
+		t.Fatalf("duration = %v, want 1s", d)
+	}
+	if got := m.Clock().Now().Sub(start); got != d {
+		t.Fatalf("clock advanced %v, want %v", got, d)
+	}
+}
+
+func TestFrequencyScalesExecution(t *testing.T) {
+	m := newTestMachine(t)
+	cost := 1.0e8
+	dFast := m.Execute(cost)
+	m.ImposePowerCap()
+	if m.Frequency() != 1.6 {
+		t.Fatalf("capped frequency = %v, want 1.6", m.Frequency())
+	}
+	dSlow := m.Execute(cost)
+	ratio := dSlow.Seconds() / dFast.Seconds()
+	// Durations quantize to nanoseconds, so allow a relative 1e-6.
+	if math.Abs(ratio-2.4/1.6) > 1e-6 {
+		t.Fatalf("slowdown ratio = %v, want %v", ratio, 2.4/1.6)
+	}
+	m.LiftPowerCap()
+	if m.Frequency() != 2.4 {
+		t.Fatalf("uncapped frequency = %v, want 2.4", m.Frequency())
+	}
+}
+
+func TestSetStateValidation(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.SetState(7); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+	if err := m.SetState(-1); err == nil {
+		t.Error("negative state accepted")
+	}
+	if err := m.SetState(3); err != nil || m.Frequency() != 2.0 {
+		t.Errorf("SetState(3): err=%v freq=%v", err, m.Frequency())
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	m := newTestMachine(t)
+	m.Execute(2.4 * SpeedPerGHz) // 1s busy
+	m.Idle(3 * time.Second)      // 3s idle
+	if got := m.Utilization(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.25", got)
+	}
+}
+
+func TestMeterSamplesEverySecond(t *testing.T) {
+	m := newTestMachine(t)
+	// 2.5 seconds of full-load execution -> 2 complete samples.
+	m.Execute(2.5 * 2.4 * SpeedPerGHz)
+	samples := m.Meter().Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	want := DefaultPowerModel().Power(2.4, 1)
+	for _, s := range samples {
+		if math.Abs(s-want) > 0.01 {
+			t.Fatalf("sample = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestMeterMixedWindow(t *testing.T) {
+	m := newTestMachine(t)
+	// Half a second busy, half idle: the window mean is the average.
+	m.Execute(0.5 * 2.4 * SpeedPerGHz)
+	m.Idle(500 * time.Millisecond)
+	samples := m.Meter().Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(samples))
+	}
+	pm := DefaultPowerModel()
+	want := (pm.Power(2.4, 1) + pm.Power(2.4, 0)) / 2
+	if math.Abs(samples[0]-want) > 0.01 {
+		t.Fatalf("mixed sample = %v, want %v", samples[0], want)
+	}
+}
+
+func TestMeterMeanPowerAndEnergy(t *testing.T) {
+	m := newTestMachine(t)
+	m.Idle(2 * time.Second)
+	pm := DefaultPowerModel()
+	if got := m.Meter().MeanPower(); math.Abs(got-pm.Idle) > 1e-9 {
+		t.Fatalf("mean power = %v, want %v", got, pm.Idle)
+	}
+	if got := m.Meter().Energy(); math.Abs(got-2*pm.Idle) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, 2*pm.Idle)
+	}
+	m.Meter().Reset()
+	if m.Meter().MeanPower() != 0 || len(m.Meter().Samples()) != 0 {
+		t.Fatal("Reset did not clear meter")
+	}
+}
+
+func TestExecuteZeroCost(t *testing.T) {
+	m := newTestMachine(t)
+	if d := m.Execute(0); d != 0 {
+		t.Fatal("zero cost should take zero time")
+	}
+	m.Idle(-time.Second) // no-op, no panic
+}
+
+func TestInterferenceSlowsExecution(t *testing.T) {
+	m := newTestMachine(t)
+	d0 := m.Execute(1e8)
+	m.SetInterference(0.5)
+	if m.Interference() != 0.5 {
+		t.Fatalf("Interference = %v", m.Interference())
+	}
+	d1 := m.Execute(1e8)
+	if math.Abs(d1.Seconds()/d0.Seconds()-2) > 1e-6 {
+		t.Fatalf("50%% interference should double execution time: ratio %v", d1.Seconds()/d0.Seconds())
+	}
+	// Clamping.
+	m.SetInterference(-1)
+	if m.Interference() != 0 {
+		t.Error("negative interference not clamped")
+	}
+	m.SetInterference(2)
+	if m.Interference() != 0.95 {
+		t.Error("interference not clamped at 0.95")
+	}
+}
+
+func TestInterferenceKeepsMachinePowered(t *testing.T) {
+	m := newTestMachine(t)
+	m.SetInterference(0.5)
+	m.Idle(2 * time.Second)
+	pm := DefaultPowerModel()
+	want := pm.Power(2.4, 0.5)
+	if got := m.Meter().MeanPower(); math.Abs(got-want) > 0.01 {
+		t.Fatalf("idle power under interference = %v, want %v (co-located load still burns)", got, want)
+	}
+}
+
+func TestMeanPowerUnderCapDrops(t *testing.T) {
+	m := newTestMachine(t)
+	m.Execute(2.4 * SpeedPerGHz) // 1s at 2.4
+	e1 := m.Meter().MeanPower()
+	m.ImposePowerCap()
+	m.Execute(10 * 1.6 * SpeedPerGHz) // 10s at 1.6
+	e2 := m.Meter().MeanPower()
+	if e2 >= e1 {
+		t.Fatalf("mean power after cap %v, want below %v", e2, e1)
+	}
+}

@@ -1,0 +1,188 @@
+// Package qos implements the quality-of-service metrics of the PowerDial
+// paper (Sec. 2.2 and Sec. 4): the distortion metric of Eq. 1 over
+// application-specific output abstractions, the F-measure / precision /
+// recall metrics used for swish++, and the PSNR helper used by x264.
+//
+// Throughout, a QoS *loss* of zero is optimal and larger values are worse,
+// exactly as in the paper.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Abstraction is an application-specific output abstraction: the numbers
+// o_1..o_m that the user-provided abstraction function extracts from a
+// program output (Sec. 2.2).
+type Abstraction []float64
+
+// Distortion computes the QoS loss of Eq. 1:
+//
+//	qos = (1/m) * sum_i w_i * |(o_i - ô_i) / o_i|
+//
+// between the baseline abstraction o and the observed abstraction ô, using
+// unit weights. Components of the baseline that are exactly zero are
+// compared absolutely (|ô_i|) to avoid division by zero; the paper's
+// benchmarks have non-zero baselines so this is a boundary-case extension.
+func Distortion(baseline, observed Abstraction) (float64, error) {
+	return WeightedDistortion(baseline, observed, nil)
+}
+
+// WeightedDistortion is Distortion with optional per-component weights w_i
+// ("each weight w_i is optionally provided by the user to capture the
+// relative importance of the i-th component"). A nil weights slice means
+// unit weights. Weights are normalized by m (the component count), as in
+// Eq. 1.
+func WeightedDistortion(baseline, observed Abstraction, weights []float64) (float64, error) {
+	if len(baseline) != len(observed) {
+		return 0, fmt.Errorf("qos: abstraction size mismatch: baseline %d, observed %d", len(baseline), len(observed))
+	}
+	if len(baseline) == 0 {
+		return 0, errors.New("qos: empty output abstraction")
+	}
+	if weights != nil && len(weights) != len(baseline) {
+		return 0, fmt.Errorf("qos: weight count %d does not match abstraction size %d", len(weights), len(baseline))
+	}
+	var sum float64
+	for i := range baseline {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		var term float64
+		if baseline[i] == 0 {
+			term = math.Abs(observed[i])
+		} else {
+			term = math.Abs((baseline[i] - observed[i]) / baseline[i])
+		}
+		sum += w * term
+	}
+	return sum / float64(len(baseline)), nil
+}
+
+// MagnitudeWeights returns weights proportional to the magnitude of each
+// baseline component, normalized so they sum to m (the component count).
+// This realizes bodytrack's QoS metric: "the weight of each vector
+// component is proportional to its magnitude" (Sec. 4.3), so that larger
+// body parts influence the metric more.
+func MagnitudeWeights(baseline Abstraction) []float64 {
+	w := make([]float64, len(baseline))
+	var total float64
+	for i, b := range baseline {
+		w[i] = math.Abs(b)
+		total += w[i]
+	}
+	if total == 0 {
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	scale := float64(len(baseline)) / total
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}
+
+// RetrievalResult captures one query's returned and relevant document sets
+// for information-retrieval QoS (swish++, Sec. 4.4).
+type RetrievalResult struct {
+	// Returned is the ranked list of returned document IDs.
+	Returned []int
+	// Relevant is the set of documents relevant to the query.
+	Relevant map[int]bool
+}
+
+// Precision returns precision at cutoff n (P@n in the paper's notation):
+// |top-n returned ∩ relevant| / n. When fewer than n documents are
+// returned the missing slots count as misses — this is why, as the paper
+// notes, "precision is not affected by the change in dynamic knob unless
+// the P@N is less than the current knob setting". n <= 0 computes
+// uncapped precision |returned ∩ relevant| / |returned| (0 when nothing
+// is returned).
+func (r RetrievalResult) Precision(n int) float64 {
+	ret := r.Returned
+	denom := float64(n)
+	if n <= 0 {
+		if len(ret) == 0 {
+			return 0
+		}
+		denom = float64(len(ret))
+	} else if n < len(ret) {
+		ret = ret[:n]
+	}
+	hits := 0
+	for _, d := range ret {
+		if r.Relevant[d] {
+			hits++
+		}
+	}
+	return float64(hits) / denom
+}
+
+// Recall returns |returned ∩ relevant| / |relevant| over the top n returned
+// documents. n <= 0 uses the full returned list. If there are no relevant
+// documents, recall is 1 (nothing to find).
+func (r RetrievalResult) Recall(n int) float64 {
+	if len(r.Relevant) == 0 {
+		return 1
+	}
+	ret := r.Returned
+	if n > 0 && n < len(ret) {
+		ret = ret[:n]
+	}
+	hits := 0
+	for _, d := range ret {
+		if r.Relevant[d] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(r.Relevant))
+}
+
+// FMeasure returns the harmonic mean of precision and recall at cutoff n
+// (Sec. 4.4: "F-measure is the harmonic mean of the precision and
+// recall"). It is 0 when both are 0.
+func (r RetrievalResult) FMeasure(n int) float64 {
+	p, rec := r.Precision(n), r.Recall(n)
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}
+
+// MeanFMeasure averages FMeasure at cutoff n over a batch of queries.
+func MeanFMeasure(results []RetrievalResult, n int) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range results {
+		s += r.FMeasure(n)
+	}
+	return s / float64(len(results))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two equal-size
+// 8-bit sample planes. Identical planes return +Inf.
+func PSNR(reference, reconstructed []byte) (float64, error) {
+	if len(reference) != len(reconstructed) {
+		return 0, fmt.Errorf("qos: plane size mismatch: %d vs %d", len(reference), len(reconstructed))
+	}
+	if len(reference) == 0 {
+		return 0, errors.New("qos: empty planes")
+	}
+	var se float64
+	for i := range reference {
+		d := float64(reference[i]) - float64(reconstructed[i])
+		se += d * d
+	}
+	mse := se / float64(len(reference))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}

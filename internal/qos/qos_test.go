@@ -1,0 +1,249 @@
+package qos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistortionIdentical(t *testing.T) {
+	a := Abstraction{1, 2, 3}
+	d, err := Distortion(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("distortion of identical abstractions = %v, want 0", d)
+	}
+}
+
+func TestDistortionKnownValue(t *testing.T) {
+	// Components off by 10% and 20%: mean relative error 15%.
+	base := Abstraction{10, 10}
+	obs := Abstraction{11, 12}
+	d, err := Distortion(base, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.15) > 1e-12 {
+		t.Fatalf("distortion = %v, want 0.15", d)
+	}
+}
+
+func TestDistortionSignInsensitive(t *testing.T) {
+	base := Abstraction{10}
+	dUp, _ := Distortion(base, Abstraction{12})
+	dDown, _ := Distortion(base, Abstraction{8})
+	if dUp != dDown {
+		t.Fatalf("distortion should use absolute relative error: %v vs %v", dUp, dDown)
+	}
+}
+
+func TestDistortionZeroBaselineComponent(t *testing.T) {
+	d, err := Distortion(Abstraction{0, 10}, Abstraction{0.5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("zero-baseline component handling: got %v, want 0.25", d)
+	}
+}
+
+func TestDistortionErrors(t *testing.T) {
+	if _, err := Distortion(Abstraction{1}, Abstraction{1, 2}); err == nil {
+		t.Error("want size-mismatch error")
+	}
+	if _, err := Distortion(Abstraction{}, Abstraction{}); err == nil {
+		t.Error("want empty-abstraction error")
+	}
+	if _, err := WeightedDistortion(Abstraction{1, 2}, Abstraction{1, 2}, []float64{1}); err == nil {
+		t.Error("want weight-mismatch error")
+	}
+}
+
+func TestWeightedDistortion(t *testing.T) {
+	base := Abstraction{10, 10}
+	obs := Abstraction{11, 12} // rel errors 0.1, 0.2
+	d, err := WeightedDistortion(base, obs, []float64{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.1) > 1e-12 { // (2*0.1 + 0*0.2)/2
+		t.Fatalf("weighted distortion = %v, want 0.1", d)
+	}
+}
+
+func TestMagnitudeWeights(t *testing.T) {
+	w := MagnitudeWeights(Abstraction{1, 3})
+	if math.Abs(w[0]-0.5) > 1e-12 || math.Abs(w[1]-1.5) > 1e-12 {
+		t.Fatalf("weights = %v, want [0.5 1.5]", w)
+	}
+	// Sum of weights equals component count (Eq. 1 normalization intact).
+	if math.Abs(w[0]+w[1]-2) > 1e-12 {
+		t.Fatalf("weights should sum to m: %v", w)
+	}
+	// All-zero baseline falls back to unit weights.
+	w = MagnitudeWeights(Abstraction{0, 0, 0})
+	for _, x := range w {
+		if x != 1 {
+			t.Fatalf("zero baseline weights = %v, want all 1", w)
+		}
+	}
+}
+
+// Property: distortion is non-negative and zero iff observed == baseline
+// (for strictly positive baselines).
+func TestDistortionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		base := make(Abstraction, n)
+		obs := make(Abstraction, n)
+		same := true
+		for i := range base {
+			base[i] = 0.5 + rng.Float64()*10
+			obs[i] = base[i]
+			if rng.Intn(2) == 0 {
+				obs[i] += rng.NormFloat64()
+				if obs[i] != base[i] {
+					same = false
+				}
+			}
+		}
+		d, err := Distortion(base, obs)
+		if err != nil {
+			return false
+		}
+		if d < 0 {
+			return false
+		}
+		if same != (d == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func retrieval() RetrievalResult {
+	return RetrievalResult{
+		Returned: []int{1, 2, 3, 4, 5},
+		Relevant: map[int]bool{1: true, 2: true, 7: true, 8: true},
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	r := retrieval()
+	if got := r.Precision(0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("P@all = %v, want 0.4", got)
+	}
+	if got := r.Precision(2); got != 1 {
+		t.Errorf("P@2 = %v, want 1", got)
+	}
+	// Cutoff beyond the returned count: missing slots are misses.
+	if got := r.Precision(10); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("P@10 = %v, want 0.2 (2 hits / cutoff 10)", got)
+	}
+	if got := (RetrievalResult{}).Precision(0); got != 0 {
+		t.Errorf("empty returned precision = %v, want 0", got)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	r := retrieval()
+	if got := r.Recall(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R@all = %v, want 0.5", got)
+	}
+	if got := r.Recall(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R@2 = %v, want 0.5", got)
+	}
+	empty := RetrievalResult{Returned: []int{1}}
+	if got := empty.Recall(0); got != 1 {
+		t.Errorf("recall with no relevant docs = %v, want 1", got)
+	}
+}
+
+func TestFMeasure(t *testing.T) {
+	r := retrieval()
+	p, rec := 0.4, 0.5
+	want := 2 * p * rec / (p + rec)
+	if got := r.FMeasure(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F = %v, want %v", got, want)
+	}
+	zero := RetrievalResult{Returned: []int{9}, Relevant: map[int]bool{1: true}}
+	if got := zero.FMeasure(0); got != 0 {
+		t.Errorf("F with no overlap = %v, want 0", got)
+	}
+}
+
+func TestMeanFMeasure(t *testing.T) {
+	rs := []RetrievalResult{retrieval(), retrieval()}
+	single := retrieval().FMeasure(0)
+	if got := MeanFMeasure(rs, 0); math.Abs(got-single) > 1e-12 {
+		t.Errorf("mean F = %v, want %v", got, single)
+	}
+	if MeanFMeasure(nil, 0) != 0 {
+		t.Error("mean F of empty batch should be 0")
+	}
+}
+
+// Property: F-measure lies in [0,1] and equals 0 only when no relevant
+// documents are returned (given a non-empty relevant set).
+func TestFMeasureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := RetrievalResult{Relevant: map[int]bool{}}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			r.Relevant[rng.Intn(20)] = true
+		}
+		for i := 0; i < rng.Intn(15); i++ {
+			r.Returned = append(r.Returned, rng.Intn(20))
+		}
+		f := r.FMeasure(0)
+		if f < 0 || f > 1 {
+			return false
+		}
+		hit := false
+		for _, d := range r.Returned {
+			if r.Relevant[d] {
+				hit = true
+			}
+		}
+		return hit == (f > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := []byte{0, 128, 255}
+	p, err := PSNR(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Errorf("PSNR of identical planes = %v, want +Inf", p)
+	}
+	b := []byte{10, 128, 255} // MSE = 100/3
+	p, err = PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255/(100.0/3))
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", p, want)
+	}
+}
+
+func TestPSNRErrors(t *testing.T) {
+	if _, err := PSNR([]byte{1}, []byte{1, 2}); err == nil {
+		t.Error("want size-mismatch error")
+	}
+	if _, err := PSNR(nil, nil); err == nil {
+		t.Error("want empty-plane error")
+	}
+}

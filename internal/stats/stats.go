@@ -1,0 +1,165 @@
+// Package stats provides the small statistical toolkit PowerDial needs:
+// means, least-squares fits, correlation coefficients (Table 2 of the
+// paper), and Pareto-frontier extraction (Sec. 2.2).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by fits and correlations that need at
+// least two points.
+var ErrInsufficientData = errors.New("stats: need at least two data points")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// points.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Fit is a least-squares line y = Slope*x + Intercept together with the
+// correlation coefficient R of the underlying data.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R         float64
+}
+
+// LeastSquares fits y = a*x + b to the paired samples and returns the fit
+// along with the Pearson correlation coefficient, following the Table 2
+// methodology ("compute a linear least squares fit of training data to
+// production data, and compute the correlation coefficient of each fit").
+func LeastSquares(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Fit{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: zero variance in x")
+	}
+	f := Fit{Slope: sxy / sxx, Intercept: my - (sxy/sxx)*mx}
+	if syy == 0 {
+		// A constant y is perfectly predicted by the constant fit.
+		f.R = 1
+		return f, nil
+	}
+	f.R = sxy / math.Sqrt(sxx*syy)
+	return f, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples.
+func Correlation(xs, ys []float64) (float64, error) {
+	f, err := LeastSquares(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return f.R, nil
+}
+
+// Point is a location in the QoS-loss versus speedup trade-off space.
+// Lower Loss is better; higher Speedup is better.
+type Point struct {
+	Loss    float64
+	Speedup float64
+}
+
+// Dominates reports whether p is at least as good as q in both dimensions
+// and strictly better in at least one.
+func (p Point) Dominates(q Point) bool {
+	if p.Loss > q.Loss || p.Speedup < q.Speedup {
+		return false
+	}
+	return p.Loss < q.Loss || p.Speedup > q.Speedup
+}
+
+// ParetoFront returns the indices (into pts) of the Pareto-optimal points,
+// sorted by increasing QoS loss. A point is Pareto-optimal if no other
+// point dominates it. Duplicate points are each retained.
+func ParetoFront(pts []Point) []int {
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by loss ascending, speedup descending: then a point is
+	// dominated exactly when an earlier point has speedup >= its own
+	// (strictly better in at least one dimension handled below).
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.Loss != pb.Loss {
+			return pa.Loss < pb.Loss
+		}
+		return pa.Speedup > pb.Speedup
+	})
+	var front []int
+	bestSpeedup := math.Inf(-1)
+	for _, i := range idx {
+		p := pts[i]
+		if p.Speedup > bestSpeedup {
+			front = append(front, i)
+			bestSpeedup = p.Speedup
+		} else if p.Speedup == bestSpeedup {
+			// Equal speedup: keep only if equal loss to the point that
+			// set bestSpeedup (a duplicate, not dominated).
+			last := pts[front[len(front)-1]]
+			if last.Loss == p.Loss {
+				front = append(front, i)
+			}
+		}
+	}
+	sort.Slice(front, func(a, b int) bool {
+		pa, pb := pts[front[a]], pts[front[b]]
+		if pa.Loss != pb.Loss {
+			return pa.Loss < pb.Loss
+		}
+		return pa.Speedup > pb.Speedup
+	})
+	return front
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	f, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 3, 1e-9) || !almostEqual(f.Intercept, -7, 1e-9) {
+		t.Errorf("fit = %+v, want slope 3 intercept -7", f)
+	}
+	if !almostEqual(f.R, 1, 1e-9) {
+		t.Errorf("R = %v, want 1", f.R)
+	}
+}
+
+func TestLeastSquaresAntiCorrelated(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{3, 2, 1, 0}
+	f, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.R, -1, 1e-9) {
+		t.Errorf("R = %v, want -1", f.R)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := LeastSquares([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := LeastSquares([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("want error for zero x variance")
+	}
+}
+
+func TestLeastSquaresConstantY(t *testing.T) {
+	f, err := LeastSquares([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope != 0 || f.R != 1 {
+		t.Errorf("constant y: fit = %+v, want slope 0 R 1", f)
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r, err := Correlation(xs, ys)
+		if err != nil {
+			continue // degenerate draw
+		}
+		if r < -1-1e-9 || r > 1+1e-9 {
+			t.Fatalf("correlation %v out of [-1,1]", r)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	base := Point{Loss: 1, Speedup: 2}
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{0.5, 3}, base, true},  // better both
+		{Point{1, 3}, base, true},    // equal loss, better speedup
+		{Point{0.5, 2}, base, true},  // better loss, equal speedup
+		{base, base, false},          // identical
+		{Point{2, 3}, base, false},   // worse loss
+		{Point{0.5, 1}, base, false}, // worse speedup
+	}
+	for _, c := range cases {
+		if got := c.p.Dominates(c.q); got != c.want {
+			t.Errorf("%v dominates %v = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestParetoFrontSimple(t *testing.T) {
+	pts := []Point{
+		{0, 1},   // baseline: optimal
+		{1, 2},   // optimal
+		{2, 1.5}, // dominated by {1,2}
+		{3, 4},   // optimal
+		{3, 3},   // dominated by {3,4}
+	}
+	front := ParetoFront(pts)
+	want := map[int]bool{0: true, 1: true, 3: true}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want indices %v", front, want)
+	}
+	for _, i := range front {
+		if !want[i] {
+			t.Errorf("unexpected index %d in front %v", i, front)
+		}
+	}
+}
+
+func TestParetoFrontSortedByLoss(t *testing.T) {
+	pts := []Point{{3, 4}, {0, 1}, {1, 2}}
+	front := ParetoFront(pts)
+	for i := 1; i < len(front); i++ {
+		if pts[front[i-1]].Loss > pts[front[i]].Loss {
+			t.Fatalf("front not sorted by loss: %v", front)
+		}
+	}
+}
+
+func TestParetoFrontEmpty(t *testing.T) {
+	if got := ParetoFront(nil); len(got) != 0 {
+		t.Fatalf("ParetoFront(nil) = %v", got)
+	}
+}
+
+func TestParetoFrontDuplicates(t *testing.T) {
+	pts := []Point{{1, 2}, {1, 2}, {0, 1}}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("duplicates should both be retained: front=%v", front)
+	}
+}
+
+// Property: no point on the front is dominated by any point in the input,
+// and every point off the front is dominated by some point on it.
+func TestParetoFrontProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				Loss:    math.Abs(rng.NormFloat64()) * 10,
+				Speedup: 1 + math.Abs(rng.NormFloat64())*5,
+			}
+		}
+		front := ParetoFront(pts)
+		onFront := make(map[int]bool, len(front))
+		for _, i := range front {
+			onFront[i] = true
+		}
+		for _, i := range front {
+			for j := range pts {
+				if pts[j].Dominates(pts[i]) {
+					return false
+				}
+			}
+		}
+		for j := range pts {
+			if onFront[j] {
+				continue
+			}
+			dominated := false
+			for _, i := range front {
+				if pts[i].Dominates(pts[j]) || pts[i] == pts[j] {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}

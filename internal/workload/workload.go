@@ -1,0 +1,136 @@
+// Package workload defines the interface between PowerDial and the
+// applications it controls. An application exposes:
+//
+//   - its dynamic-knob specs (the configuration parameters and ranges the
+//     user identified, Sec. 2 "Parameter Identification");
+//   - input streams (training and production sets, Sec. 4/Table 1), each a
+//     sequence of main-control-loop iterations — one heartbeat per
+//     iteration;
+//   - a way to apply a knob setting (deriving the control variables, the
+//     same derivation the influence tracer observes);
+//   - an application-specific QoS loss between two outputs (Sec. 2.2's
+//     output abstraction + metric).
+//
+// Iteration costs are reported in abstract work units measured from the
+// real computation (operation counts). On the simulated platform
+// (internal/platform) a machine converts work units to virtual time as a
+// function of its DVFS frequency; on a fixed-frequency machine the ratio
+// of total costs is exactly the paper's execution-time speedup.
+package workload
+
+import (
+	"repro/internal/influence"
+	"repro/internal/knobs"
+)
+
+// InputSet selects the training or production inputs (the paper randomly
+// partitions representative inputs into these two sets).
+type InputSet int
+
+const (
+	// Training inputs drive dynamic knob calibration.
+	Training InputSet = iota
+	// Production inputs evaluate generalization to unseen inputs.
+	Production
+)
+
+// String names the input set.
+func (s InputSet) String() string {
+	if s == Training {
+		return "training"
+	}
+	return "production"
+}
+
+// Output is an application-specific accumulated output for one stream
+// (e.g. encoded video statistics, a vector of swaption prices).
+type Output interface{}
+
+// Run is a stateful pass over one stream. Each Step performs one iteration
+// of the application's main control loop — the loop where PowerDial
+// inserts the heartbeat — under the application's *current* control
+// variables, and returns the work units the iteration consumed.
+type Run interface {
+	// Step executes the next iteration. ok is false when the stream is
+	// exhausted (and cost is then 0).
+	Step() (cost float64, ok bool)
+	// Output returns the accumulated output (valid once Step returned
+	// ok=false; intermediate calls return the output so far).
+	Output() Output
+}
+
+// Stream is one input for the application: a video, a portfolio of
+// swaptions, a batch of queries.
+type Stream interface {
+	// Name identifies the input (for reports).
+	Name() string
+	// Len is the number of iterations in the stream.
+	Len() int
+	// NewRun starts a fresh pass over the stream.
+	NewRun() Run
+}
+
+// App is a PowerDial-controllable application.
+type App interface {
+	// Name is the benchmark name ("swaptions", "x264", ...).
+	Name() string
+	// Specs returns the dynamic-knob specifications.
+	Specs() []knobs.Spec
+	// Apply derives the control variables for setting s and installs
+	// them. It is safe to call between Steps of an active Run (that is
+	// the whole point of dynamic knobs).
+	Apply(s knobs.Setting)
+	// Streams returns the input streams of the given set.
+	Streams(set InputSet) []Stream
+	// Loss returns the QoS loss (0 = optimal, larger = worse; a
+	// fraction, not a percentage) of observed relative to baseline
+	// output for the same stream.
+	Loss(baseline, observed Output) float64
+}
+
+// Traceable is implemented by applications whose initialization can run
+// under the influence tracer for dynamic knob identification (Sec. 2.1).
+// TraceInit must perform the same control-variable derivation as Apply,
+// through tagged operations, store each control variable with
+// Tracer.Store/StoreVec, emit the first heartbeat, and replay the main
+// loop's reads.
+type Traceable interface {
+	App
+	TraceInit(tr *influence.Tracer, s knobs.Setting)
+}
+
+// Bindable is implemented by applications that expose their control
+// variables to the dynamic-knob registry: RegisterVars installs one
+// writer callback per control variable (named exactly as in TraceInit)
+// that pokes the recorded value into the application's live state.
+type Bindable interface {
+	App
+	RegisterVars(reg *knobs.Registry) error
+}
+
+// Space returns the validated setting space of an application.
+func Space(a App) (knobs.Space, error) {
+	return knobs.NewSpace(a.Specs())
+}
+
+// RunToEnd drives a Run to completion with the application's current
+// control variables, returning the total cost and iteration count.
+func RunToEnd(r Run) (totalCost float64, iterations int) {
+	for {
+		c, ok := r.Step()
+		if !ok {
+			return totalCost, iterations
+		}
+		totalCost += c
+		iterations++
+	}
+}
+
+// MeasureStream applies setting s and runs the whole stream, returning
+// total cost and the output. It is the calibration primitive.
+func MeasureStream(a App, st Stream, s knobs.Setting) (cost float64, out Output) {
+	a.Apply(s)
+	run := st.NewRun()
+	cost, _ = RunToEnd(run)
+	return cost, run.Output()
+}

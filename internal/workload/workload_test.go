@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/knobs"
+)
+
+// echoApp is a minimal App used to exercise the driver helpers.
+type echoApp struct {
+	cur   int64
+	steps int
+}
+
+func (e *echoApp) Name() string { return "echo" }
+func (e *echoApp) Specs() []knobs.Spec {
+	return []knobs.Spec{{Name: "k", Values: []int64{1, 2, 4}, Default: 4}}
+}
+func (e *echoApp) Apply(s knobs.Setting)    { e.cur = s[0] }
+func (e *echoApp) Loss(b, o Output) float64 { return 0 }
+func (e *echoApp) Streams(set InputSet) []Stream {
+	return []Stream{&echoStream{app: e, n: e.steps}}
+}
+
+type echoStream struct {
+	app *echoApp
+	n   int
+}
+
+func (s *echoStream) Name() string { return "s" }
+func (s *echoStream) Len() int     { return s.n }
+func (s *echoStream) NewRun() Run  { return &echoRun{s: s} }
+
+type echoRun struct {
+	s    *echoStream
+	done int
+	sum  float64
+}
+
+func (r *echoRun) Step() (float64, bool) {
+	if r.done >= r.s.n {
+		return 0, false
+	}
+	r.done++
+	c := float64(10 / r.s.app.cur)
+	r.sum += c
+	return c, true
+}
+func (r *echoRun) Output() Output { return r.sum }
+
+func TestInputSetString(t *testing.T) {
+	if Training.String() != "training" || Production.String() != "production" {
+		t.Error("InputSet names wrong")
+	}
+}
+
+func TestSpaceValidatesSpecs(t *testing.T) {
+	app := &echoApp{steps: 3}
+	sp, err := Space(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != 3 {
+		t.Fatalf("space size = %d", sp.Size())
+	}
+}
+
+func TestRunToEnd(t *testing.T) {
+	app := &echoApp{steps: 5}
+	app.Apply(knobs.Setting{2})
+	run := app.Streams(Training)[0].NewRun()
+	cost, iters := RunToEnd(run)
+	if iters != 5 {
+		t.Fatalf("iterations = %d, want 5", iters)
+	}
+	if cost != 25 { // 5 steps x (10/2)
+		t.Fatalf("cost = %v, want 25", cost)
+	}
+}
+
+func TestMeasureStreamAppliesSetting(t *testing.T) {
+	app := &echoApp{steps: 4}
+	st := app.Streams(Training)[0]
+	cost, out := MeasureStream(app, st, knobs.Setting{1})
+	if app.cur != 1 {
+		t.Fatal("setting not applied")
+	}
+	if cost != 40 || out.(float64) != 40 {
+		t.Fatalf("cost=%v out=%v, want 40", cost, out)
+	}
+	cost2, _ := MeasureStream(app, st, knobs.Setting{4})
+	if cost2 >= cost {
+		t.Fatalf("faster setting should cost less: %v vs %v", cost2, cost)
+	}
+}

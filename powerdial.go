@@ -1,0 +1,211 @@
+// Package powerdial is the public API of this PowerDial reproduction
+// ("Dynamic Knobs for Responsive Power-Aware Computing", Hoffmann et al.,
+// ASPLOS 2011).
+//
+// PowerDial transforms static configuration parameters into dynamic knobs
+// — control variables in the address space of a running application that
+// a feedback control system rewrites at runtime to trade quality of
+// service for performance and power. The offline pipeline identifies the
+// control variables by dynamic influence tracing, records their values
+// for every knob setting, and calibrates the speedup/QoS trade-off space
+// on training inputs; the online runtime monitors Application Heartbeats
+// and actuates the knobs to hold a target heart rate through power caps
+// and load spikes.
+//
+// Quick start:
+//
+//	app := powerdial.NewSwaptionsBenchmark(powerdial.ScaleSmall)
+//	sys, err := powerdial.Prepare(app, powerdial.PrepareOptions{})
+//	...
+//	mach, err := powerdial.NewMachine(powerdial.MachineConfig{Clock: powerdial.NewVirtualClock()})
+//	rt, err := powerdial.NewRuntime(powerdial.RuntimeConfig{System: sys, Machine: mach})
+//	summary, err := rt.RunStream(app.Streams(powerdial.Production)[0])
+//
+// The subpackages under internal/ implement the substrates: Application
+// Heartbeats, influence tracing, the knob registry, the controller and
+// actuator, the simulated DVFS platform, the cluster model, and the four
+// benchmark applications from the paper's evaluation (swaptions, x264,
+// bodytrack, swish++).
+package powerdial
+
+import (
+	"time"
+
+	"repro/internal/calibrate"
+	"repro/internal/clock"
+	"repro/internal/cluster"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/heartbeats"
+	"repro/internal/influence"
+	"repro/internal/knobs"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Application interfaces (see internal/workload).
+type (
+	// App is a PowerDial-controllable application.
+	App = workload.App
+	// Traceable apps support dynamic knob identification.
+	Traceable = workload.Traceable
+	// Bindable apps expose control variables to the knob registry.
+	Bindable = workload.Bindable
+	// Stream is one application input (a video, a portfolio, a query
+	// batch); each iteration is one heartbeat.
+	Stream = workload.Stream
+	// Run is a stateful pass over a Stream.
+	Run = workload.Run
+	// Output is an application-specific stream output.
+	Output = workload.Output
+	// InputSet selects training or production inputs.
+	InputSet = workload.InputSet
+)
+
+// Input sets.
+const (
+	Training   = workload.Training
+	Production = workload.Production
+)
+
+// Knob types (see internal/knobs).
+type (
+	// Setting is one combination of knob values.
+	Setting = knobs.Setting
+	// Spec declares a knob: name, values, default.
+	Spec = knobs.Spec
+	// Space is the cartesian setting space of an app's specs.
+	Space = knobs.Space
+	// Registry holds control variables and recorded per-setting values.
+	Registry = knobs.Registry
+)
+
+// Calibration types (see internal/calibrate).
+type (
+	// Profile is a calibrated trade-off space.
+	Profile = calibrate.Profile
+	// SettingResult is one calibrated (speedup, QoS loss) point.
+	SettingResult = calibrate.SettingResult
+	// CalibrateOptions configures a calibration sweep.
+	CalibrateOptions = calibrate.Options
+	// Correlation is the Table 2 training-vs-production result.
+	Correlation = calibrate.Correlation
+)
+
+// Core pipeline types (see internal/core).
+type (
+	// System is a prepared PowerDial deployment.
+	System = core.System
+	// PrepareOptions configures Prepare.
+	PrepareOptions = core.PrepareOptions
+	// Runtime drives an application under PowerDial control.
+	Runtime = core.Runtime
+	// RuntimeConfig assembles a Runtime.
+	RuntimeConfig = core.RuntimeConfig
+	// RunSummary reports one controlled stream execution.
+	RunSummary = core.RunSummary
+	// TracePoint is one per-beat runtime observation.
+	TracePoint = core.TracePoint
+)
+
+// Control types (see internal/control).
+type (
+	// Policy selects the actuation solution.
+	Policy = control.Policy
+	// Plan is an actuator schedule for one quantum.
+	Plan = control.Plan
+)
+
+// Actuation policies (Sec. 2.3.3's two solutions).
+const (
+	// MinQoS runs at the lowest sufficient speedup (for platforms with
+	// high idle power).
+	MinQoS = control.MinQoS
+	// RaceToIdle runs at maximum speedup then idles (for platforms with
+	// low idle power).
+	RaceToIdle = control.RaceToIdle
+)
+
+// Platform types (see internal/platform).
+type (
+	// Machine is a simulated DVFS server.
+	Machine = platform.Machine
+	// MachineConfig configures a Machine.
+	MachineConfig = platform.Config
+	// PowerModel maps frequency and utilization to watts.
+	PowerModel = platform.PowerModel
+	// Target is a heart-rate goal range.
+	Target = heartbeats.Target
+	// Monitor is an Application Heartbeats monitor.
+	Monitor = heartbeats.Monitor
+	// VirtualClock is a deterministic manual clock.
+	VirtualClock = clock.Virtual
+)
+
+// Cluster types (see internal/cluster).
+type (
+	// ClusterConfig describes a provisioned multi-machine system.
+	ClusterConfig = cluster.Config
+	// Cluster is a provisioned system under evaluation.
+	Cluster = cluster.System
+	// ClusterPoint is an evaluated load point.
+	ClusterPoint = cluster.Point
+)
+
+// Influence-tracing types (see internal/influence).
+type (
+	// Tracer observes one instrumented initialization.
+	Tracer = influence.Tracer
+	// Report is a control-variable report.
+	Report = influence.Report
+)
+
+// Prepare runs the offline PowerDial pipeline (identification +
+// calibration) on an application.
+func Prepare(app App, opts PrepareOptions) (*System, error) { return core.Prepare(app, opts) }
+
+// Identify runs dynamic knob identification only.
+func Identify(app Traceable, settings []Setting) (*Registry, Report, error) {
+	return core.Identify(app, settings)
+}
+
+// Calibrate sweeps an application's setting space (Sec. 2.2).
+func Calibrate(app App, opts CalibrateOptions) (*Profile, error) { return calibrate.Run(app, opts) }
+
+// Correlate computes Table 2's training-vs-production correlation.
+func Correlate(train, prod *Profile) (Correlation, error) { return calibrate.Correlate(train, prod) }
+
+// LoadProfile reads a calibration profile saved with Profile.Save.
+func LoadProfile(path string) (*Profile, error) { return calibrate.Load(path) }
+
+// NewRuntime builds the online control runtime.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return core.NewRuntime(cfg) }
+
+// NewMachine builds a simulated server.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return platform.NewMachine(cfg) }
+
+// NewVirtualClock returns a deterministic clock starting at the Unix
+// epoch.
+func NewVirtualClock() *VirtualClock { return clock.NewVirtual(time.Unix(0, 0)) }
+
+// NewCluster builds a provisioned multi-machine system.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ConsolidateCluster provisions the minimum machines serving the
+// original peak under the profile's QoS cap (Eq. 21).
+func ConsolidateCluster(orig ClusterConfig, profile *Profile) (*Cluster, error) {
+	return cluster.Consolidate(orig, profile)
+}
+
+// DVFSFrequencies lists the platform's seven power states in GHz.
+func DVFSFrequencies() []float64 {
+	out := make([]float64, len(platform.Frequencies))
+	copy(out, platform.Frequencies)
+	return out
+}
+
+// DefaultPowerModel returns the power model fit to the paper's machine.
+func DefaultPowerModel() PowerModel { return platform.DefaultPowerModel() }
+
+// SpaceOf returns the validated setting space of an application.
+func SpaceOf(app App) (Space, error) { return workload.Space(app) }
