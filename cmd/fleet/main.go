@@ -1,0 +1,174 @@
+// Command fleet runs the concurrent fleet supervisor: N PowerDial
+// runtime instances as goroutines across M simulated machines, under a
+// cluster-wide power budget divided by the arbiter each control
+// quantum, fed by an open-loop load generator.
+//
+// Usage:
+//
+//	fleet                                  # 8 instances, 2 machines, 400 W cap
+//	fleet -app swaptions -scale small      # a real benchmark as the workload
+//	fleet -load spike -rate 6 -rounds 60   # spiky open-loop traffic
+//	fleet -budget 400 -drop-to 340 -drop-at 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	powerdial "repro"
+	"repro/internal/calibrate"
+	"repro/internal/cluster"
+	"repro/internal/fleet"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "synthetic", "workload: synthetic | swaptions | x264 | bodytrack | swish++")
+	scale := flag.String("scale", "small", "benchmark input scale: small | medium | large")
+	machines := flag.Int("machines", 2, "simulated machine count")
+	cores := flag.Int("cores", 2, "cores per machine")
+	instances := flag.Int("instances", 8, "application instances to start")
+	rounds := flag.Int("rounds", 30, "control quanta to simulate")
+	budget := flag.Float64("budget", 400, "cluster power cap in watts (0 = unlimited)")
+	dropTo := flag.Float64("drop-to", 0, "change the budget to this many watts mid-run (0 = never)")
+	dropAt := flag.Int("drop-at", 0, "round at which the budget change lands")
+	load := flag.String("load", "saturate", "arrival process: saturate | constant | ramp | spike")
+	rate := flag.Float64("rate", 6, "mean arrivals per quantum (constant/ramp/spike)")
+	seed := flag.Int64("seed", 1, "load generator seed")
+	flag.Parse()
+
+	if err := run(*appName, *scale, *machines, *cores, *instances, *rounds,
+		*budget, *dropTo, *dropAt, *load, *rate, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// workloadFor builds the per-instance app factory and its calibrated
+// profile.
+func workloadFor(appName, scale string) (func() (workload.App, error), *calibrate.Profile, error) {
+	if appName == "synthetic" {
+		newApp := func() (workload.App, error) { return fleet.NewSynthetic(fleet.SyntheticOptions{}), nil }
+		probe, _ := newApp()
+		prof, err := powerdial.Calibrate(probe, powerdial.CalibrateOptions{})
+		return newApp, prof, err
+	}
+	var sc powerdial.Scale
+	switch scale {
+	case "small":
+		sc = powerdial.ScaleSmall
+	case "medium":
+		sc = powerdial.ScaleMedium
+	case "large":
+		sc = powerdial.ScaleLarge
+	default:
+		return nil, nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	probe, err := powerdial.NewBenchmark(appName, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	settings, err := powerdial.SweepSettings(probe, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := powerdial.Calibrate(probe, powerdial.CalibrateOptions{Settings: settings})
+	if err != nil {
+		return nil, nil, err
+	}
+	newApp := func() (workload.App, error) { return powerdial.NewBenchmark(appName, sc) }
+	return newApp, prof, nil
+}
+
+func run(appName, scale string, machines, cores, instances, rounds int,
+	budget, dropTo float64, dropAt int, load string, rate float64, seed int64) error {
+	newApp, prof, err := workloadFor(appName, scale)
+	if err != nil {
+		return err
+	}
+	sup, err := fleet.New(fleet.Config{
+		Machines:        machines,
+		CoresPerMachine: cores,
+		NewApp:          newApp,
+		Profile:         prof,
+		Budget:          budget,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < instances; i++ {
+		if _, err := sup.StartInstance(-1); err != nil {
+			return err
+		}
+	}
+
+	var gen *fleet.LoadGen
+	switch load {
+	case "saturate":
+		gen = fleet.NewSaturatingLoad(2)
+	case "constant":
+		gen = fleet.NewConstantLoad(seed, rate)
+	case "ramp":
+		gen = fleet.NewRampLoad(seed, 0, rate, rounds/2)
+	case "spike":
+		gen = fleet.NewSpikeLoad(seed, rate/3, rate*2, 10, 3)
+	default:
+		return fmt.Errorf("unknown load %q (saturate | constant | ramp | spike)", load)
+	}
+
+	fmt.Printf("fleet: %d instances of %s on %d machines x %d cores, budget %s, %s load\n",
+		instances, appName, machines, cores, watts(budget), load)
+	fmt.Printf("target heart rate: %.1f beats/sec per instance\n\n", sup.Target().Goal())
+	fmt.Printf("%5s | %7s | %7s | %-14s | %5s | %6s | %5s | %4s\n",
+		"round", "budget", "power W", "GHz per host", "perf", "loss %", "queue", "done")
+
+	for r := 0; r < rounds; r++ {
+		if dropTo != 0 && r == dropAt {
+			sup.SetBudget(dropTo)
+		}
+		rs, err := sup.Step(gen)
+		if err != nil {
+			return err
+		}
+		freqs := ""
+		for i, h := range rs.Hosts {
+			if i > 0 {
+				freqs += " "
+			}
+			freqs += fmt.Sprintf("%.2f", h.FreqGHz)
+		}
+		fmt.Printf("%5d | %7s | %7.1f | %-14s | %5.2f | %6.2f | %5d | %4d\n",
+			rs.Round, watts(rs.Budget), rs.PowerWatts, freqs,
+			rs.MeanNormPerf, rs.RequestLoss*100, rs.QueueDepth, rs.Completions)
+	}
+
+	rep := sup.Report()
+	fmt.Printf("\nsummary: %d requests (%d aborted), mean power %.1f W, energy %.0f J\n",
+		rep.Completions, rep.Aborted, rep.MeanPower, rep.TotalEnergyJ)
+	fmt.Printf("latency: mean %.2f s, p95 %.2f s; mean request QoS loss %.2f%%\n",
+		rep.MeanLatency, rep.P95Latency, rep.MeanRequestLoss*100)
+
+	// Close the loop against the analytic oracle for the saturating case.
+	if _, ok := gen.Saturating(); ok {
+		oracle, err := cluster.NewOracle(machines, cores, prof, powerdial.DefaultPowerModel(), platform.Frequencies[0])
+		if err != nil {
+			return err
+		}
+		pred, err := oracle.Predict(instances)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("oracle (uncapped): per-instance speedup %.2fx, loss %.2f%%, cluster power %.1f W\n",
+			pred.Speedup, pred.Loss*100, pred.PowerWatts)
+	}
+	return nil
+}
+
+func watts(w float64) string {
+	if w <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", w)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// lifecycleRuntime builds a runtime over the shared swaptions fixture.
+func lifecycleRuntime(t *testing.T, hook func(int)) (*Runtime, workload.Stream) {
+	t.Helper()
+	sys := prepared(t)
+	rt, err := NewRuntime(RuntimeConfig{System: sys, Machine: testMachine(t), BeatHook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, sys.App.Streams(workload.Production)[0]
+}
+
+// TestSessionStepsStream drives a session beat by beat and checks it
+// matches the stream length and reports completion exactly once.
+func TestSessionStepsStream(t *testing.T) {
+	rt, st := lifecycleRuntime(t, nil)
+	sess := rt.NewSession(st)
+	steps := 0
+	for {
+		done, err := sess.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		steps++
+	}
+	if steps != st.Len() {
+		t.Errorf("session stepped %d beats, stream has %d iterations", steps, st.Len())
+	}
+	if !sess.Done() || sess.Drained() {
+		t.Errorf("done=%v drained=%v, want done, not drained", sess.Done(), sess.Drained())
+	}
+	if sum := sess.Summary(); sum.Beats != st.Len() {
+		t.Errorf("summary beats = %d, want %d", sum.Beats, st.Len())
+	}
+	// Stepping a finished session stays done.
+	if done, _ := sess.Step(); !done {
+		t.Error("finished session stepped again")
+	}
+}
+
+// TestPauseBlocksAtBeatBoundary checks that a paused runtime makes no
+// progress and resumes cleanly.
+func TestPauseBlocksAtBeatBoundary(t *testing.T) {
+	rt, st := lifecycleRuntime(t, nil)
+	rt.Pause()
+	if !rt.Snapshot().Paused {
+		t.Fatal("snapshot does not report paused")
+	}
+	done := make(chan RunSummary, 1)
+	go func() {
+		sum, err := rt.RunStream(st)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- sum
+	}()
+	select {
+	case <-done:
+		t.Fatal("stream ran to completion while paused")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if beats := rt.Snapshot().Beats; beats != 0 {
+		t.Fatalf("paused runtime completed %d beats", beats)
+	}
+	rt.Resume()
+	sum := <-done
+	if sum.Beats != st.Len() || sum.Drained {
+		t.Errorf("after resume: beats=%d drained=%v, want %d, not drained", sum.Beats, sum.Drained, st.Len())
+	}
+}
+
+// TestDrainEndsRunEarly drains mid-run from the beat hook and checks
+// the run stops at the next beat boundary with the drained flag set.
+func TestDrainEndsRunEarly(t *testing.T) {
+	var rt *Runtime
+	hook := func(beats int) {
+		if beats == 3 {
+			rt.Drain()
+		}
+	}
+	rt, st := lifecycleRuntime(t, hook)
+	if st.Len() <= 4 {
+		t.Fatalf("stream too short (%d) to observe an early drain", st.Len())
+	}
+	sum, err := rt.RunStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Drained {
+		t.Error("summary does not report drained")
+	}
+	if sum.Beats != 3 {
+		t.Errorf("drained after %d beats, want 3", sum.Beats)
+	}
+	if !rt.Draining() {
+		t.Error("runtime does not report draining")
+	}
+	// A drained runtime completes new sessions immediately.
+	sess := rt.NewSession(st)
+	if done, _ := sess.Step(); !done || !sess.Drained() {
+		t.Errorf("new session on drained runtime: done=%v drained=%v, want both", done, sess.Drained())
+	}
+	// Drain also releases a paused runtime.
+	rt2, st2 := lifecycleRuntime(t, nil)
+	rt2.Pause()
+	finished := make(chan struct{})
+	go func() {
+		_, _ = rt2.RunStream(st2)
+		close(finished)
+	}()
+	rt2.Drain()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not release the paused runtime")
+	}
+}
+
+// TestSnapshotConcurrentWithRun reads runtime state from another
+// goroutine throughout a run; the race detector validates the locking.
+func TestSnapshotConcurrentWithRun(t *testing.T) {
+	rt, st := lifecycleRuntime(t, nil)
+	stop := make(chan struct{})
+	observed := make(chan int, 1)
+	go func() {
+		max := 0
+		for {
+			select {
+			case <-stop:
+				observed <- max
+				return
+			default:
+			}
+			snap := rt.Snapshot()
+			if snap.Beats > max {
+				max = snap.Beats
+			}
+			_ = rt.Gain()
+			_ = rt.CurrentPlanLoss()
+			_ = rt.Trace()
+		}
+	}()
+	if _, err := rt.RunStream(st); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if max := <-observed; max > st.Len() {
+		t.Errorf("observer saw %d beats, stream has only %d", max, st.Len())
+	}
+	if final := rt.Snapshot(); final.Beats != st.Len() {
+		t.Errorf("final snapshot beats = %d, want %d", final.Beats, st.Len())
+	}
+}

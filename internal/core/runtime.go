@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/calibrate"
@@ -53,22 +54,32 @@ type RuntimeConfig struct {
 
 // Runtime executes application streams on a simulated machine under
 // PowerDial control.
+//
+// One goroutine drives the run (RunStream or Session.Step); the
+// lifecycle methods — Pause, Resume, Drain, Snapshot — may be called
+// concurrently from a supervisor goroutine, which is how the fleet
+// supervisor manages resident instances.
 type Runtime struct {
 	sys     *System
 	mach    *platform.Machine
 	mon     *heartbeats.Monitor
 	ctl     *control.BandController
 	act     *control.Actuator
-	sch     control.Schedule
 	quantum int
 	record  bool
 	off     bool
 
 	baseline knobs.Setting
+	hook     func(int)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sch      control.Schedule
 	current  knobs.Setting
 	beats    int
 	trace    []TracePoint
-	hook     func(int)
+	paused   bool
+	draining bool
 }
 
 // BaselineCostPerBeat measures the mean work units per iteration of the
@@ -150,6 +161,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		baseline: space.Default(),
 		hook:     cfg.BeatHook,
 	}
+	rt.cond = sync.NewCond(&rt.mu)
 	rt.sch = control.BuildSchedule(act.PlanFor(1), cfg.QuantumBeats)
 	return rt, nil
 }
@@ -157,15 +169,105 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 // Monitor exposes the heartbeat monitor (for tests and experiments).
 func (rt *Runtime) Monitor() *heartbeats.Monitor { return rt.mon }
 
+// Machine returns the execution platform the runtime is bound to.
+func (rt *Runtime) Machine() *platform.Machine { return rt.mach }
+
 // Trace returns the recorded per-beat observations.
-func (rt *Runtime) Trace() []TracePoint { return rt.trace }
+func (rt *Runtime) Trace() []TracePoint {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]TracePoint, len(rt.trace))
+	copy(out, rt.trace)
+	return out
+}
 
 // Gain returns the current plan's expected speedup (Fig. 7's knob gain).
 func (rt *Runtime) Gain() float64 {
 	if rt.off {
 		return 1
 	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	return rt.sch.Plan().ExpectedSpeedup()
+}
+
+// Pause makes the driving goroutine block at the next beat boundary
+// (mid-beat work always completes: beats are the runtime's atomic unit).
+// Pausing an already-paused runtime is a no-op.
+func (rt *Runtime) Pause() {
+	rt.mu.Lock()
+	rt.paused = true
+	rt.mu.Unlock()
+}
+
+// Resume releases a Pause.
+func (rt *Runtime) Resume() {
+	rt.mu.Lock()
+	rt.paused = false
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// Drain asks the runtime to stop at the next beat boundary: the active
+// session (or RunStream) finishes early with whatever output the stream
+// has accumulated, and subsequent sessions complete immediately. Drain
+// wakes a paused runtime so it can wind down.
+func (rt *Runtime) Drain() {
+	rt.mu.Lock()
+	rt.draining = true
+	rt.mu.Unlock()
+	rt.cond.Broadcast()
+}
+
+// Draining reports whether Drain has been requested.
+func (rt *Runtime) Draining() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.draining
+}
+
+// Snapshot is a point-in-time observation of a running instance, safe to
+// take from another goroutine.
+type Snapshot struct {
+	Beats    int           // completed iterations
+	Setting  knobs.Setting // knob setting of the most recent beat
+	Gain     float64       // active plan's expected speedup
+	PlanLoss float64       // active plan's expected QoS loss
+	NormPerf float64       // windowed heart rate / target (1.0 = on target)
+	Paused   bool
+	Draining bool
+}
+
+// Snapshot captures the runtime's observable state.
+func (rt *Runtime) Snapshot() Snapshot {
+	rt.mu.Lock()
+	s := Snapshot{
+		Beats:    rt.beats,
+		Gain:     1,
+		Paused:   rt.paused,
+		Draining: rt.draining,
+	}
+	if rt.current != nil {
+		s.Setting = rt.current.Clone()
+	}
+	if !rt.off {
+		s.Gain = rt.sch.Plan().ExpectedSpeedup()
+		s.PlanLoss = rt.sch.Plan().ExpectedLoss()
+	}
+	rt.mu.Unlock()
+	s.NormPerf = rt.mon.NormalizedPerformance()
+	return s
+}
+
+// gate blocks while the runtime is paused and reports whether it is
+// draining. Called at every beat boundary.
+func (rt *Runtime) gate() (draining bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for rt.paused && !rt.draining {
+		rt.cond.Wait()
+	}
+	return rt.draining
 }
 
 // RunSummary reports one controlled stream execution.
@@ -176,54 +278,137 @@ type RunSummary struct {
 	MeanPower float64
 	// PerfError is |mean rate − target| / target over the run.
 	PerfError float64
+	// Drained reports that the run ended early because Drain was
+	// requested rather than because the stream was exhausted.
+	Drained bool
 }
 
-// RunStream drives one input stream to completion under control,
-// returning its output and summary. The caller may change machine power
-// states concurrently with the run (between beats) to model power caps.
-func (rt *Runtime) RunStream(st workload.Stream) (RunSummary, error) {
-	run := st.NewRun()
-	start := rt.mach.Clock().Now()
+// Session is an in-progress controlled pass over one stream, advanced
+// beat by beat. It lets a scheduler (the fleet supervisor) interleave a
+// run with other work on a time budget instead of driving the stream to
+// completion in one call.
+type Session struct {
+	rt         *Runtime
+	run        workload.Run
+	start      time.Time
+	startBeats int
+	done       bool
+	drained    bool
+}
+
+// NewSession starts a controlled pass over the stream.
+func (rt *Runtime) NewSession(st workload.Stream) *Session {
+	rt.mu.Lock()
 	startBeats := rt.beats
-	rt.mach.Meter().Reset()
-	for {
-		setting := rt.settingForBeat()
-		if err := rt.applySetting(setting); err != nil {
-			return RunSummary{}, err
-		}
-		cost, ok := run.Step()
-		if !ok {
-			// No heartbeat for the loop exit: beats mark completed
-			// iterations, so chaining streams never injects
-			// zero-interval beats.
-			break
-		}
-		d := rt.mach.Execute(cost)
-		if ratio := rt.sch.IdleRatio(); ratio > 0 && !rt.off {
-			rt.mach.Idle(time.Duration(float64(d) * ratio))
-		}
-		rt.beats++
-		rt.beat()
-		if rt.hook != nil {
-			rt.hook(rt.beats)
-		}
-		if rt.record {
-			rt.trace = append(rt.trace, TracePoint{
-				Time:      rt.mach.Clock().Now(),
-				NormPerf:  rt.mon.NormalizedPerformance(),
-				Gain:      rt.Gain(),
-				Setting:   setting.Clone(),
-				Frequency: rt.mach.Frequency(),
-			})
+	rt.mu.Unlock()
+	return &Session{
+		rt:         rt,
+		run:        st.NewRun(),
+		start:      rt.mach.Clock().Now(),
+		startBeats: startBeats,
+	}
+}
+
+// Step executes one iteration (one beat) of the session's stream. It
+// returns done=true when the stream is exhausted or the runtime is
+// draining; stepping a finished session stays done.
+func (s *Session) Step() (done bool, err error) {
+	if s.done {
+		return true, nil
+	}
+	rt := s.rt
+	if rt.gate() {
+		s.done, s.drained = true, true
+		return true, nil
+	}
+	setting := rt.settingForBeat()
+	if err := rt.applySetting(setting); err != nil {
+		return false, err
+	}
+	cost, ok := s.run.Step()
+	if !ok {
+		// No heartbeat for the loop exit: beats mark completed
+		// iterations, so chaining streams never injects
+		// zero-interval beats.
+		s.done = true
+		return true, nil
+	}
+	d := rt.mach.Execute(cost)
+	rt.mu.Lock()
+	idleRatio := 0.0
+	if !rt.off {
+		idleRatio = rt.sch.IdleRatio()
+	}
+	rt.mu.Unlock()
+	if idleRatio > 0 {
+		rt.mach.Idle(time.Duration(float64(d) * idleRatio))
+	}
+	beats := rt.finishBeat(setting)
+	if rt.hook != nil {
+		rt.hook(beats)
+	}
+	return false, nil
+}
+
+// finishBeat emits the heartbeat for the completed iteration, records the
+// trace point, and at quantum boundaries runs the controller and actuator
+// to produce the next plan. It returns the total beat count.
+func (rt *Runtime) finishBeat(setting knobs.Setting) int {
+	rt.mon.Beat()
+	rt.mu.Lock()
+	rt.beats++
+	beats := rt.beats
+	if !rt.off && beats%rt.quantum == 0 {
+		if h := rt.mon.WindowRate(); h > 0 {
+			s := rt.ctl.Update(h)
+			rt.sch = control.BuildSchedule(rt.act.PlanFor(s), rt.quantum)
 		}
 	}
-	elapsed := rt.mach.Clock().Now().Sub(start)
-	nbeats := rt.beats - startBeats
+	if rt.record {
+		rt.trace = append(rt.trace, TracePoint{
+			Time:      rt.mach.Clock().Now(),
+			NormPerf:  rt.mon.NormalizedPerformance(),
+			Gain:      rt.gainLocked(),
+			Setting:   setting.Clone(),
+			Frequency: rt.mach.Frequency(),
+		})
+	}
+	rt.mu.Unlock()
+	return beats
+}
+
+// gainLocked is Gain with rt.mu held.
+func (rt *Runtime) gainLocked() float64 {
+	if rt.off {
+		return 1
+	}
+	return rt.sch.Plan().ExpectedSpeedup()
+}
+
+// Drained reports whether the session ended early due to Drain.
+func (s *Session) Drained() bool { return s.drained }
+
+// Done reports whether the session has finished.
+func (s *Session) Done() bool { return s.done }
+
+// Output returns the stream output accumulated so far.
+func (s *Session) Output() workload.Output { return s.run.Output() }
+
+// Summary reports the session's execution so far. MeanPower reflects the
+// machine meter since its last Reset, which RunStream performs at start;
+// sessions opened directly inherit whatever metering epoch is active.
+func (s *Session) Summary() RunSummary {
+	rt := s.rt
+	elapsed := rt.mach.Clock().Now().Sub(s.start)
+	rt.mu.Lock()
+	nbeats := rt.beats - s.startBeats
+	rt.mu.Unlock()
 	sum := RunSummary{
-		Output:    run.Output(),
+		Output:    s.run.Output(),
 		Beats:     nbeats,
 		Elapsed:   elapsed,
 		MeanPower: rt.mach.Meter().MeanPower(),
+		Drained:   s.drained,
 	}
 	if elapsed > 0 && nbeats > 0 {
 		rate := float64(nbeats) / elapsed.Seconds()
@@ -234,25 +419,25 @@ func (rt *Runtime) RunStream(st workload.Stream) (RunSummary, error) {
 		}
 		sum.PerfError = err
 	}
-	return sum, nil
+	return sum
 }
 
-// beat emits the heartbeat for the completed iteration and, at quantum
-// boundaries, runs the controller and actuator to produce the next plan.
-func (rt *Runtime) beat() {
-	rt.mon.Beat()
-	if rt.off {
-		return
+// RunStream drives one input stream to completion under control,
+// returning its output and summary. The caller may change machine power
+// states concurrently with the run (between beats) to model power caps.
+func (rt *Runtime) RunStream(st workload.Stream) (RunSummary, error) {
+	sess := rt.NewSession(st)
+	rt.mach.Meter().Reset()
+	for {
+		done, err := sess.Step()
+		if err != nil {
+			return RunSummary{}, err
+		}
+		if done {
+			break
+		}
 	}
-	if rt.beats%rt.quantum != 0 {
-		return
-	}
-	h := rt.mon.WindowRate()
-	if h <= 0 {
-		return
-	}
-	s := rt.ctl.Update(h)
-	rt.sch = control.BuildSchedule(rt.act.PlanFor(s), rt.quantum)
+	return sess.Summary(), nil
 }
 
 // settingForBeat picks the knob setting for the current beat from the
@@ -261,18 +446,25 @@ func (rt *Runtime) settingForBeat() knobs.Setting {
 	if rt.off {
 		return rt.baseline
 	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	return rt.sch.Setting(rt.beats % rt.quantum)
 }
 
 // applySetting installs the setting if it differs from the current one.
 func (rt *Runtime) applySetting(s knobs.Setting) error {
-	if rt.current != nil && rt.current.Equal(s) {
+	rt.mu.Lock()
+	same := rt.current != nil && rt.current.Equal(s)
+	rt.mu.Unlock()
+	if same {
 		return nil
 	}
 	if err := rt.sys.ApplySetting(s); err != nil {
 		return err
 	}
+	rt.mu.Lock()
 	rt.current = s.Clone()
+	rt.mu.Unlock()
 	return nil
 }
 
@@ -281,6 +473,8 @@ func (rt *Runtime) CurrentPlanLoss() float64 {
 	if rt.off {
 		return 0
 	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	return rt.sch.Plan().ExpectedLoss()
 }
 

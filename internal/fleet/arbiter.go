@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// Arbiter divides a cluster-wide power budget across machines once per
+// control quantum. Each host is assigned a DVFS state (a frequency cap,
+// pushed to every resident instance through the platform layer) such
+// that the projected cluster power stays within budget; headroom is
+// divided proportionally to core demand, and the remainder is granted
+// greedily to the hosts whose resident instances are furthest below
+// their heart-rate targets, so an idle machine's unused share flows to
+// a loaded one — the budget is shared, not partitioned.
+type Arbiter struct {
+	model  platform.PowerModel
+	budget float64 // watts; <= 0 means unlimited
+}
+
+// NewArbiter builds an arbiter for the given power model and cluster
+// budget in watts (<= 0 disables the cap).
+func NewArbiter(model platform.PowerModel, budget float64) *Arbiter {
+	return &Arbiter{model: model, budget: budget}
+}
+
+// Budget returns the current cluster-wide cap (<= 0 = unlimited).
+func (a *Arbiter) Budget() float64 { return a.budget }
+
+// SetBudget changes the cluster-wide cap; it takes effect at the next
+// quantum.
+func (a *Arbiter) SetBudget(watts float64) { a.budget = watts }
+
+// hostDemand is the arbiter's per-host input for one quantum.
+type hostDemand struct {
+	// util is the projected utilization used for power accounting:
+	// worst-case (1) for hosts with residents — a cap must hold even if
+	// the machine goes fully busy — and the measured idle draw otherwise.
+	util float64
+	// weight is the host's share of the divisible budget, proportional
+	// to its core demand (resident instances, capped at the core count).
+	weight float64
+	// deficit is how far the host's residents lag their targets
+	// (mean of max(0, 1 − normalized performance)); larger = served
+	// first when leftover headroom is granted.
+	deficit float64
+}
+
+// assign returns one DVFS state index per host. Every host starts at
+// the lowest-power state. The headroom above the all-lowest floor is
+// then divided in two passes: first proportionally to each host's core
+// demand (weight) — a stable division that cannot oscillate round to
+// round — and then any leftover goes to hosts in strict performance-
+// deficit order (ties to the lower index), which is how an idle
+// machine's unused share flows to a loaded one. Deficits are compared
+// in coarse buckets so near-converged hosts keep a stable priority
+// order instead of trading the leftover back and forth on measurement
+// noise. With no budget every host runs at full frequency. If even the
+// all-lowest assignment exceeds the budget it is returned anyway — the
+// fleet cannot power off machines ("machines without jobs are idle but
+// not powered off").
+func (a *Arbiter) assign(demands []hostDemand) []int {
+	n := len(demands)
+	states := make([]int, n)
+	if a.budget <= 0 {
+		return states // zeroed: every host at the fastest state
+	}
+	lowest := len(platform.Frequencies) - 1
+	projected := func(i, state int) float64 {
+		return a.model.Power(platform.Frequencies[state], demands[i].util)
+	}
+	total := 0.0
+	for i := range states {
+		states[i] = lowest
+		total += projected(i, lowest)
+	}
+	if available := a.budget - total; available > 0 {
+		var wsum float64
+		for _, d := range demands {
+			wsum += d.weight
+		}
+		if wsum > 0 {
+			for i := range states {
+				extra := available * demands[i].weight / wsum
+				spent := 0.0
+				for states[i] > 0 {
+					delta := projected(i, states[i]-1) - projected(i, states[i])
+					if spent+delta > extra {
+						break
+					}
+					states[i]--
+					spent += delta
+					total += delta
+				}
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	bucket := func(deficit float64) int { return int(deficit * 20) }
+	sort.SliceStable(order, func(x, y int) bool {
+		return bucket(demands[order[x]].deficit) > bucket(demands[order[y]].deficit)
+	})
+	for _, i := range order {
+		for states[i] > 0 {
+			delta := projected(i, states[i]-1) - projected(i, states[i])
+			if total+delta > a.budget {
+				break
+			}
+			states[i]--
+			total += delta
+		}
+	}
+	return states
+}

@@ -1,0 +1,804 @@
+// Package fleet executes the paper's Sec. 5.5 consolidation scenario
+// instead of computing it: a concurrent supervisor runs N core.Runtime
+// instances as goroutines across M simulated machines, with a global
+// power-budget arbiter that re-divides a cluster-wide cap across the
+// machines each control quantum, an open-loop load generator feeding
+// per-instance request queues, and live placement — instances start,
+// drain, stop, and migrate between machines mid-run.
+//
+// Time is bulk-synchronous: the fleet advances in control quanta. At
+// each quantum boundary the arbiter assigns per-machine frequency caps,
+// the load generator delivers arrivals, and placement changes take
+// effect; then every instance's goroutine executes concurrently until
+// its virtual clock reaches the quantum boundary. Within a quantum an
+// instance depends only on state frozen at the boundary, so results are
+// bit-for-bit deterministic for a fixed seed no matter how the goroutines
+// interleave — which is what lets the end-to-end tests validate the
+// executed fleet against the closed-form cluster oracle
+// (cluster.Oracle).
+//
+// Machine sharing follows the oracle's arithmetic: a machine with C
+// cores and I resident instances time-multiplexes each instance onto
+// C/I of a core when I > C (expressed through the platform layer as
+// co-located interference on the instance's single-core machine view),
+// so each instance must command knob speedup I/C to hold its target —
+// exactly the per-instance demand of the analytic model.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/calibrate"
+	"repro/internal/clock"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/heartbeats"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Config assembles a fleet.
+type Config struct {
+	// Machines is the simulated machine count (required, >= 1).
+	Machines int
+	// CoresPerMachine defaults to 8 (the paper's dual quad-core R410).
+	CoresPerMachine int
+	// NewApp builds one application instance; every fleet instance gets
+	// its own copy, since knob actuation rewrites live app state
+	// (required). Copies must be deterministic.
+	NewApp func() (workload.App, error)
+	// Profile is the shared calibrated trade-off space (required).
+	Profile *calibrate.Profile
+	// Target is the per-instance heart-rate goal. Zero means the
+	// paper's convention: the baseline heart rate of one instance on an
+	// otherwise-unloaded machine at full frequency.
+	Target heartbeats.Target
+	// Policy selects the actuation solution (default MinQoS).
+	Policy control.Policy
+	// Power is the machine power model (default platform default).
+	Power platform.PowerModel
+	// Budget is the cluster-wide power cap in watts (<= 0 = unlimited).
+	Budget float64
+	// Quantum is the control quantum (default 1s of virtual time).
+	Quantum time.Duration
+	// QuantumBeats is the per-instance actuator quantum (default 20).
+	QuantumBeats int
+	// MigrationDowntime is the blackout an instance suffers when moved
+	// between machines (default 100ms).
+	MigrationDowntime time.Duration
+}
+
+// Host is one simulated machine of the fleet.
+type Host struct {
+	index     int
+	cores     int
+	state     int // DVFS state index assigned by the arbiter
+	residents []*Instance
+	energy    float64 // joules accumulated
+}
+
+// Index returns the host's position in the fleet.
+func (h *Host) Index() int { return h.index }
+
+// State returns the DVFS state the arbiter last assigned.
+func (h *Host) State() int { return h.state }
+
+// Frequency returns the host's current frequency cap in GHz.
+func (h *Host) Frequency() float64 { return platform.Frequencies[h.state] }
+
+// Residents returns the instances currently placed on the host.
+func (h *Host) Residents() []*Instance {
+	out := make([]*Instance, len(h.residents))
+	copy(out, h.residents)
+	return out
+}
+
+// Energy returns the joules the host has consumed so far.
+func (h *Host) Energy() float64 { return h.energy }
+
+// share is the fraction of a core each resident receives.
+func (h *Host) share() float64 {
+	if len(h.residents) <= h.cores {
+		return 1
+	}
+	return float64(h.cores) / float64(len(h.residents))
+}
+
+// applyShares pushes the host's frequency cap and multiplexing share to
+// every resident's machine view through the platform layer.
+func (h *Host) applyShares() {
+	interference := 1 - h.share()
+	for _, inst := range h.residents {
+		_ = inst.view.SetState(h.state)
+		inst.view.SetInterference(interference)
+	}
+}
+
+func (h *Host) removeResident(inst *Instance) {
+	for i, r := range h.residents {
+		if r == inst {
+			h.residents = append(h.residents[:i], h.residents[i+1:]...)
+			return
+		}
+	}
+}
+
+// Instance is one controlled application instance. During a quantum only
+// its own goroutine touches it; between quanta only the supervisor does
+// (the WaitGroup barrier orders the two).
+type Instance struct {
+	id      int
+	app     workload.App
+	rt      *core.Runtime
+	view    *platform.Machine
+	clk     *clock.Virtual
+	host    *Host
+	streams []workload.Stream
+
+	queue       []*Request
+	sess        *core.Session
+	cur         *Request
+	sessStart   time.Time // virtual time the in-flight session began
+	pausedUntil time.Time
+	baseOuts    []workload.Output // shared baseline outputs, read-only
+
+	accepting bool
+	draining  bool
+	stopping  bool
+	retired   bool
+	selfFeed  bool // saturating load: refill the queue mid-quantum
+	feedIdx   int  // stream cursor for self-fed requests
+	minted    int  // self-fed requests created this quantum
+
+	completed int
+	aborted   int
+	lossSum   float64   // realized request QoS loss, drained each round
+	latencies []float64 // seconds, drained by the supervisor each round
+	prevBusy  time.Duration
+	prevBeats int
+	err       error
+}
+
+// ID returns the instance's fleet-unique id.
+func (inst *Instance) ID() int { return inst.id }
+
+// HostIndex returns the index of the machine the instance runs on, or -1
+// after retirement.
+func (inst *Instance) HostIndex() int {
+	if inst.host == nil {
+		return -1
+	}
+	return inst.host.index
+}
+
+// QueueDepth returns queued plus in-flight requests.
+func (inst *Instance) QueueDepth() int {
+	d := len(inst.queue)
+	if inst.sess != nil {
+		d++
+	}
+	return d
+}
+
+// Completed returns the number of requests served to completion.
+func (inst *Instance) Completed() int { return inst.completed }
+
+// Retired reports whether the instance has left the fleet.
+func (inst *Instance) Retired() bool { return inst.retired }
+
+// Snapshot captures the instance's control state (thread-safe).
+func (inst *Instance) Snapshot() core.Snapshot { return inst.rt.Snapshot() }
+
+// Runtime exposes the underlying control runtime.
+func (inst *Instance) Runtime() *core.Runtime { return inst.rt }
+
+// runRound advances the instance's virtual clock to the deadline,
+// serving queued requests beat by beat and idling when the queue is
+// empty. It runs on the instance's own goroutine.
+func (inst *Instance) runRound(deadline time.Time) {
+	for {
+		now := inst.clk.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if inst.pausedUntil.After(now) {
+			// Migration blackout: the instance is being moved and
+			// serves nothing.
+			end := inst.pausedUntil
+			if end.After(deadline) {
+				end = deadline
+			}
+			inst.view.Idle(end.Sub(now))
+			continue
+		}
+		if inst.sess == nil {
+			if len(inst.queue) == 0 {
+				if inst.selfFeed {
+					// Saturating load: the instance never starves; it
+					// feeds itself the next request in place (request
+					// streams much shorter than a quantum would
+					// otherwise leave it idle until the next boundary).
+					inst.queue = append(inst.queue, &Request{ID: -1, StreamIdx: inst.feedIdx, Arrival: now})
+					inst.feedIdx++
+					inst.minted++
+					continue
+				}
+				inst.view.Idle(deadline.Sub(now))
+				return
+			}
+			inst.cur = inst.queue[0]
+			inst.queue = inst.queue[1:]
+			st := inst.streams[inst.cur.StreamIdx%len(inst.streams)]
+			inst.sess = inst.rt.NewSession(st)
+			inst.sessStart = now
+		}
+		done, err := inst.sess.Step()
+		if err != nil {
+			inst.err = err
+			return
+		}
+		if done {
+			if inst.sess.Drained() {
+				// The runtime is winding down and will serve nothing
+				// further: close out the quantum idle instead of
+				// spinning on instantly-drained sessions.
+				inst.aborted++
+				inst.sess, inst.cur = nil, nil
+				if now := inst.clk.Now(); now.Before(deadline) {
+					inst.view.Idle(deadline.Sub(now))
+				}
+				return
+			}
+			if !inst.clk.Now().After(inst.sessStart) {
+				// A request that consumed no virtual time (empty or
+				// zero-cost stream) would livelock a self-feeding
+				// instance: fail loudly instead of spinning forever.
+				inst.err = fmt.Errorf("fleet: request on instance %d completed without advancing virtual time (zero-cost stream?)", inst.id)
+				return
+			}
+			inst.completed++
+			inst.latencies = append(inst.latencies,
+				inst.clk.Now().Sub(inst.cur.Arrival).Seconds())
+			// Realized QoS loss of the served request: the served
+			// output against the baseline-setting output of the
+			// same stream. This is the quantity the cluster oracle
+			// predicts (per-beat, not per-plan-time).
+			base := inst.baseOuts[inst.cur.StreamIdx%len(inst.baseOuts)]
+			inst.lossSum += inst.app.Loss(base, inst.sess.Output())
+			inst.sess, inst.cur = nil, nil
+		}
+	}
+}
+
+// HostStats is one machine's state over one quantum.
+type HostStats struct {
+	Index      int
+	State      int
+	FreqGHz    float64
+	Util       float64
+	PowerWatts float64
+	Residents  int
+}
+
+// RoundStats reports one control quantum of the fleet.
+type RoundStats struct {
+	Round        int
+	Budget       float64 // watts (<= 0 = unlimited)
+	PowerWatts   float64 // total cluster power this quantum
+	Hosts        []HostStats
+	Arrivals     int
+	Completions  int
+	QueueDepth   int     // queued + in-flight + undispatched at quantum end
+	Beats        int     // iterations completed this quantum
+	MeanNormPerf float64 // mean normalized performance over measuring instances
+	MeanPlanLoss float64 // mean expected QoS loss of active plans
+	// RequestLoss is the mean realized QoS loss of requests completed
+	// this quantum (served output vs the baseline-setting output).
+	RequestLoss float64
+}
+
+// Report summarizes a fleet run.
+type Report struct {
+	Rounds       []RoundStats
+	TotalEnergyJ float64
+	MeanPower    float64
+	Completions  int
+	Aborted      int
+	MeanLatency  float64 // seconds
+	P95Latency   float64 // seconds
+	// MeanRequestLoss is the realized QoS loss averaged over every
+	// completed request.
+	MeanRequestLoss float64
+}
+
+// Supervisor owns the fleet. It is not itself safe for concurrent use:
+// one goroutine drives Step/Run and the placement methods; the
+// supervisor in turn fans work out to instance goroutines each quantum.
+type Supervisor struct {
+	cfg      Config
+	arb      *Arbiter
+	hosts    []*Host
+	insts    []*Instance
+	pending  []*Request
+	target   heartbeats.Target
+	baseOuts []workload.Output // baseline outputs per production stream
+
+	round     int
+	nextInst  int
+	energy    float64
+	latAll    []float64
+	completed int
+	aborted   int
+	lossSum   float64
+	lossN     int
+	rounds    []RoundStats
+}
+
+// New builds a fleet supervisor with empty machines; add instances with
+// StartInstance.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("fleet: Machines %d < 1", cfg.Machines)
+	}
+	if cfg.NewApp == nil || cfg.Profile == nil {
+		return nil, fmt.Errorf("fleet: Config requires NewApp and Profile")
+	}
+	if cfg.CoresPerMachine == 0 {
+		cfg.CoresPerMachine = 8
+	}
+	if cfg.CoresPerMachine < 1 {
+		return nil, fmt.Errorf("fleet: CoresPerMachine %d < 1", cfg.CoresPerMachine)
+	}
+	if cfg.Power == (platform.PowerModel{}) {
+		cfg.Power = platform.DefaultPowerModel()
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = time.Second
+	}
+	if cfg.MigrationDowntime == 0 {
+		cfg.MigrationDowntime = 100 * time.Millisecond
+	}
+	s := &Supervisor{cfg: cfg, arb: NewArbiter(cfg.Power, cfg.Budget)}
+	for i := 0; i < cfg.Machines; i++ {
+		s.hosts = append(s.hosts, &Host{index: i, cores: cfg.CoresPerMachine})
+	}
+	probe, err := cfg.NewApp()
+	if err != nil {
+		return nil, err
+	}
+	s.target = cfg.Target
+	if !s.target.Valid() {
+		costPerBeat, err := core.BaselineCostPerBeat(probe, workload.Training)
+		if err != nil {
+			return nil, err
+		}
+		b := platform.Frequencies[0] * platform.SpeedPerGHz / costPerBeat
+		s.target = heartbeats.Target{Min: b, Max: b}
+	}
+	// Baseline outputs of the production streams, shared by every
+	// instance (app copies are deterministic, so stream contents match):
+	// the reference realized request QoS is measured against.
+	prodStreams := probe.Streams(workload.Production)
+	if len(prodStreams) == 0 {
+		return nil, fmt.Errorf("fleet: %s has no production streams", probe.Name())
+	}
+	for _, st := range prodStreams {
+		_, out := workload.MeasureStream(probe, st, cfg.Profile.Baseline)
+		s.baseOuts = append(s.baseOuts, out)
+	}
+	return s, nil
+}
+
+// Now returns the fleet's virtual time (the current quantum boundary).
+func (s *Supervisor) Now() time.Time {
+	return time.Unix(0, 0).Add(time.Duration(s.round) * s.cfg.Quantum)
+}
+
+// Round returns the number of completed quanta.
+func (s *Supervisor) Round() int { return s.round }
+
+// Target returns the per-instance heart-rate goal.
+func (s *Supervisor) Target() heartbeats.Target { return s.target }
+
+// Hosts returns the fleet's machines.
+func (s *Supervisor) Hosts() []*Host {
+	out := make([]*Host, len(s.hosts))
+	copy(out, s.hosts)
+	return out
+}
+
+// Instances returns every instance ever started, including retired ones.
+func (s *Supervisor) Instances() []*Instance {
+	out := make([]*Instance, len(s.insts))
+	copy(out, s.insts)
+	return out
+}
+
+// Active returns the instances currently placed on a machine.
+func (s *Supervisor) Active() []*Instance {
+	var out []*Instance
+	for _, inst := range s.insts {
+		if !inst.retired {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// SetBudget changes the cluster-wide power cap (watts, <= 0 =
+// unlimited); the arbiter honors it from the next quantum.
+func (s *Supervisor) SetBudget(watts float64) { s.arb.SetBudget(watts) }
+
+// Budget returns the current cluster-wide cap.
+func (s *Supervisor) Budget() float64 { return s.arb.Budget() }
+
+// StartInstance creates a controlled application instance on the given
+// machine (host < 0 places it on the machine with the fewest residents).
+// The instance begins serving at the next quantum.
+func (s *Supervisor) StartInstance(host int) (*Instance, error) {
+	if host >= len(s.hosts) {
+		return nil, fmt.Errorf("fleet: host %d out of range [0,%d]", host, len(s.hosts)-1)
+	}
+	if host < 0 {
+		host = 0
+		for i, h := range s.hosts {
+			if len(h.residents) < len(s.hosts[host].residents) {
+				host = i
+			}
+		}
+	}
+	app, err := s.cfg.NewApp()
+	if err != nil {
+		return nil, err
+	}
+	clk := clock.NewVirtual(s.Now())
+	view, err := platform.NewMachine(platform.Config{Clock: clk, Model: s.cfg.Power, Cores: 1})
+	if err != nil {
+		return nil, err
+	}
+	sys := &core.System{App: app, Profile: s.cfg.Profile}
+	rt, err := core.NewRuntime(core.RuntimeConfig{
+		System:       sys,
+		Machine:      view,
+		Target:       s.target,
+		Policy:       s.cfg.Policy,
+		QuantumBeats: s.cfg.QuantumBeats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	streams := app.Streams(workload.Production)
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("fleet: %s has no production streams", app.Name())
+	}
+	inst := &Instance{
+		id:        s.nextInst,
+		app:       app,
+		rt:        rt,
+		view:      view,
+		clk:       clk,
+		host:      s.hosts[host],
+		streams:   streams,
+		baseOuts:  s.baseOuts,
+		accepting: true,
+	}
+	s.nextInst++
+	s.insts = append(s.insts, inst)
+	s.hosts[host].residents = append(s.hosts[host].residents, inst)
+	return inst, nil
+}
+
+// Drain gracefully retires an instance: it accepts no new requests,
+// finishes its queue, and leaves its machine once idle.
+func (s *Supervisor) Drain(inst *Instance) {
+	inst.accepting = false
+	inst.draining = true
+}
+
+// Stop hard-stops an instance: its in-flight request is aborted at the
+// next beat boundary (via the runtime's drain hook) and its queued
+// requests are redistributed to the remaining instances.
+func (s *Supervisor) Stop(inst *Instance) {
+	inst.accepting = false
+	inst.stopping = true
+	inst.rt.Drain()
+}
+
+// Migrate moves an instance to another machine. The instance suffers
+// the configured migration downtime, during which it serves nothing and
+// its heart rate sags — the controller then works the backlog off, the
+// live form of the paper's load-rebalancing events.
+func (s *Supervisor) Migrate(inst *Instance, to int) error {
+	if to < 0 || to >= len(s.hosts) {
+		return fmt.Errorf("fleet: host %d out of range [0,%d]", to, len(s.hosts)-1)
+	}
+	if inst.retired {
+		return fmt.Errorf("fleet: instance %d is retired", inst.id)
+	}
+	if inst.host == s.hosts[to] {
+		return nil
+	}
+	inst.host.removeResident(inst)
+	inst.host = s.hosts[to]
+	s.hosts[to].residents = append(s.hosts[to].residents, inst)
+	inst.pausedUntil = s.Now().Add(s.cfg.MigrationDowntime)
+	return nil
+}
+
+// retireDone removes finished instances from their machines: stopped
+// ones immediately (requeuing their backlog), draining ones once idle.
+func (s *Supervisor) retireDone() {
+	for _, inst := range s.insts {
+		if inst.retired {
+			continue
+		}
+		if inst.stopping {
+			if inst.sess != nil {
+				// The abandoned in-flight request counts as aborted
+				// (credited to the supervisor directly — the instance's
+				// own counters were already drained last quantum); the
+				// runtime's drain flag guarantees the session cannot
+				// advance even if stepped again.
+				s.aborted++
+				inst.sess, inst.cur = nil, nil
+			}
+			s.pending = append(s.pending, inst.queue...)
+			inst.queue = nil
+			inst.host.removeResident(inst)
+			inst.host = nil
+			inst.retired = true
+			continue
+		}
+		if inst.draining && inst.sess == nil && len(inst.queue) == 0 {
+			inst.host.removeResident(inst)
+			inst.host = nil
+			inst.retired = true
+		}
+	}
+}
+
+// accepting returns the instances eligible for new requests, by id.
+func (s *Supervisor) acceptingInstances() []*Instance {
+	var out []*Instance
+	for _, inst := range s.insts {
+		if !inst.retired && inst.accepting {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// dispatch assigns a request to the accepting instance with the
+// shallowest queue (ties to the lower id). It returns false when no
+// instance accepts work. The accepting list is computed once per
+// quantum by the caller.
+func dispatch(accepting []*Instance, req *Request) bool {
+	var best *Instance
+	for _, inst := range accepting {
+		if best == nil || inst.QueueDepth() < best.QueueDepth() {
+			best = inst
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.queue = append(best.queue, req)
+	return true
+}
+
+// Step advances the fleet by one control quantum: arbitration, load
+// delivery, concurrent execution, then accounting.
+func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
+	s.retireDone()
+
+	// 1. Arbitrate the shared power budget into per-machine frequency
+	//    caps and push them (plus multiplexing shares) to every resident.
+	demands := make([]hostDemand, len(s.hosts))
+	for i, h := range s.hosts {
+		if len(h.residents) > 0 {
+			demands[i].util = 1
+			demand := len(h.residents)
+			if demand > h.cores {
+				demand = h.cores
+			}
+			demands[i].weight = float64(demand)
+		}
+		var deficit float64
+		for _, inst := range h.residents {
+			perf := inst.rt.Monitor().NormalizedPerformance()
+			if d := 1 - perf; d > 0 {
+				deficit += d
+			}
+		}
+		if len(h.residents) > 0 {
+			demands[i].deficit = deficit / float64(len(h.residents))
+		}
+	}
+	states := s.arb.assign(demands)
+	for i, h := range s.hosts {
+		h.state = states[i]
+		h.applyShares()
+	}
+
+	// 2. Deliver this quantum's offered load.
+	now := s.Now()
+	arrivals := 0
+	for _, inst := range s.insts {
+		inst.selfFeed = false
+	}
+	if gen != nil {
+		accepting := s.acceptingInstances()
+		if depth, ok := gen.Saturating(); ok {
+			for _, inst := range accepting {
+				inst.selfFeed = true
+				for inst.QueueDepth() < depth {
+					inst.queue = append(inst.queue, gen.next(now))
+					arrivals++
+				}
+			}
+		} else {
+			var still []*Request
+			for _, req := range s.pending {
+				if !dispatch(accepting, req) {
+					still = append(still, req)
+				}
+			}
+			s.pending = still
+			for i := gen.Arrivals(s.round); i > 0; i-- {
+				req := gen.next(now)
+				arrivals++
+				if !dispatch(accepting, req) {
+					s.pending = append(s.pending, req)
+				}
+			}
+		}
+	}
+
+	// 3. Execute the quantum: every instance concurrently, to the same
+	//    virtual deadline.
+	deadline := now.Add(s.cfg.Quantum)
+	active := s.Active()
+	var wg sync.WaitGroup
+	for _, inst := range active {
+		wg.Add(1)
+		go func(inst *Instance) {
+			defer wg.Done()
+			inst.runRound(deadline)
+		}(inst)
+	}
+	wg.Wait()
+	var errs []error
+	for _, inst := range active {
+		if inst.err != nil {
+			errs = append(errs, fmt.Errorf("instance %d: %w", inst.id, inst.err))
+		}
+	}
+	if len(errs) > 0 {
+		return RoundStats{}, errors.Join(errs...)
+	}
+
+	// 4. Account power, performance, and queue statistics.
+	quantumSec := s.cfg.Quantum.Seconds()
+	rs := RoundStats{Round: s.round, Budget: s.arb.Budget(), Arrivals: arrivals}
+	for _, inst := range active {
+		rs.Arrivals += inst.minted
+		inst.minted = 0
+	}
+	for _, h := range s.hosts {
+		var busy time.Duration
+		for _, inst := range h.residents {
+			b, _ := inst.view.Times()
+			busy += b - inst.prevBusy
+			inst.prevBusy = b
+		}
+		util := busy.Seconds() / (quantumSec * float64(h.cores))
+		if util > 1 {
+			util = 1
+		}
+		power := s.cfg.Power.Power(platform.Frequencies[h.state], util)
+		h.energy += power * quantumSec
+		s.energy += power * quantumSec
+		rs.PowerWatts += power
+		rs.Hosts = append(rs.Hosts, HostStats{
+			Index:      h.index,
+			State:      h.state,
+			FreqGHz:    platform.Frequencies[h.state],
+			Util:       util,
+			PowerWatts: power,
+			Residents:  len(h.residents),
+		})
+	}
+	var perfSum, planLossSum, reqLossSum float64
+	var perfN int
+	for _, inst := range active {
+		snap := inst.rt.Snapshot()
+		rs.Beats += snap.Beats - inst.prevBeats
+		inst.prevBeats = snap.Beats
+		rs.QueueDepth += inst.QueueDepth()
+		rs.Completions += inst.completed
+		reqLossSum += inst.lossSum
+		if snap.NormPerf > 0 {
+			perfSum += snap.NormPerf
+			planLossSum += snap.PlanLoss
+			perfN++
+		}
+		s.completed += inst.completed
+		s.aborted += inst.aborted
+		s.lossSum += inst.lossSum
+		s.lossN += inst.completed
+		inst.completed, inst.aborted, inst.lossSum = 0, 0, 0
+		s.latAll = append(s.latAll, inst.latencies...)
+		inst.latencies = nil
+	}
+	if perfN > 0 {
+		rs.MeanNormPerf = perfSum / float64(perfN)
+		rs.MeanPlanLoss = planLossSum / float64(perfN)
+	}
+	if rs.Completions > 0 {
+		rs.RequestLoss = reqLossSum / float64(rs.Completions)
+	}
+	// Backlog no instance accepts yet still counts as queued work.
+	rs.QueueDepth += len(s.pending)
+	s.rounds = append(s.rounds, rs)
+	s.round++
+	return rs, nil
+}
+
+// Run advances the fleet by the given number of quanta.
+func (s *Supervisor) Run(gen *LoadGen, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if _, err := s.Step(gen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report summarizes the run so far.
+func (s *Supervisor) Report() Report {
+	rep := Report{
+		Rounds:       append([]RoundStats(nil), s.rounds...),
+		TotalEnergyJ: s.energy,
+		Completions:  s.completed,
+		Aborted:      s.aborted,
+	}
+	if s.lossN > 0 {
+		rep.MeanRequestLoss = s.lossSum / float64(s.lossN)
+	}
+	if elapsed := float64(s.round) * s.cfg.Quantum.Seconds(); elapsed > 0 {
+		rep.MeanPower = s.energy / elapsed
+	}
+	if len(s.latAll) > 0 {
+		sorted := append([]float64(nil), s.latAll...)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, l := range sorted {
+			sum += l
+		}
+		rep.MeanLatency = sum / float64(len(sorted))
+		rep.P95Latency = sorted[(len(sorted)-1)*95/100]
+	}
+	return rep
+}
+
+// MeanPowerOver returns the mean cluster power over rounds [from, to).
+func (s *Supervisor) MeanPowerOver(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.rounds) {
+		to = len(s.rounds)
+	}
+	if to <= from {
+		return 0
+	}
+	var sum float64
+	for _, rs := range s.rounds[from:to] {
+		sum += rs.PowerWatts
+	}
+	return sum / float64(to-from)
+}

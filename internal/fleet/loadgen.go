@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Request is one unit of offered load: a whole input stream (a video to
+// encode, a portfolio to price, a query batch) that an instance processes
+// iteration by iteration under PowerDial control.
+type Request struct {
+	ID int
+	// StreamIdx selects which production stream of the serving instance's
+	// application realizes the request (cycled modulo the stream count).
+	StreamIdx int
+	// Arrival is the fleet virtual time the request entered the system.
+	Arrival time.Time
+}
+
+// LoadGen is an open-loop arrival process: it decides how many requests
+// enter the fleet each control quantum, independent of how fast the fleet
+// drains them (queues grow when the fleet falls behind). All processes
+// are deterministic for a fixed seed.
+type LoadGen struct {
+	rng      *rand.Rand
+	rate     func(round int) float64
+	saturate int
+	nextID   int
+	nextIdx  int
+}
+
+// NewConstantLoad produces Poisson arrivals with a fixed mean of
+// perRound requests per control quantum.
+func NewConstantLoad(seed int64, perRound float64) *LoadGen {
+	return &LoadGen{
+		rng:  rand.New(rand.NewSource(seed)),
+		rate: func(int) float64 { return perRound },
+	}
+}
+
+// NewRampLoad produces Poisson arrivals whose mean ramps linearly from
+// `from` to `to` requests per quantum over horizon quanta, then holds at
+// `to`.
+func NewRampLoad(seed int64, from, to float64, horizon int) *LoadGen {
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &LoadGen{
+		rng: rand.New(rand.NewSource(seed)),
+		rate: func(round int) float64 {
+			if round >= horizon {
+				return to
+			}
+			return from + (to-from)*float64(round)/float64(horizon)
+		},
+	}
+}
+
+// NewSpikeLoad produces Poisson arrivals at mean `base` per quantum,
+// bursting to mean `peak` for `width` quanta at the start of every
+// `period` quanta — the intermittent-spike shape of the Sec. 5.5
+// consolidation workload (after Barroso & Hölzle).
+func NewSpikeLoad(seed int64, base, peak float64, period, width int) *LoadGen {
+	if period < 1 {
+		period = 1
+	}
+	return &LoadGen{
+		rng: rand.New(rand.NewSource(seed)),
+		rate: func(round int) float64 {
+			if round%period < width {
+				return peak
+			}
+			return base
+		},
+	}
+}
+
+// NewSaturatingLoad keeps every accepting instance continuously busy:
+// its queue is topped up to the given depth at each quantum boundary
+// and the instance feeds itself the next request whenever the queue
+// empties mid-quantum — closed-loop saturation, used to validate the
+// fleet against the cluster oracle's peak-load arithmetic.
+func NewSaturatingLoad(depth int) *LoadGen {
+	if depth < 1 {
+		depth = 1
+	}
+	return &LoadGen{saturate: depth}
+}
+
+// Saturating returns the target queue depth of a saturating generator
+// (ok=false for open-loop generators).
+func (g *LoadGen) Saturating() (depth int, ok bool) {
+	return g.saturate, g.saturate > 0
+}
+
+// Arrivals samples the number of requests entering the fleet in the
+// given round. Saturating generators return 0; the supervisor tops up
+// queues directly.
+func (g *LoadGen) Arrivals(round int) int {
+	if g.saturate > 0 || g.rate == nil {
+		return 0
+	}
+	return poisson(g.rng, g.rate(round))
+}
+
+// next mints a request arriving at the given virtual time.
+func (g *LoadGen) next(arrival time.Time) *Request {
+	r := &Request{ID: g.nextID, StreamIdx: g.nextIdx, Arrival: arrival}
+	g.nextID++
+	g.nextIdx++
+	return r
+}
+
+// poisson draws from Poisson(lambda) by Knuth's product method, exact
+// and deterministic. Large lambdas are split into chunks (the sum of
+// independent Poissons is Poisson in the summed rate) so exp(-lambda)
+// never underflows — without this, rates above ~700 would silently
+// saturate near 745 arrivals.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	const chunk = 30
+	total := 0
+	for lambda > chunk {
+		total += poissonKnuth(rng, chunk)
+		lambda -= chunk
+	}
+	return total + poissonKnuth(rng, lambda)
+}
+
+func poissonKnuth(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -19,6 +19,7 @@ package platform
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -61,16 +62,18 @@ func (m PowerModel) Power(f, util float64) float64 {
 // every reproduced result.
 const SpeedPerGHz = 1e8
 
-// Machine is one simulated server.
+// Machine is one simulated server. It is safe for concurrent use: a
+// runtime goroutine may Execute/Idle while a supervisor goroutine changes
+// power states or interference and reads the meter (the fleet arbiter
+// does exactly this).
 type Machine struct {
 	clk   *clock.Virtual
 	model PowerModel
-	state int // index into Frequencies
-
 	cores int
-
 	meter *Meter
 
+	mu           sync.Mutex
+	state        int     // index into Frequencies
 	interference float64 // fraction of capacity consumed by co-located load
 
 	busy time.Duration // accumulated busy time
@@ -114,10 +117,18 @@ func (m *Machine) Clock() *clock.Virtual { return m.clk }
 func (m *Machine) Cores() int { return m.cores }
 
 // Frequency returns the current clock frequency in GHz.
-func (m *Machine) Frequency() float64 { return Frequencies[m.state] }
+func (m *Machine) Frequency() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Frequencies[m.state]
+}
 
 // State returns the current DVFS state index (0 = fastest).
-func (m *Machine) State() int { return m.state }
+func (m *Machine) State() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
 
 // SetState selects a DVFS state by index (0 = 2.4 GHz). It returns an
 // error for out-of-range states.
@@ -125,8 +136,9 @@ func (m *Machine) SetState(i int) error {
 	if i < 0 || i >= len(Frequencies) {
 		return fmt.Errorf("platform: power state %d out of range [0,%d]", i, len(Frequencies)-1)
 	}
-	m.meter.catchUp()
+	m.mu.Lock()
 	m.state = i
+	m.mu.Unlock()
 	return nil
 }
 
@@ -151,31 +163,49 @@ func (m *Machine) SetInterference(fraction float64) {
 	if fraction > 0.95 {
 		fraction = 0.95
 	}
+	m.mu.Lock()
 	m.interference = fraction
+	m.mu.Unlock()
 }
 
 // Interference returns the current co-located-load fraction.
-func (m *Machine) Interference() float64 { return m.interference }
+func (m *Machine) Interference() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.interference
+}
+
+// speedLocked is Speed with m.mu held.
+func (m *Machine) speedLocked() float64 {
+	return Frequencies[m.state] * SpeedPerGHz * (1 - m.interference)
+}
 
 // Speed returns the current execution rate in work units per second for a
 // single-core workload, net of co-located interference.
 func (m *Machine) Speed() float64 {
-	return m.Frequency() * SpeedPerGHz * (1 - m.interference)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.speedLocked()
 }
 
 // Execute runs cost work units at the current frequency, advancing the
 // virtual clock and accounting the time as busy. It returns the elapsed
-// virtual duration.
+// virtual duration. A concurrent SetState or SetInterference takes
+// effect at the next Execute, as a DVFS transition lands at the next
+// scheduling boundary on real hardware.
 func (m *Machine) Execute(cost float64) time.Duration {
 	if cost <= 0 {
 		return 0
 	}
-	seconds := cost / m.Speed()
+	m.mu.Lock()
+	seconds := cost / m.speedLocked()
 	d := time.Duration(seconds * float64(time.Second))
-	m.meter.accumulate(d, 1)
-	m.clk.Advance(d)
+	power := m.model.Power(Frequencies[m.state], 1)
 	m.busy += d
 	m.all += d
+	m.mu.Unlock()
+	m.meter.accumulate(d, power)
+	m.clk.Advance(d)
 	return d
 }
 
@@ -186,17 +216,31 @@ func (m *Machine) Idle(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	m.meter.accumulate(d, m.interference)
-	m.clk.Advance(d)
+	m.mu.Lock()
+	power := m.model.Power(Frequencies[m.state], m.interference)
 	m.all += d
+	m.mu.Unlock()
+	m.meter.accumulate(d, power)
+	m.clk.Advance(d)
 }
 
 // Utilization returns the busy fraction of all accounted time.
 func (m *Machine) Utilization() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.all <= 0 {
 		return 0
 	}
 	return float64(m.busy) / float64(m.all)
+}
+
+// Times returns the accumulated busy and total durations. The fleet
+// supervisor samples deltas of these each control quantum to account
+// host-level power across co-resident instances.
+func (m *Machine) Times() (busy, all time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.busy, m.all
 }
 
 // Meter returns the machine's power meter.

@@ -134,13 +134,15 @@ func (r RetrievalResult) Recall(n int) float64 {
 	if n > 0 && n < len(ret) {
 		ret = ret[:n]
 	}
-	hits := 0
+	// Count distinct relevant documents: a document returned twice is
+	// still found only once, or recall could exceed 1.
+	found := make(map[int]bool)
 	for _, d := range ret {
 		if r.Relevant[d] {
-			hits++
+			found[d] = true
 		}
 	}
-	return float64(hits) / float64(len(r.Relevant))
+	return float64(len(found)) / float64(len(r.Relevant))
 }
 
 // FMeasure returns the harmonic mean of precision and recall at cutoff n

@@ -36,6 +36,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/control"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/heartbeats"
 	"repro/internal/influence"
 	"repro/internal/knobs"
@@ -150,6 +151,33 @@ type (
 	Cluster = cluster.System
 	// ClusterPoint is an evaluated load point.
 	ClusterPoint = cluster.Point
+	// ClusterOracle is the closed-form model the executed fleet is
+	// validated against.
+	ClusterOracle = cluster.Oracle
+	// ClusterPrediction is one oracle steady-state prediction.
+	ClusterPrediction = cluster.Prediction
+)
+
+// Fleet types (see internal/fleet): the concurrent supervisor that runs
+// many Runtime instances across simulated machines under a shared power
+// budget.
+type (
+	// FleetConfig assembles a fleet.
+	FleetConfig = fleet.Config
+	// Fleet is the concurrent fleet supervisor.
+	Fleet = fleet.Supervisor
+	// FleetInstance is one controlled application instance.
+	FleetInstance = fleet.Instance
+	// FleetHost is one simulated machine of a fleet.
+	FleetHost = fleet.Host
+	// FleetRoundStats reports one control quantum.
+	FleetRoundStats = fleet.RoundStats
+	// FleetReport summarizes a fleet run.
+	FleetReport = fleet.Report
+	// LoadGen is an open-loop arrival process feeding a fleet.
+	LoadGen = fleet.LoadGen
+	// FleetRequest is one unit of offered load.
+	FleetRequest = fleet.Request
 )
 
 // Influence-tracing types (see internal/influence).
@@ -190,6 +218,38 @@ func NewVirtualClock() *VirtualClock { return clock.NewVirtual(time.Unix(0, 0)) 
 
 // NewCluster builds a provisioned multi-machine system.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewClusterOracle builds the analytic oracle for a fleet-shaped system.
+func NewClusterOracle(machines, coresPerMachine int, profile *Profile, power PowerModel, freqGHz float64) (*ClusterOracle, error) {
+	return cluster.NewOracle(machines, coresPerMachine, profile, power, freqGHz)
+}
+
+// NewFleet builds a concurrent fleet supervisor.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// NewSyntheticApp builds the analytically exact synthetic workload used
+// by fleet tests and demos.
+func NewSyntheticApp(opts fleet.SyntheticOptions) App { return fleet.NewSynthetic(opts) }
+
+// NewConstantLoad produces Poisson arrivals at a fixed mean rate.
+func NewConstantLoad(seed int64, perRound float64) *LoadGen {
+	return fleet.NewConstantLoad(seed, perRound)
+}
+
+// NewRampLoad ramps the Poisson mean linearly over a horizon.
+func NewRampLoad(seed int64, from, to float64, horizon int) *LoadGen {
+	return fleet.NewRampLoad(seed, from, to, horizon)
+}
+
+// NewSpikeLoad bursts periodically, the Sec. 5.5 workload shape.
+func NewSpikeLoad(seed int64, base, peak float64, period, width int) *LoadGen {
+	return fleet.NewSpikeLoad(seed, base, peak, period, width)
+}
+
+// NewSaturatingLoad keeps every instance continuously busy.
+func NewSaturatingLoad(depth int) *LoadGen {
+	return fleet.NewSaturatingLoad(depth)
+}
 
 // ConsolidateCluster provisions the minimum machines serving the
 // original peak under the profile's QoS cap (Eq. 21).
