@@ -1,20 +1,25 @@
-// Command fleet runs the concurrent fleet supervisor: N PowerDial
-// runtime instances as goroutines across M simulated machines, under a
-// cluster-wide power budget divided by the arbiter each control
-// quantum, fed by an open-loop load generator.
+// Command fleet runs the fleet supervisor: N PowerDial runtime
+// instances across M simulated machines under a cluster-wide power
+// budget, driven by the deterministic discrete-event scheduler (or the
+// legacy bulk-synchronous quantum loop with -timeline quantum), fed by
+// an open-loop load generator whose arrivals land at exponentially
+// spaced virtual instants.
 //
 // Usage:
 //
 //	fleet                                  # 8 instances, 2 machines, 400 W cap
 //	fleet -app swaptions -scale small      # a real benchmark as the workload
 //	fleet -load spike -rate 6 -rounds 60   # spiky open-loop traffic
-//	fleet -budget 400 -drop-to 340 -drop-at 20
+//	fleet -budget 400 -drop-to 340 -drop-at 20 -drop-frac 0.5
+//	fleet -load constant -rate 4 -req-iters 10 -latency
+//	fleet -trace trace.csv                 # export the event-time trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	powerdial "repro"
 	"repro/internal/calibrate"
@@ -34,16 +39,35 @@ func main() {
 	budget := flag.Float64("budget", 400, "cluster power cap in watts (0 = unlimited)")
 	dropTo := flag.Float64("drop-to", 0, "change the budget to this many watts mid-run (0 = never)")
 	dropAt := flag.Int("drop-at", 0, "round at which the budget change lands")
+	dropFrac := flag.Float64("drop-frac", 0, "fraction of the quantum into round -drop-at at which the change lands (0 = boundary, 0.5 = mid-quantum)")
 	load := flag.String("load", "saturate", "arrival process: saturate | constant | ramp | spike")
 	rate := flag.Float64("rate", 6, "mean arrivals per quantum (constant/ramp/spike)")
+	reqIters := flag.Int("req-iters", 0, "iterations per request work item (0 = whole stream)")
 	seed := flag.Int64("seed", 1, "load generator seed")
+	timeline := flag.String("timeline", "event", "execution engine: event | quantum")
+	latency := flag.Bool("latency", false, "print per-instance p50/p95/p99 request latency")
+	tracePath := flag.String("trace", "", "write the event-time trace to this CSV file")
 	flag.Parse()
 
-	if err := run(*appName, *scale, *machines, *cores, *instances, *rounds,
-		*budget, *dropTo, *dropAt, *load, *rate, *seed); err != nil {
+	if err := run(options{
+		app: *appName, scale: *scale,
+		machines: *machines, cores: *cores, instances: *instances, rounds: *rounds,
+		budget: *budget, dropTo: *dropTo, dropAt: *dropAt, dropFrac: *dropFrac,
+		load: *load, rate: *rate, reqIters: *reqIters, seed: *seed,
+		timeline: *timeline, latency: *latency, tracePath: *tracePath,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+type options struct {
+	app, scale, load, timeline, tracePath string
+	machines, cores, instances, rounds    int
+	dropAt, reqIters                      int
+	budget, dropTo, dropFrac, rate        float64
+	seed                                  int64
+	latency                               bool
 }
 
 // workloadFor builds the per-instance app factory and its calibrated
@@ -82,52 +106,72 @@ func workloadFor(appName, scale string) (func() (workload.App, error), *calibrat
 	return newApp, prof, nil
 }
 
-func run(appName, scale string, machines, cores, instances, rounds int,
-	budget, dropTo float64, dropAt int, load string, rate float64, seed int64) error {
-	newApp, prof, err := workloadFor(appName, scale)
+func run(o options) error {
+	newApp, prof, err := workloadFor(o.app, o.scale)
 	if err != nil {
 		return err
 	}
+	var tl fleet.Timeline
+	switch o.timeline {
+	case "event":
+		tl = fleet.TimelineEvent
+	case "quantum":
+		tl = fleet.TimelineQuantum
+	default:
+		return fmt.Errorf("unknown timeline %q (event | quantum)", o.timeline)
+	}
+	const quantum = time.Second
 	sup, err := fleet.New(fleet.Config{
-		Machines:        machines,
-		CoresPerMachine: cores,
+		Machines:        o.machines,
+		CoresPerMachine: o.cores,
 		NewApp:          newApp,
 		Profile:         prof,
-		Budget:          budget,
+		Budget:          o.budget,
+		Quantum:         quantum,
+		Timeline:        tl,
+		RecordTrace:     o.tracePath != "",
 	})
 	if err != nil {
 		return err
 	}
-	for i := 0; i < instances; i++ {
+	for i := 0; i < o.instances; i++ {
 		if _, err := sup.StartInstance(-1); err != nil {
 			return err
 		}
 	}
 
 	var gen *fleet.LoadGen
-	switch load {
+	switch o.load {
 	case "saturate":
 		gen = fleet.NewSaturatingLoad(2)
 	case "constant":
-		gen = fleet.NewConstantLoad(seed, rate)
+		gen = fleet.NewConstantLoad(o.seed, o.rate)
 	case "ramp":
-		gen = fleet.NewRampLoad(seed, 0, rate, rounds/2)
+		gen = fleet.NewRampLoad(o.seed, 0, o.rate, o.rounds/2)
 	case "spike":
-		gen = fleet.NewSpikeLoad(seed, rate/3, rate*2, 10, 3)
+		gen = fleet.NewSpikeLoad(o.seed, o.rate/3, o.rate*2, 10, 3)
 	default:
-		return fmt.Errorf("unknown load %q (saturate | constant | ramp | spike)", load)
+		return fmt.Errorf("unknown load %q (saturate | constant | ramp | spike)", o.load)
+	}
+	gen = gen.WithRequestIters(o.reqIters)
+
+	if o.dropTo != 0 {
+		// The budget change lands dropFrac of the way into round
+		// dropAt: a mid-quantum cap event on the event timeline, the
+		// nearest boundary in quantum mode.
+		at := time.Unix(0, 0).
+			Add(time.Duration(o.dropAt) * quantum).
+			Add(time.Duration(o.dropFrac * float64(quantum)))
+		sup.SetBudgetAt(at, o.dropTo)
 	}
 
-	fmt.Printf("fleet: %d instances of %s on %d machines x %d cores, budget %s, %s load\n",
-		instances, appName, machines, cores, watts(budget), load)
+	fmt.Printf("fleet: %d instances of %s on %d machines x %d cores, budget %s, %s load, %s timeline\n",
+		o.instances, o.app, o.machines, o.cores, watts(o.budget), o.load, o.timeline)
 	fmt.Printf("target heart rate: %.1f beats/sec per instance\n\n", sup.Target().Goal())
-	fmt.Printf("%5s | %7s | %7s | %-14s | %5s | %6s | %5s | %4s\n",
-		"round", "budget", "power W", "GHz per host", "perf", "loss %", "queue", "done")
+	fmt.Printf("%5s | %7s | %7s | %-14s | %5s | %6s | %5s | %4s | %-17s\n",
+		"round", "budget", "power W", "GHz per host", "perf", "loss %", "queue", "done", "p50/p95/p99 s")
 
-	for r := 0; r < rounds; r++ {
-		if dropTo != 0 && r == dropAt {
-			sup.SetBudget(dropTo)
-		}
+	for r := 0; r < o.rounds; r++ {
 		rs, err := sup.Step(gen)
 		if err != nil {
 			return err
@@ -139,24 +183,48 @@ func run(appName, scale string, machines, cores, instances, rounds int,
 			}
 			freqs += fmt.Sprintf("%.2f", h.FreqGHz)
 		}
-		fmt.Printf("%5d | %7s | %7.1f | %-14s | %5.2f | %6.2f | %5d | %4d\n",
+		fmt.Printf("%5d | %7s | %7.1f | %-14s | %5.2f | %6.2f | %5d | %4d | %5.2f %5.2f %5.2f\n",
 			rs.Round, watts(rs.Budget), rs.PowerWatts, freqs,
-			rs.MeanNormPerf, rs.RequestLoss*100, rs.QueueDepth, rs.Completions)
+			rs.MeanNormPerf, rs.RequestLoss*100, rs.QueueDepth, rs.Completions,
+			rs.LatencyP50, rs.LatencyP95, rs.LatencyP99)
 	}
 
 	rep := sup.Report()
 	fmt.Printf("\nsummary: %d requests (%d aborted), mean power %.1f W, energy %.0f J\n",
 		rep.Completions, rep.Aborted, rep.MeanPower, rep.TotalEnergyJ)
-	fmt.Printf("latency: mean %.2f s, p95 %.2f s; mean request QoS loss %.2f%%\n",
-		rep.MeanLatency, rep.P95Latency, rep.MeanRequestLoss*100)
+	fmt.Printf("latency: mean %.2f s, p50 %.2f s, p95 %.2f s, p99 %.2f s; mean request QoS loss %.2f%%\n",
+		rep.MeanLatency, rep.P50Latency, rep.P95Latency, rep.P99Latency, rep.MeanRequestLoss*100)
 
-	// Close the loop against the analytic oracle for the saturating case.
-	if _, ok := gen.Saturating(); ok {
-		oracle, err := cluster.NewOracle(machines, cores, prof, powerdial.DefaultPowerModel(), platform.Frequencies[0])
+	if o.latency {
+		fmt.Printf("\n%8s | %6s | %7s | %7s | %7s\n", "instance", "done", "p50 s", "p95 s", "p99 s")
+		for _, il := range rep.PerInstance {
+			fmt.Printf("%8d | %6d | %7.3f | %7.3f | %7.3f\n", il.ID, il.Completions, il.P50, il.P95, il.P99)
+		}
+	}
+
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
 		if err != nil {
 			return err
 		}
-		pred, err := oracle.Predict(instances)
+		events := sup.Trace()
+		if err := fleet.WriteTraceCSV(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", len(events), o.tracePath)
+	}
+
+	// Close the loop against the analytic oracle for the saturating case.
+	if _, ok := gen.Saturating(); ok {
+		oracle, err := cluster.NewOracle(o.machines, o.cores, prof, powerdial.DefaultPowerModel(), platform.Frequencies[0])
+		if err != nil {
+			return err
+		}
+		pred, err := oracle.Predict(o.instances)
 		if err != nil {
 			return err
 		}

@@ -1,17 +1,20 @@
 // Fleet makes the Sec. 5.5 consolidation story executable: eight
 // controlled instances on two simulated machines serve saturating load
-// while the scenario walks through the paper's events live — a
-// cluster-wide power-budget cut that the arbiter re-divides across
-// machines, a graceful drain of half of one machine's instances, and a
-// live migration that rebalances the survivors. Throughout, every
-// instance's feedback controller retunes its dynamic knobs to hold the
-// heart-rate target, trading QoS exactly as the analytic cluster model
-// predicts.
+// on the event-driven timeline while the scenario walks through the
+// paper's events live — a cluster-wide power-budget cut that lands
+// mid-quantum (the paper's cpufrequtils cap arrives between beats, not
+// at a control-round boundary) and is re-divided across machines by
+// the arbiter at that exact virtual instant, a graceful drain of half
+// of one machine's instances, and a live migration that rebalances the
+// survivors. Throughout, every instance's feedback controller retunes
+// its dynamic knobs to hold the heart-rate target, trading QoS exactly
+// as the analytic cluster model predicts.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/calibrate"
 	"repro/internal/cluster"
@@ -77,10 +80,12 @@ func main() {
 		event := ""
 		switch r {
 		case 10:
-			// A rack-level cap lands: the arbiter must fit both machines
-			// under 380 W, so frequencies drop and the knobs absorb it.
-			sup.SetBudget(380)
-			event = "budget capped at 380 W"
+			// A rack-level cap lands mid-quantum: the arbiter re-divides
+			// 380 W across both machines at that exact virtual instant —
+			// half a round before the next arbiter tick — so frequencies
+			// drop between beats and the knobs absorb it.
+			sup.SetBudgetAt(sup.Now().Add(500*time.Millisecond), 380)
+			event = "budget cap to 380 W lands mid-quantum"
 		case 20:
 			// Load is leaving: drain two instances gracefully.
 			sup.Drain(insts[0])
@@ -105,8 +110,8 @@ func main() {
 	rep := sup.Report()
 	fmt.Printf("\n%d requests served (%d aborted), mean power %.1f W\n",
 		rep.Completions, rep.Aborted, rep.MeanPower)
-	fmt.Printf("latency mean %.2f s p95 %.2f s; mean request QoS loss %.2f%%\n",
-		rep.MeanLatency, rep.P95Latency, rep.MeanRequestLoss*100)
+	fmt.Printf("latency mean %.2f s p50 %.2f s p95 %.2f s p99 %.2f s; mean request QoS loss %.2f%%\n",
+		rep.MeanLatency, rep.P50Latency, rep.P95Latency, rep.P99Latency, rep.MeanRequestLoss*100)
 
 	// The analytic model this execution is validated against.
 	oracle, err := cluster.NewOracle(2, 2, prof, platform.DefaultPowerModel(), platform.Frequencies[0])

@@ -276,3 +276,82 @@ func TestEvaluateTrace(t *testing.T) {
 		t.Error("empty trace accepted")
 	}
 }
+
+// TestMD1ClosedForms pins the Pollaczek–Khinchine M/D/1 forms at known
+// anchor points and their limiting behavior.
+func TestMD1ClosedForms(t *testing.T) {
+	q := MD1{Lambda: 0.5, Service: 1}
+	if got := q.Rho(); got != 0.5 {
+		t.Errorf("rho = %v, want 0.5", got)
+	}
+	if got := q.MeanWait(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Wq at rho 0.5 = %v, want 0.5 (rho*S/(2(1-rho)))", got)
+	}
+	if got := q.MeanSojourn(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("W at rho 0.5 = %v, want 1.5", got)
+	}
+	if got := q.MeanQueue(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Lq at rho 0.5 = %v, want 0.25 (Little)", got)
+	}
+	if !q.Stable() {
+		t.Error("rho 0.5 reported unstable")
+	}
+	// Vanishing load queues nothing; saturation diverges.
+	if got := (MD1{Lambda: 1e-9, Service: 1}).MeanWait(); got > 1e-8 {
+		t.Errorf("Wq at vanishing load = %v, want ~0", got)
+	}
+	over := MD1{Lambda: 2, Service: 1}
+	if over.Stable() || !math.IsInf(over.MeanWait(), 1) {
+		t.Errorf("overloaded queue: stable=%v Wq=%v, want unstable, +Inf", over.Stable(), over.MeanWait())
+	}
+	// M/D/1 waits are half the M/M/1 waits at equal rho: the
+	// deterministic-service fleet must not be validated against the
+	// (easier to reach for) exponential-service forms.
+	rho := 0.8
+	md1 := MD1{Lambda: rho, Service: 1}.MeanWait()
+	mm1 := rho / (1 - rho) // M/M/1 Wq at S = 1
+	if math.Abs(md1-mm1/2) > 1e-12 {
+		t.Errorf("M/D/1 Wq = %v, want half of M/M/1's %v", md1, mm1)
+	}
+}
+
+// TestPredictQueueingPowersPartialLoad checks the oracle's event-time
+// surface: per-machine utilization and cluster power follow the offered
+// load, and saturation is flagged.
+func TestPredictQueueingPowersPartialLoad(t *testing.T) {
+	o, err := NewOracle(2, 2, nil, platform.DefaultPowerModel(), platform.Frequencies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 instances on 2 machines x 2 cores, each at rho 0.6: one
+	// instance per machine keeps 0.6 of one of two cores busy.
+	p, err := o.PredictQueueing(2, 1.2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Rho-0.6) > 1e-12 || !p.Stable {
+		t.Errorf("rho = %v stable=%v, want 0.6, stable", p.Rho, p.Stable)
+	}
+	if math.Abs(p.Util-0.3) > 1e-12 {
+		t.Errorf("util = %v, want 0.3", p.Util)
+	}
+	want := 2 * platform.DefaultPowerModel().Power(platform.Frequencies[0], 0.3)
+	if math.Abs(p.PowerWatts-want) > 1e-9 {
+		t.Errorf("power = %v, want %v", p.PowerWatts, want)
+	}
+	if p.MeanWait <= 0 || p.MeanSojourn <= p.MeanWait {
+		t.Errorf("queueing prediction degenerate: Wq=%v W=%v", p.MeanWait, p.MeanSojourn)
+	}
+	// Offered load beyond the cores is not a queueing regime.
+	if p, err := o.PredictQueueing(8, 2, 1); err != nil {
+		t.Fatal(err)
+	} else if p.Stable || p.Util != 1 {
+		t.Errorf("overloaded prediction stable=%v util=%v, want unstable at util 1", p.Stable, p.Util)
+	}
+	if _, err := o.PredictQueueing(0, 1, 1); err == nil {
+		t.Error("want error for zero instances")
+	}
+	if _, err := o.PredictQueueing(1, 1, 0); err == nil {
+		t.Error("want error for zero service time")
+	}
+}

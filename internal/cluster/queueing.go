@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file re-derives the oracle for event-time semantics. The
+// steady-state oracle (oracle.go) predicts what a saturated fleet
+// converges to; under the event-driven fleet timeline requests arrive
+// at Poisson-spaced virtual instants and queue at beat granularity, so
+// the ground truth additionally includes *queueing*: each instance is
+// an M/D/1 station — Poisson arrivals, deterministic service (a work
+// item is a fixed number of beats at a fixed setting and frequency),
+// one server — with the Pollaczek–Khinchine closed forms. The
+// event-driven fleet's end-to-end tests validate measured per-request
+// latency and partial-utilization power against these predictions; any
+// drift between the executable system and this model is a bug in one
+// of them.
+
+// MD1 is an M/D/1 queueing station: Poisson arrivals at Lambda requests
+// per second into a single server with deterministic service time
+// Service seconds.
+type MD1 struct {
+	Lambda  float64 // arrivals per second
+	Service float64 // seconds per request
+}
+
+// Rho returns the offered load (server utilization) λ·S.
+func (q MD1) Rho() float64 { return q.Lambda * q.Service }
+
+// Stable reports whether the queue has a steady state (ρ < 1).
+func (q MD1) Stable() bool { return q.Rho() < 1 }
+
+// MeanWait returns the mean queueing delay before service begins,
+// Wq = ρ·S / (2·(1−ρ)) — the Pollaczek–Khinchine mean wait with zero
+// service-time variance. It is +Inf for an unstable queue.
+func (q MD1) MeanWait() float64 {
+	rho := q.Rho()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho * q.Service / (2 * (1 - rho))
+}
+
+// MeanSojourn returns the mean time in system (wait plus service).
+func (q MD1) MeanSojourn() float64 { return q.MeanWait() + q.Service }
+
+// MeanQueue returns the mean number of requests waiting (Little's law,
+// Lq = λ·Wq).
+func (q MD1) MeanQueue() float64 { return q.Lambda * q.MeanWait() }
+
+// QueueingPrediction is the oracle's event-time steady state for an
+// open-loop offered load: per-instance M/D/1 queueing plus the
+// partial-utilization cluster power at that load.
+type QueueingPrediction struct {
+	// Queue is the per-instance M/D/1 station.
+	Queue MD1
+	// Rho is the per-instance server utilization λ·S.
+	Rho float64
+	// MeanWait / MeanSojourn are the per-request queueing delay and
+	// total latency in seconds.
+	MeanWait    float64
+	MeanSojourn float64
+	// MeanQueue is the mean number of requests waiting per instance.
+	MeanQueue float64
+	// Util is per-machine utilization in [0, 1] at the offered load.
+	Util float64
+	// PowerWatts is total cluster power (idle machines included).
+	PowerWatts float64
+	// Stable reports whether every instance's queue has a steady state.
+	Stable bool
+}
+
+// PredictQueueing computes the event-time steady state for instances
+// balanced across the cluster, each fed Poisson arrivals at lambda
+// requests per second of service time service seconds (busy seconds at
+// the oracle's frequency). It requires the load to fit the cores
+// without knob actuation (ρ per instance below 1 and instances within
+// capacity) — the regime where service times are deterministic; beyond
+// it the saturating Predict is the right oracle.
+func (o *Oracle) PredictQueueing(instances int, lambda, service float64) (QueueingPrediction, error) {
+	if instances < 1 {
+		return QueueingPrediction{}, fmt.Errorf("cluster: instances %d < 1", instances)
+	}
+	if lambda < 0 || service <= 0 {
+		return QueueingPrediction{}, fmt.Errorf("cluster: need lambda >= 0 and service > 0 (lambda=%v service=%v)", lambda, service)
+	}
+	q := MD1{Lambda: lambda, Service: service}
+	p := QueueingPrediction{
+		Queue:       q,
+		Rho:         q.Rho(),
+		MeanWait:    q.MeanWait(),
+		MeanSojourn: q.MeanSojourn(),
+		MeanQueue:   q.MeanQueue(),
+		Stable:      q.Stable(),
+	}
+	// Each instance keeps one core busy for a ρ fraction of time;
+	// machines share instances evenly.
+	perMachine := float64(instances) / float64(o.sys.cfg.Machines)
+	util := perMachine * p.Rho / float64(o.sys.cfg.CoresPerMachine)
+	if util > 1 {
+		util = 1
+		p.Stable = false
+	}
+	p.Util = util
+	p.PowerWatts = float64(o.sys.cfg.Machines) * o.sys.cfg.Power.Power(o.sys.cfg.Frequency, util)
+	return p, nil
+}

@@ -162,3 +162,84 @@ func TestSnapshotConcurrentWithRun(t *testing.T) {
 		t.Errorf("final snapshot beats = %d, want %d", final.Beats, st.Len())
 	}
 }
+
+// TestSessionAbortPreemptsWithoutDrainingRuntime aborts an in-flight
+// session and checks the runtime itself stays serviceable — unlike
+// Drain, which winds the whole runtime down.
+func TestSessionAbortPreemptsWithoutDrainingRuntime(t *testing.T) {
+	rt, st := lifecycleRuntime(t, nil)
+	sess := rt.NewSession(st)
+	for i := 0; i < 3; i++ {
+		if done, err := sess.Step(); done || err != nil {
+			t.Fatalf("step %d: done=%v err=%v", i, done, err)
+		}
+	}
+	sess.Abort()
+	if !sess.Done() || !sess.Drained() {
+		t.Fatalf("aborted session: done=%v drained=%v, want both", sess.Done(), sess.Drained())
+	}
+	if done, _ := sess.Step(); !done {
+		t.Error("aborted session stepped again")
+	}
+	if rt.Draining() {
+		t.Fatal("Abort must not drain the runtime")
+	}
+	// A fresh session on the same runtime serves a full stream.
+	next := rt.NewSession(st)
+	done, err := next.StepUntil(rt.Machine().Clock().Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done || next.Drained() {
+		t.Errorf("post-abort session: done=%v drained=%v, want done and not drained", done, next.Drained())
+	}
+	// Aborting a completed session must not mark it drained.
+	next.Abort()
+	if next.Drained() {
+		t.Error("Abort on a finished session flipped it to drained")
+	}
+}
+
+// TestSessionStepUntilHonorsVirtualDeadline serves a session on a time
+// budget and checks it pauses at (or one atomic beat past) the deadline,
+// then resumes to completion.
+func TestSessionStepUntilHonorsVirtualDeadline(t *testing.T) {
+	rt, st := lifecycleRuntime(t, nil)
+	clk := rt.Machine().Clock()
+	start := clk.Now()
+
+	// Measure one beat to size a deadline mid-stream.
+	probe := rt.NewSession(st)
+	if done, err := probe.Step(); done || err != nil {
+		t.Fatalf("probe step: done=%v err=%v", done, err)
+	}
+	beat := clk.Now().Sub(start)
+	if beat <= 0 {
+		t.Fatal("beat consumed no virtual time")
+	}
+	probe.Abort()
+
+	sess := rt.NewSession(st)
+	deadline := clk.Now().Add(3 * beat)
+	done, err := sess.StepUntil(deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatalf("session finished inside a 3-beat budget (stream has %d iterations)", st.Len())
+	}
+	if now := clk.Now(); now.Before(deadline) {
+		t.Errorf("StepUntil stopped at %v, before the deadline %v", now, deadline)
+	}
+	if over := clk.Now().Sub(deadline); over > 2*beat {
+		t.Errorf("StepUntil overshot the deadline by %v, more than one beat-ish (%v)", over, beat)
+	}
+	// Resuming with a distant deadline completes the stream.
+	done, err = sess.StepUntil(clk.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done || sess.Drained() {
+		t.Errorf("resumed session: done=%v drained=%v, want done and not drained", done, sess.Drained())
+	}
+}

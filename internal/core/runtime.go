@@ -385,7 +385,37 @@ func (rt *Runtime) gainLocked() float64 {
 	return rt.sch.Plan().ExpectedSpeedup()
 }
 
-// Drained reports whether the session ended early due to Drain.
+// StepUntil serves beats until the stream is exhausted or the machine's
+// virtual clock reaches deadline, whichever comes first. The final beat
+// may overshoot the deadline (beats are atomic). It reports whether the
+// session finished — an event scheduler uses this to run a session on a
+// time budget and learn the exact virtual completion time from the
+// clock.
+func (s *Session) StepUntil(deadline time.Time) (done bool, err error) {
+	for {
+		if s.done || !s.rt.mach.Clock().Now().Before(deadline) {
+			return s.done, nil
+		}
+		done, err = s.Step()
+		if done || err != nil {
+			return done, err
+		}
+	}
+}
+
+// Abort preempts the session at the current beat boundary: it is marked
+// done (and Drained, since its stream was not exhausted) with whatever
+// output has accumulated, without touching the runtime — subsequent
+// sessions on the same runtime serve normally. The fleet supervisor
+// uses it to abandon an in-flight request when hard-stopping an
+// instance.
+func (s *Session) Abort() {
+	if !s.done {
+		s.done, s.drained = true, true
+	}
+}
+
+// Drained reports whether the session ended early due to Drain or Abort.
 func (s *Session) Drained() bool { return s.drained }
 
 // Done reports whether the session has finished.

@@ -17,6 +17,9 @@ import (
 type Arbiter struct {
 	model  platform.PowerModel
 	budget float64 // watts; <= 0 means unlimited
+	// rot rotates the leftover pass's start index across ticks so the
+	// final DVFS step cannot park on one host indefinitely.
+	rot int
 }
 
 // NewArbiter builds an arbiter for the given power model and cluster
@@ -51,12 +54,15 @@ type hostDemand struct {
 // the lowest-power state. The headroom above the all-lowest floor is
 // then divided in two passes: first proportionally to each host's core
 // demand (weight) — a stable division that cannot oscillate round to
-// round — and then any leftover goes to hosts in strict performance-
-// deficit order (ties to the lower index), which is how an idle
+// round — and then any leftover is water-filled one DVFS step at a time
+// across hosts in performance-deficit order, which is how an idle
 // machine's unused share flows to a loaded one. Deficits are compared
 // in coarse buckets so near-converged hosts keep a stable priority
 // order instead of trading the leftover back and forth on measurement
-// noise. With no budget every host runs at full frequency. If even the
+// noise; within a bucket the start index rotates every tick, so the
+// final indivisible step circulates across hosts over consecutive
+// arbiter ticks instead of parking on the lowest index indefinitely.
+// With no budget every host runs at full frequency. If even the
 // all-lowest assignment exceeds the budget it is returned anyway — the
 // fleet cannot power off machines ("machines without jobs are idle but
 // not powered off").
@@ -66,6 +72,8 @@ func (a *Arbiter) assign(demands []hostDemand) []int {
 	if a.budget <= 0 {
 		return states // zeroed: every host at the fastest state
 	}
+	rot := a.rot
+	a.rot++
 	lowest := len(platform.Frequencies) - 1
 	projected := func(i, state int) float64 {
 		return a.model.Power(platform.Frequencies[state], demands[i].util)
@@ -101,17 +109,30 @@ func (a *Arbiter) assign(demands []hostDemand) []int {
 		order[i] = i
 	}
 	bucket := func(deficit float64) int { return int(deficit * 20) }
+	// Tie-break within a bucket by index rotated per tick.
+	key := func(i int) int { return ((i-rot)%n + n) % n }
 	sort.SliceStable(order, func(x, y int) bool {
-		return bucket(demands[order[x]].deficit) > bucket(demands[order[y]].deficit)
+		bx, by := bucket(demands[order[x]].deficit), bucket(demands[order[y]].deficit)
+		if bx != by {
+			return bx > by
+		}
+		return key(order[x]) < key(order[y])
 	})
-	for _, i := range order {
-		for states[i] > 0 {
+	// Water-fill: one DVFS step per host per sweep, in priority order,
+	// until no step fits under the cap.
+	for granted := true; granted; {
+		granted = false
+		for _, i := range order {
+			if states[i] == 0 {
+				continue
+			}
 			delta := projected(i, states[i]-1) - projected(i, states[i])
 			if total+delta > a.budget {
-				break
+				continue
 			}
 			states[i]--
 			total += delta
+			granted = true
 		}
 	}
 	return states

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/calibrate"
+	"repro/internal/workload"
+)
+
+// Benchmarks for the fleet engines: one iteration simulates a 10-round
+// saturated 8-instance run (the demo shape) on each timeline, plus an
+// open-loop work-item run exercising arrival events and queueing. CI's
+// bench-smoke step records these into BENCH_fleet.json so the perf
+// trajectory of the event scheduler is tracked over time.
+
+func benchProfile(b *testing.B) *calibrate.Profile {
+	b.Helper()
+	prof, err := calibrate.Run(NewSynthetic(SyntheticOptions{}), calibrate.Options{Set: workload.Training})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prof
+}
+
+func benchFleet(b *testing.B, prof *calibrate.Profile, tl Timeline, gen *LoadGen, rounds int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sup, err := New(Config{
+			Machines:        2,
+			CoresPerMachine: 2,
+			NewApp:          func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+			Profile:         prof,
+			Budget:          400,
+			Timeline:        tl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 8; j++ {
+			if _, err := sup.StartInstance(-1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sup.Run(gen, rounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetEventTimeline is the discrete-event scheduler under
+// saturating load: every beat is an event.
+func BenchmarkFleetEventTimeline(b *testing.B) {
+	prof := benchProfile(b)
+	b.ResetTimer()
+	benchFleet(b, prof, TimelineEvent, NewSaturatingLoad(2), 10)
+}
+
+// BenchmarkFleetQuantumTimeline is the legacy bulk-synchronous loop on
+// the same scenario, the A/B baseline for the event engine's overhead.
+func BenchmarkFleetQuantumTimeline(b *testing.B) {
+	prof := benchProfile(b)
+	b.ResetTimer()
+	benchFleet(b, prof, TimelineQuantum, NewSaturatingLoad(2), 10)
+}
+
+// BenchmarkFleetEventWorkItems drives Poisson work-item arrivals
+// through the event engine: arrival events, queueing, and percentile
+// accounting on top of beat events.
+func BenchmarkFleetEventWorkItems(b *testing.B) {
+	prof := benchProfile(b)
+	b.ResetTimer()
+	benchFleet(b, prof, TimelineEvent, NewConstantLoad(3, 12).WithRequestIters(10), 10)
+}
+
+// BenchmarkEventQueue isolates the scheduler's heap: push/pop of a
+// round's worth of interleaved events.
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := &Supervisor{}
+		base := time.Unix(0, 0)
+		for j := 0; j < 1024; j++ {
+			s.push(&event{at: base.Add(time.Duration((j * 7919) % 1000 * int(time.Millisecond))), kind: evServe})
+		}
+		for len(s.eq) > 0 {
+			s.pop()
+		}
+	}
+}

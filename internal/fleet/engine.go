@@ -1,0 +1,321 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// evKind orders simultaneous events: cap changes land before the
+// arbiter tick they must precede, arrivals are delivered before service
+// continuations at the same instant, and everything is FIFO within a
+// kind (seq).
+type evKind int8
+
+const (
+	evCap evKind = iota
+	evTick
+	evArrival
+	evServe
+)
+
+// event is one entry of the discrete-event queue.
+type event struct {
+	at    time.Time
+	kind  evKind
+	seq   uint64
+	inst  *Instance // evServe
+	req   *Request  // evArrival
+	watts float64   // evCap
+}
+
+// eventQueue is a deterministic min-heap over (at, kind, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// push enqueues an event, stamping the deterministic FIFO sequence.
+func (s *Supervisor) push(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.eq, ev)
+}
+
+// pop dequeues the earliest event.
+func (s *Supervisor) pop() *event {
+	return heap.Pop(&s.eq).(*event)
+}
+
+// activate schedules a service continuation for the instance at virtual
+// time t unless one is already queued. Idle instances are re-activated
+// by arrivals; serving instances schedule their own next beat.
+func (s *Supervisor) activate(inst *Instance, t time.Time) {
+	if inst.retired || inst.scheduled {
+		return
+	}
+	inst.scheduled = true
+	s.push(&event{at: t, kind: evServe, inst: inst})
+}
+
+// closeSegment integrates one host's power over a segment of constant
+// DVFS state ending at t: utilization is the residents' busy time
+// accumulated in the segment over segment length times cores. Called on
+// every host state change, placement change, and round close, so energy
+// follows the event timeline instead of quantum-averaged frequency.
+func (s *Supervisor) closeSegment(h *Host, t time.Time) {
+	dt := t.Sub(h.segStart)
+	if dt <= 0 {
+		return
+	}
+	var busy time.Duration
+	for _, inst := range h.residents {
+		b, _ := inst.view.Times()
+		delta := b - inst.prevBusy
+		if delta > dt {
+			// A beat straddles the segment boundary (beats are atomic,
+			// so their busy time books all at once): attribute only the
+			// in-segment share here and carry the overshoot forward to
+			// the next segment instead of silently clamping it away.
+			inst.prevBusy += dt
+			delta = dt
+		} else {
+			inst.prevBusy = b
+		}
+		busy += delta
+	}
+	util := busy.Seconds() / (dt.Seconds() * float64(h.cores))
+	if util > 1 {
+		util = 1
+	}
+	power := s.cfg.Power.Power(platform.Frequencies[h.state], util)
+	e := power * dt.Seconds()
+	h.energy += e
+	h.roundEnergy += e
+	h.roundBusy += busy
+	s.energy += e
+	h.segStart = t
+}
+
+// retireAt retires a drained instance at the exact virtual instant its
+// queue emptied, closing its host's power segment and re-dividing the
+// multiplexing share among the survivors immediately.
+func (s *Supervisor) retireAt(inst *Instance, t time.Time) {
+	h := inst.host
+	s.closeSegment(h, t)
+	h.removeResident(inst)
+	h.applySharesAt(t)
+	inst.host = nil
+	inst.retired = true
+	s.record(TraceEvent{At: t, Kind: TraceRetire, Instance: inst.id, Host: h.index, State: -1})
+}
+
+// serve is one service continuation for an instance: catch its lagging
+// clock up to the event time, start the next queued request if idle,
+// execute one beat, and book the completion if the request finished.
+// Each completed beat schedules the next continuation at the exact
+// virtual time the beat ended, so DVFS caps and arbiter decisions
+// landing between beats govern the very next beat.
+func (s *Supervisor) serve(now time.Time, inst *Instance) error {
+	inst.scheduled = false
+	if inst.retired {
+		return nil
+	}
+	if inst.pausedUntil.After(now) {
+		// Migration blackout: resume at its end.
+		s.activate(inst, inst.pausedUntil)
+		return nil
+	}
+	if c := inst.clk.Now(); c.Before(now) {
+		// The instance idled (or sat in blackout) since its last beat:
+		// advance its view to the event time, charging idle power for
+		// exactly the gap — no quantum-boundary idle fill.
+		inst.view.Idle(now.Sub(c))
+	}
+	if inst.sess == nil {
+		if len(inst.queue) == 0 {
+			if inst.selfFeed {
+				// Self-feed mints run on the single-threaded event
+				// loop, so (unlike quantum mode) they can be traced.
+				inst.queue = append(inst.queue, &Request{ID: -1, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: inst.clk.Now()})
+				inst.feedIdx++
+				inst.minted++
+				s.record(TraceEvent{At: inst.clk.Now(), Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
+			} else {
+				if inst.draining {
+					s.retireAt(inst, inst.clk.Now())
+				}
+				return nil // idle until the next dispatch re-activates
+			}
+		}
+		inst.cur = inst.queue[0]
+		inst.queue = inst.queue[1:]
+		inst.sess = inst.rt.NewSession(inst.streamFor(inst.cur))
+		inst.sessStart = inst.clk.Now()
+	}
+	done, err := inst.sess.Step()
+	if err != nil {
+		return fmt.Errorf("instance %d: %w", inst.id, err)
+	}
+	if done {
+		if inst.sess.Drained() {
+			// The runtime is winding down (hard stop): park until the
+			// boundary sweep retires the instance.
+			inst.aborted++
+			inst.sess, inst.cur = nil, nil
+			return nil
+		}
+		if !inst.clk.Now().After(inst.sessStart) {
+			return fmt.Errorf("fleet: request on instance %d completed without advancing virtual time (zero-cost stream?)", inst.id)
+		}
+		lat := inst.finishRequest()
+		s.record(TraceEvent{At: inst.clk.Now(), Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat})
+	}
+	s.activate(inst, inst.clk.Now())
+	return nil
+}
+
+// stepEvent advances the fleet by one reporting quantum on the event
+// timeline: it seeds the round's events (arbiter ticks, scheduled cap
+// changes, Poisson arrival instants, service continuations), pumps the
+// queue in deterministic virtual-time order, and closes the round.
+func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
+	s.retireDone()
+	start := s.Now()
+	end := start.Add(s.cfg.Quantum)
+
+	// Arbiter ticks for the round. Cap events scheduled at the same
+	// instant sort ahead of the tick, so a cap always lands before the
+	// arbitration that must honor it.
+	for t := start; t.Before(end); t = t.Add(s.cfg.ArbiterInterval) {
+		s.push(&event{at: t, kind: evTick})
+	}
+	// Past-due caps all clamp to the round start; dueCaps returns them
+	// in virtual-time order so the latest-scheduled cap wins the tie.
+	for _, c := range s.dueCaps(end) {
+		at := c.at
+		if at.Before(start) {
+			at = start
+		}
+		s.push(&event{at: at, kind: evCap, watts: c.watts})
+	}
+
+	// Offered load: saturating generators top queues up at the
+	// boundary and self-feed between beats; open-loop generators mint
+	// arrival events at exponentially spaced virtual instants.
+	arrivals := 0
+	for _, inst := range s.insts {
+		inst.selfFeed = false
+	}
+	// The accepting set is constant within a round: placement calls
+	// land between rounds, and mid-round retirement only reaches
+	// draining instances, which already left the set. Computed once
+	// here and reused by every arrival event.
+	accepting := s.acceptingInstances()
+	if gen != nil {
+		s.ensureBaselines(gen.reqIters)
+		if depth, ok := gen.Saturating(); ok {
+			for _, inst := range accepting {
+				inst.selfFeed = true
+				inst.reqIters = gen.reqIters
+				for inst.QueueDepth() < depth {
+					inst.queue = append(inst.queue, gen.next(start))
+					arrivals++
+					s.record(TraceEvent{At: start, Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
+				}
+			}
+		} else {
+			var still []*Request
+			for _, req := range s.pending {
+				s.ensureBaselines(req.Iters)
+				if tgt := dispatch(accepting, req); tgt == nil {
+					still = append(still, req)
+				}
+			}
+			s.pending = still
+			for _, at := range gen.eventTimes(s.round, start, s.cfg.Quantum) {
+				s.push(&event{at: at, kind: evArrival, req: gen.next(at)})
+				arrivals++
+			}
+		}
+	}
+	// Wake every instance holding (or self-feeding) work; instances
+	// mid-beat from the previous round already have a continuation in
+	// the queue and are skipped by the scheduled flag.
+	for _, inst := range s.insts {
+		if !inst.retired && (inst.sess != nil || len(inst.queue) > 0 || inst.selfFeed) {
+			s.activate(inst, start)
+		}
+	}
+
+	for len(s.eq) > 0 && s.eq[0].at.Before(end) {
+		ev := s.pop()
+		switch ev.kind {
+		case evCap:
+			s.arb.SetBudget(ev.watts)
+			s.record(TraceEvent{At: ev.at, Kind: TraceCap, Instance: -1, Host: -1, State: -1, Value: ev.watts})
+			s.arbitrate(ev.at)
+		case evTick:
+			s.arbitrate(ev.at)
+		case evArrival:
+			s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
+			if tgt := dispatch(accepting, ev.req); tgt != nil {
+				s.activate(tgt, ev.at)
+			} else {
+				s.pending = append(s.pending, ev.req)
+			}
+		case evServe:
+			if err := s.serve(ev.at, ev.inst); err != nil {
+				return RoundStats{}, err
+			}
+		}
+	}
+
+	// Close the round: integrate each host's final power segment and
+	// drain the shared per-round counters.
+	quantumSec := s.cfg.Quantum.Seconds()
+	rs := RoundStats{Round: s.round, Budget: s.arb.Budget(), Arrivals: arrivals}
+	for _, h := range s.hosts {
+		s.closeSegment(h, end)
+		util := h.roundBusy.Seconds() / (quantumSec * float64(h.cores))
+		if util > 1 {
+			util = 1
+		}
+		power := h.roundEnergy / quantumSec
+		rs.PowerWatts += power
+		rs.Hosts = append(rs.Hosts, HostStats{
+			Index:      h.index,
+			State:      h.state,
+			FreqGHz:    platform.Frequencies[h.state],
+			Util:       util,
+			PowerWatts: power,
+			Residents:  len(h.residents),
+		})
+		h.roundEnergy, h.roundBusy = 0, 0
+	}
+	s.drainRoundCounters(&rs)
+	s.record(TraceEvent{At: end, Kind: TraceRound, Instance: -1, Host: -1, State: -1, Value: rs.PowerWatts})
+	s.rounds = append(s.rounds, rs)
+	s.round++
+	return rs, nil
+}

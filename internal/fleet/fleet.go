@@ -1,21 +1,36 @@
 // Package fleet executes the paper's Sec. 5.5 consolidation scenario
-// instead of computing it: a concurrent supervisor runs N core.Runtime
-// instances as goroutines across M simulated machines, with a global
-// power-budget arbiter that re-divides a cluster-wide cap across the
-// machines each control quantum, an open-loop load generator feeding
-// per-instance request queues, and live placement — instances start,
-// drain, stop, and migrate between machines mid-run.
+// instead of computing it: a supervisor runs N core.Runtime instances
+// across M simulated machines, with a global power-budget arbiter that
+// re-divides a cluster-wide cap across the machines, a load generator
+// feeding per-instance request queues, and live placement — instances
+// start, drain, stop, and migrate between machines mid-run.
 //
-// Time is bulk-synchronous: the fleet advances in control quanta. At
-// each quantum boundary the arbiter assigns per-machine frequency caps,
-// the load generator delivers arrivals, and placement changes take
-// effect; then every instance's goroutine executes concurrently until
-// its virtual clock reaches the quantum boundary. Within a quantum an
-// instance depends only on state frozen at the boundary, so results are
-// bit-for-bit deterministic for a fixed seed no matter how the goroutines
-// interleave — which is what lets the end-to-end tests validate the
-// executed fleet against the closed-form cluster oracle
-// (cluster.Oracle).
+// Time is event-driven: a deterministic discrete-event scheduler over
+// virtual time drives the fleet from a seeded event queue — request
+// arrivals (exponentially spaced Poisson instants), per-beat service
+// continuations, arbiter ticks, and asynchronous power-cap changes —
+// so arbiter decisions and DVFS caps land at arbitrary virtual times
+// between beats (the platform layer's scheduled cap events carry them
+// to each instance's machine view), arrivals queue at the instant they
+// occur, and per-request latency reflects actual queueing delay at
+// beat granularity. The paper's responsiveness claim (Sec. 5) is about
+// exactly this: a cpufrequtils cap or a dynamic-knob change takes
+// effect within one heartbeat, not at the next coarse control round.
+// Requests are work items over input streams — whole streams by
+// default, or per-iteration batches via LoadGen.WithRequestIters — and
+// RoundStats reports p50/p95/p99 request latency per control quantum.
+// The event loop is single-threaded, so results are bit-for-bit
+// deterministic for a fixed seed, which is what lets the end-to-end
+// tests validate the executed fleet against the closed-form cluster
+// oracle (cluster.Oracle, including its event-time M/D/1 queueing
+// surface).
+//
+// The original bulk-synchronous quantum loop survives as a thin
+// compatibility mode (TimelineQuantum): the fleet advances in control
+// quanta, every instance's goroutine executes concurrently to the
+// quantum boundary, and all decisions land at boundaries. It remains
+// for A/B comparison against the event timeline and as the concurrency
+// showcase; new work should use the default event timeline.
 //
 // Machine sharing follows the oracle's arithmetic: a machine with C
 // cores and I resident instances time-multiplexes each instance onto
@@ -41,6 +56,19 @@ import (
 	"repro/internal/workload"
 )
 
+// Timeline selects the fleet's execution engine.
+type Timeline int
+
+const (
+	// TimelineEvent is the default: the deterministic discrete-event
+	// scheduler over virtual time.
+	TimelineEvent Timeline = iota
+	// TimelineQuantum is the legacy bulk-synchronous loop: instances
+	// run concurrently to each quantum boundary and every decision
+	// lands on a boundary. Kept as a thin compatibility mode.
+	TimelineQuantum
+)
+
 // Config assembles a fleet.
 type Config struct {
 	// Machines is the simulated machine count (required, >= 1).
@@ -63,13 +91,33 @@ type Config struct {
 	Power platform.PowerModel
 	// Budget is the cluster-wide power cap in watts (<= 0 = unlimited).
 	Budget float64
-	// Quantum is the control quantum (default 1s of virtual time).
+	// Quantum is the control quantum: the reporting round length, and
+	// in quantum mode the execution barrier (default 1s of virtual
+	// time).
 	Quantum time.Duration
 	// QuantumBeats is the per-instance actuator quantum (default 20).
 	QuantumBeats int
 	// MigrationDowntime is the blackout an instance suffers when moved
 	// between machines (default 100ms).
 	MigrationDowntime time.Duration
+	// Timeline selects the engine (default TimelineEvent).
+	Timeline Timeline
+	// ArbiterInterval is the arbiter tick period on the event timeline;
+	// it defaults to Quantum and may be shorter for finer-grained
+	// re-arbitration. Ignored in quantum mode (one tick per quantum).
+	ArbiterInterval time.Duration
+	// ControlDisabled runs every instance open-loop at its baseline
+	// setting (the "without dynamic knobs" configuration) — used to
+	// validate the event timeline against closed-form queueing models,
+	// where service times must stay deterministic.
+	ControlDisabled bool
+	// RecordTrace collects the event-time trace (Supervisor.Trace):
+	// arrivals, completions, cap changes, arbiter ticks, host state
+	// transitions, placement. Off by default; traces grow with load.
+	// On the quantum timeline request events are recorded at the
+	// boundary they report through (self-fed saturating mints excepted)
+	// — time-quantized like everything else in that mode.
+	RecordTrace bool
 }
 
 // Host is one simulated machine of the fleet.
@@ -79,6 +127,12 @@ type Host struct {
 	state     int // DVFS state index assigned by the arbiter
 	residents []*Instance
 	energy    float64 // joules accumulated
+
+	// Event-timeline power accounting: energy integrates over segments
+	// of constant DVFS state instead of whole quanta.
+	segStart    time.Time
+	roundEnergy float64
+	roundBusy   time.Duration
 }
 
 // Index returns the host's position in the fleet.
@@ -108,12 +162,16 @@ func (h *Host) share() float64 {
 	return float64(h.cores) / float64(len(h.residents))
 }
 
-// applyShares pushes the host's frequency cap and multiplexing share to
-// every resident's machine view through the platform layer.
-func (h *Host) applyShares() {
+// applySharesAt pushes the host's frequency cap and multiplexing share
+// to every resident's machine view through the platform layer. The cap
+// is scheduled to land at virtual time at: residents whose clocks have
+// already reached at (every actively serving instance) see it at their
+// next beat, and a lagging idle instance's catch-up idle is split at
+// the landing time.
+func (h *Host) applySharesAt(at time.Time) {
 	interference := 1 - h.share()
 	for _, inst := range h.residents {
-		_ = inst.view.SetState(h.state)
+		_ = inst.view.SetStateAt(h.state, at)
 		inst.view.SetInterference(interference)
 	}
 }
@@ -127,9 +185,11 @@ func (h *Host) removeResident(inst *Instance) {
 	}
 }
 
-// Instance is one controlled application instance. During a quantum only
-// its own goroutine touches it; between quanta only the supervisor does
-// (the WaitGroup barrier orders the two).
+// Instance is one controlled application instance. On the event
+// timeline only the single-threaded event loop touches it. In quantum
+// mode, during a quantum only its own goroutine touches it; between
+// quanta only the supervisor does (the WaitGroup barrier orders the
+// two).
 type Instance struct {
 	id      int
 	app     workload.App
@@ -144,20 +204,24 @@ type Instance struct {
 	cur         *Request
 	sessStart   time.Time // virtual time the in-flight session began
 	pausedUntil time.Time
-	baseOuts    []workload.Output // shared baseline outputs, read-only
+	baseOuts    []workload.Output         // shared baseline outputs, read-only
+	baseSliced  map[int][]workload.Output // shared sliced baselines, read-only during a round
 
 	accepting bool
 	draining  bool
 	stopping  bool
 	retired   bool
+	scheduled bool // event timeline: a serve event is in the queue
 	selfFeed  bool // saturating load: refill the queue mid-quantum
 	feedIdx   int  // stream cursor for self-fed requests
+	reqIters  int  // iterations per self-fed request (0 = whole stream)
 	minted    int  // self-fed requests created this quantum
 
 	completed int
 	aborted   int
 	lossSum   float64   // realized request QoS loss, drained each round
 	latencies []float64 // seconds, drained by the supervisor each round
+	allLats   []float64 // seconds, full history for per-instance percentiles
 	prevBusy  time.Duration
 	prevBeats int
 	err       error
@@ -196,9 +260,44 @@ func (inst *Instance) Snapshot() core.Snapshot { return inst.rt.Snapshot() }
 // Runtime exposes the underlying control runtime.
 func (inst *Instance) Runtime() *core.Runtime { return inst.rt }
 
+// streamFor resolves a request to the stream (or per-iteration work
+// item) it covers on this instance.
+func (inst *Instance) streamFor(req *Request) workload.Stream {
+	st := inst.streams[req.StreamIdx%len(inst.streams)]
+	if req.Iters > 0 && req.Iters < st.Len() {
+		st = limitStream{Stream: st, n: req.Iters}
+	}
+	return st
+}
+
+// baselineFor returns the baseline-setting output the request's served
+// output is compared against.
+func (inst *Instance) baselineFor(req *Request) workload.Output {
+	if req.Iters > 0 {
+		if outs, ok := inst.baseSliced[req.Iters]; ok {
+			return outs[req.StreamIdx%len(outs)]
+		}
+	}
+	return inst.baseOuts[req.StreamIdx%len(inst.baseOuts)]
+}
+
+// finishRequest books a completed request: latency against its arrival
+// instant and realized QoS loss of the served output against the
+// baseline-setting output of the same work item — the quantity the
+// cluster oracle predicts (per-beat, not per-plan-time).
+func (inst *Instance) finishRequest() float64 {
+	lat := inst.clk.Now().Sub(inst.cur.Arrival).Seconds()
+	inst.completed++
+	inst.latencies = append(inst.latencies, lat)
+	inst.allLats = append(inst.allLats, lat)
+	inst.lossSum += inst.app.Loss(inst.baselineFor(inst.cur), inst.sess.Output())
+	inst.sess, inst.cur = nil, nil
+	return lat
+}
+
 // runRound advances the instance's virtual clock to the deadline,
 // serving queued requests beat by beat and idling when the queue is
-// empty. It runs on the instance's own goroutine.
+// empty. It runs on the instance's own goroutine (quantum mode only).
 func (inst *Instance) runRound(deadline time.Time) {
 	for {
 		now := inst.clk.Now()
@@ -222,7 +321,7 @@ func (inst *Instance) runRound(deadline time.Time) {
 					// feeds itself the next request in place (request
 					// streams much shorter than a quantum would
 					// otherwise leave it idle until the next boundary).
-					inst.queue = append(inst.queue, &Request{ID: -1, StreamIdx: inst.feedIdx, Arrival: now})
+					inst.queue = append(inst.queue, &Request{ID: -1, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: now})
 					inst.feedIdx++
 					inst.minted++
 					continue
@@ -232,11 +331,10 @@ func (inst *Instance) runRound(deadline time.Time) {
 			}
 			inst.cur = inst.queue[0]
 			inst.queue = inst.queue[1:]
-			st := inst.streams[inst.cur.StreamIdx%len(inst.streams)]
-			inst.sess = inst.rt.NewSession(st)
+			inst.sess = inst.rt.NewSession(inst.streamFor(inst.cur))
 			inst.sessStart = now
 		}
-		done, err := inst.sess.Step()
+		done, err := inst.sess.StepUntil(deadline)
 		if err != nil {
 			inst.err = err
 			return
@@ -260,82 +358,65 @@ func (inst *Instance) runRound(deadline time.Time) {
 				inst.err = fmt.Errorf("fleet: request on instance %d completed without advancing virtual time (zero-cost stream?)", inst.id)
 				return
 			}
-			inst.completed++
-			inst.latencies = append(inst.latencies,
-				inst.clk.Now().Sub(inst.cur.Arrival).Seconds())
-			// Realized QoS loss of the served request: the served
-			// output against the baseline-setting output of the
-			// same stream. This is the quantity the cluster oracle
-			// predicts (per-beat, not per-plan-time).
-			base := inst.baseOuts[inst.cur.StreamIdx%len(inst.baseOuts)]
-			inst.lossSum += inst.app.Loss(base, inst.sess.Output())
-			inst.sess, inst.cur = nil, nil
+			inst.finishRequest()
 		}
 	}
 }
 
-// HostStats is one machine's state over one quantum.
-type HostStats struct {
-	Index      int
-	State      int
-	FreqGHz    float64
-	Util       float64
-	PowerWatts float64
-	Residents  int
+// capChange is a scheduled cluster-budget change (SetBudgetAt).
+type capChange struct {
+	at    time.Time
+	watts float64
 }
 
-// RoundStats reports one control quantum of the fleet.
-type RoundStats struct {
-	Round        int
-	Budget       float64 // watts (<= 0 = unlimited)
-	PowerWatts   float64 // total cluster power this quantum
-	Hosts        []HostStats
-	Arrivals     int
-	Completions  int
-	QueueDepth   int     // queued + in-flight + undispatched at quantum end
-	Beats        int     // iterations completed this quantum
-	MeanNormPerf float64 // mean normalized performance over measuring instances
-	MeanPlanLoss float64 // mean expected QoS loss of active plans
-	// RequestLoss is the mean realized QoS loss of requests completed
-	// this quantum (served output vs the baseline-setting output).
-	RequestLoss float64
-}
-
-// Report summarizes a fleet run.
-type Report struct {
-	Rounds       []RoundStats
-	TotalEnergyJ float64
-	MeanPower    float64
-	Completions  int
-	Aborted      int
-	MeanLatency  float64 // seconds
-	P95Latency   float64 // seconds
-	// MeanRequestLoss is the realized QoS loss averaged over every
-	// completed request.
-	MeanRequestLoss float64
+// dueCaps removes and returns the scheduled budget changes landing
+// before cutoff, in virtual-time order (stable, so of two caps due at
+// the same instant the later-scheduled one is applied last and wins).
+// Both timelines route their cap handling through this single policy.
+func (s *Supervisor) dueCaps(cutoff time.Time) []capChange {
+	var due, later []capChange
+	for _, c := range s.caps {
+		if c.at.Before(cutoff) {
+			due = append(due, c)
+		} else {
+			later = append(later, c)
+		}
+	}
+	s.caps = later
+	sort.SliceStable(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	return due
 }
 
 // Supervisor owns the fleet. It is not itself safe for concurrent use:
-// one goroutine drives Step/Run and the placement methods; the
-// supervisor in turn fans work out to instance goroutines each quantum.
+// one goroutine drives Step/Run and the placement methods; on the event
+// timeline the supervisor runs the single-threaded event loop, in
+// quantum mode it fans work out to instance goroutines each quantum.
 type Supervisor struct {
-	cfg      Config
-	arb      *Arbiter
-	hosts    []*Host
-	insts    []*Instance
-	pending  []*Request
-	target   heartbeats.Target
-	baseOuts []workload.Output // baseline outputs per production stream
+	cfg         Config
+	arb         *Arbiter
+	hosts       []*Host
+	insts       []*Instance
+	pending     []*Request
+	target      heartbeats.Target
+	probe       workload.App
+	prodStreams []workload.Stream
+	baseOuts    []workload.Output // baseline outputs per production stream
+	baseSliced  map[int][]workload.Output
 
 	round     int
 	nextInst  int
 	energy    float64
-	latAll    []float64
 	completed int
 	aborted   int
 	lossSum   float64
 	lossN     int
 	rounds    []RoundStats
+
+	// Event timeline state.
+	eq    eventQueue
+	seq   uint64
+	caps  []capChange
+	trace []TraceEvent
 }
 
 // New builds a fleet supervisor with empty machines; add instances with
@@ -359,17 +440,26 @@ func New(cfg Config) (*Supervisor, error) {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = time.Second
 	}
+	if cfg.ArbiterInterval <= 0 || cfg.ArbiterInterval > cfg.Quantum {
+		cfg.ArbiterInterval = cfg.Quantum
+	}
 	if cfg.MigrationDowntime == 0 {
 		cfg.MigrationDowntime = 100 * time.Millisecond
 	}
-	s := &Supervisor{cfg: cfg, arb: NewArbiter(cfg.Power, cfg.Budget)}
+	s := &Supervisor{
+		cfg:        cfg,
+		arb:        NewArbiter(cfg.Power, cfg.Budget),
+		baseSliced: make(map[int][]workload.Output),
+	}
+	epoch := time.Unix(0, 0)
 	for i := 0; i < cfg.Machines; i++ {
-		s.hosts = append(s.hosts, &Host{index: i, cores: cfg.CoresPerMachine})
+		s.hosts = append(s.hosts, &Host{index: i, cores: cfg.CoresPerMachine, segStart: epoch})
 	}
 	probe, err := cfg.NewApp()
 	if err != nil {
 		return nil, err
 	}
+	s.probe = probe
 	s.target = cfg.Target
 	if !s.target.Valid() {
 		costPerBeat, err := core.BaselineCostPerBeat(probe, workload.Training)
@@ -382,15 +472,38 @@ func New(cfg Config) (*Supervisor, error) {
 	// Baseline outputs of the production streams, shared by every
 	// instance (app copies are deterministic, so stream contents match):
 	// the reference realized request QoS is measured against.
-	prodStreams := probe.Streams(workload.Production)
-	if len(prodStreams) == 0 {
+	s.prodStreams = probe.Streams(workload.Production)
+	if len(s.prodStreams) == 0 {
 		return nil, fmt.Errorf("fleet: %s has no production streams", probe.Name())
 	}
-	for _, st := range prodStreams {
+	for _, st := range s.prodStreams {
 		_, out := workload.MeasureStream(probe, st, cfg.Profile.Baseline)
 		s.baseOuts = append(s.baseOuts, out)
 	}
 	return s, nil
+}
+
+// ensureBaselines computes (once) the baseline-setting outputs of
+// per-iteration work items covering the first iters iterations of each
+// production stream. It runs in supervisor context before instances can
+// look the entries up, so the shared map is read-only during a round.
+func (s *Supervisor) ensureBaselines(iters int) {
+	if iters <= 0 {
+		return
+	}
+	if _, ok := s.baseSliced[iters]; ok {
+		return
+	}
+	outs := make([]workload.Output, len(s.prodStreams))
+	for i, st := range s.prodStreams {
+		if iters < st.Len() {
+			_, out := workload.MeasureStream(s.probe, limitStream{Stream: st, n: iters}, s.cfg.Profile.Baseline)
+			outs[i] = out
+		} else {
+			outs[i] = s.baseOuts[i]
+		}
+	}
+	s.baseSliced[iters] = outs
 }
 
 // Now returns the fleet's virtual time (the current quantum boundary).
@@ -430,8 +543,18 @@ func (s *Supervisor) Active() []*Instance {
 }
 
 // SetBudget changes the cluster-wide power cap (watts, <= 0 =
-// unlimited); the arbiter honors it from the next quantum.
+// unlimited); the arbiter honors it from the next arbiter tick.
 func (s *Supervisor) SetBudget(watts float64) { s.arb.SetBudget(watts) }
+
+// SetBudgetAt schedules a cluster-budget change to land at virtual time
+// at — the paper's cpufrequtils cap arriving mid-quantum. On the event
+// timeline the change is a cap event: it takes effect at that instant
+// and triggers an immediate re-arbitration, before the next periodic
+// arbiter tick. In quantum mode it degrades to the first quantum
+// boundary at or after at.
+func (s *Supervisor) SetBudgetAt(at time.Time, watts float64) {
+	s.caps = append(s.caps, capChange{at: at, watts: watts})
+}
 
 // Budget returns the current cluster-wide cap.
 func (s *Supervisor) Budget() float64 { return s.arb.Budget() }
@@ -467,6 +590,7 @@ func (s *Supervisor) StartInstance(host int) (*Instance, error) {
 		Target:       s.target,
 		Policy:       s.cfg.Policy,
 		QuantumBeats: s.cfg.QuantumBeats,
+		Disabled:     s.cfg.ControlDisabled,
 	})
 	if err != nil {
 		return nil, err
@@ -476,24 +600,28 @@ func (s *Supervisor) StartInstance(host int) (*Instance, error) {
 		return nil, fmt.Errorf("fleet: %s has no production streams", app.Name())
 	}
 	inst := &Instance{
-		id:        s.nextInst,
-		app:       app,
-		rt:        rt,
-		view:      view,
-		clk:       clk,
-		host:      s.hosts[host],
-		streams:   streams,
-		baseOuts:  s.baseOuts,
-		accepting: true,
+		id:         s.nextInst,
+		app:        app,
+		rt:         rt,
+		view:       view,
+		clk:        clk,
+		host:       s.hosts[host],
+		streams:    streams,
+		baseOuts:   s.baseOuts,
+		baseSliced: s.baseSliced,
+		accepting:  true,
 	}
 	s.nextInst++
 	s.insts = append(s.insts, inst)
 	s.hosts[host].residents = append(s.hosts[host].residents, inst)
+	s.record(TraceEvent{At: s.Now(), Kind: TraceStart, Instance: inst.id, Host: host, State: -1})
 	return inst, nil
 }
 
 // Drain gracefully retires an instance: it accepts no new requests,
-// finishes its queue, and leaves its machine once idle.
+// finishes its queue, and leaves its machine once idle. On the event
+// timeline the retirement lands at the exact virtual instant the queue
+// empties; in quantum mode it lands at the following boundary.
 func (s *Supervisor) Drain(inst *Instance) {
 	inst.accepting = false
 	inst.draining = true
@@ -522,15 +650,27 @@ func (s *Supervisor) Migrate(inst *Instance, to int) error {
 	if inst.host == s.hosts[to] {
 		return nil
 	}
+	now := s.Now()
+	if s.eventMode() {
+		s.closeSegment(inst.host, now)
+		s.closeSegment(s.hosts[to], now)
+	}
 	inst.host.removeResident(inst)
 	inst.host = s.hosts[to]
 	s.hosts[to].residents = append(s.hosts[to].residents, inst)
-	inst.pausedUntil = s.Now().Add(s.cfg.MigrationDowntime)
+	inst.pausedUntil = now.Add(s.cfg.MigrationDowntime)
+	s.record(TraceEvent{At: now, Kind: TraceMigrate, Instance: inst.id, Host: to, State: -1})
 	return nil
 }
 
+// eventMode reports whether the event timeline drives the fleet.
+func (s *Supervisor) eventMode() bool { return s.cfg.Timeline == TimelineEvent }
+
 // retireDone removes finished instances from their machines: stopped
 // ones immediately (requeuing their backlog), draining ones once idle.
+// The event timeline additionally retires drained instances mid-round,
+// at the instant their queue empties; this boundary sweep covers the
+// quantum mode and instances that were already idle when drained.
 func (s *Supervisor) retireDone() {
 	for _, inst := range s.insts {
 		if inst.retired {
@@ -541,22 +681,28 @@ func (s *Supervisor) retireDone() {
 				// The abandoned in-flight request counts as aborted
 				// (credited to the supervisor directly — the instance's
 				// own counters were already drained last quantum); the
-				// runtime's drain flag guarantees the session cannot
-				// advance even if stepped again.
+				// session is preempted at its beat boundary and the
+				// runtime's drain flag guarantees it cannot advance
+				// even if stepped again.
+				inst.sess.Abort()
 				s.aborted++
 				inst.sess, inst.cur = nil, nil
 			}
 			s.pending = append(s.pending, inst.queue...)
 			inst.queue = nil
+			host := inst.host.index
 			inst.host.removeResident(inst)
 			inst.host = nil
 			inst.retired = true
+			s.record(TraceEvent{At: s.Now(), Kind: TraceRetire, Instance: inst.id, Host: host, State: -1})
 			continue
 		}
 		if inst.draining && inst.sess == nil && len(inst.queue) == 0 {
+			host := inst.host.index
 			inst.host.removeResident(inst)
 			inst.host = nil
 			inst.retired = true
+			s.record(TraceEvent{At: s.Now(), Kind: TraceRetire, Instance: inst.id, Host: host, State: -1})
 		}
 	}
 }
@@ -573,10 +719,9 @@ func (s *Supervisor) acceptingInstances() []*Instance {
 }
 
 // dispatch assigns a request to the accepting instance with the
-// shallowest queue (ties to the lower id). It returns false when no
-// instance accepts work. The accepting list is computed once per
-// quantum by the caller.
-func dispatch(accepting []*Instance, req *Request) bool {
+// shallowest queue (ties to the lower id), returning nil when no
+// instance accepts work.
+func dispatch(accepting []*Instance, req *Request) *Instance {
 	var best *Instance
 	for _, inst := range accepting {
 		if best == nil || inst.QueueDepth() < best.QueueDepth() {
@@ -584,19 +729,16 @@ func dispatch(accepting []*Instance, req *Request) bool {
 		}
 	}
 	if best == nil {
-		return false
+		return nil
 	}
 	best.queue = append(best.queue, req)
-	return true
+	return best
 }
 
-// Step advances the fleet by one control quantum: arbitration, load
-// delivery, concurrent execution, then accounting.
-func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
-	s.retireDone()
-
-	// 1. Arbitrate the shared power budget into per-machine frequency
-	//    caps and push them (plus multiplexing shares) to every resident.
+// demands assembles the arbiter's per-host inputs from live instance
+// state: worst-case utilization for occupied hosts, weight proportional
+// to core demand, and the mean heart-rate deficit of the residents.
+func (s *Supervisor) demands() []hostDemand {
 	demands := make([]hostDemand, len(s.hosts))
 	for i, h := range s.hosts {
 		if len(h.residents) > 0 {
@@ -618,32 +760,77 @@ func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
 			demands[i].deficit = deficit / float64(len(h.residents))
 		}
 	}
-	states := s.arb.assign(demands)
+	return demands
+}
+
+// arbitrate re-divides the cluster budget into per-host DVFS states at
+// virtual time t and pushes caps plus multiplexing shares to every
+// resident's machine view.
+func (s *Supervisor) arbitrate(t time.Time) {
+	states := s.arb.assign(s.demands())
 	for i, h := range s.hosts {
-		h.state = states[i]
-		h.applyShares()
+		if h.state != states[i] {
+			if s.eventMode() {
+				s.closeSegment(h, t)
+			}
+			h.state = states[i]
+			s.record(TraceEvent{At: t, Kind: TraceState, Instance: -1, Host: h.index, State: h.state, Value: platform.Frequencies[h.state]})
+		}
+		h.applySharesAt(t)
+	}
+	s.record(TraceEvent{At: t, Kind: TraceArbiter, Instance: -1, Host: -1, State: -1, Value: s.arb.Budget()})
+}
+
+// Step advances the fleet by one control quantum and reports it.
+func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
+	if s.eventMode() {
+		return s.stepEvent(gen)
+	}
+	return s.stepQuantum(gen)
+}
+
+// stepQuantum is the legacy bulk-synchronous round: arbitration, load
+// delivery, concurrent execution to the boundary, then accounting.
+func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
+	s.retireDone()
+	now := s.Now()
+
+	// Budget changes scheduled mid-quantum degrade to the first
+	// boundary at or after their landing time, applied in virtual-time
+	// order so the latest-scheduled cap wins. The cutoff is exclusive,
+	// hence one instant past now to take caps landing exactly here.
+	for _, c := range s.dueCaps(now.Add(time.Nanosecond)) {
+		s.arb.SetBudget(c.watts)
+		s.record(TraceEvent{At: now, Kind: TraceCap, Instance: -1, Host: -1, State: -1, Value: c.watts})
 	}
 
+	// 1. Arbitrate the shared power budget into per-machine frequency
+	//    caps and push them (plus multiplexing shares) to every resident.
+	s.arbitrate(now)
+
 	// 2. Deliver this quantum's offered load.
-	now := s.Now()
 	arrivals := 0
 	for _, inst := range s.insts {
 		inst.selfFeed = false
 	}
 	if gen != nil {
+		s.ensureBaselines(gen.reqIters)
 		accepting := s.acceptingInstances()
 		if depth, ok := gen.Saturating(); ok {
 			for _, inst := range accepting {
 				inst.selfFeed = true
+				inst.reqIters = gen.reqIters
 				for inst.QueueDepth() < depth {
 					inst.queue = append(inst.queue, gen.next(now))
 					arrivals++
+					s.record(TraceEvent{At: now, Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
 				}
 			}
 		} else {
 			var still []*Request
 			for _, req := range s.pending {
-				if !dispatch(accepting, req) {
+				s.ensureBaselines(req.Iters)
+				if dispatch(accepting, req) == nil {
 					still = append(still, req)
 				}
 			}
@@ -651,7 +838,8 @@ func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
 			for i := gen.Arrivals(s.round); i > 0; i-- {
 				req := gen.next(now)
 				arrivals++
-				if !dispatch(accepting, req) {
+				s.record(TraceEvent{At: now, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
+				if dispatch(accepting, req) == nil {
 					s.pending = append(s.pending, req)
 				}
 			}
@@ -680,14 +868,20 @@ func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
 	if len(errs) > 0 {
 		return RoundStats{}, errors.Join(errs...)
 	}
+	// Completions happen on instance goroutines mid-quantum, so the
+	// quantum timeline records them at the boundary they report through
+	// — time-quantized like everything else in this mode.
+	if s.cfg.RecordTrace {
+		for _, inst := range active {
+			for _, lat := range inst.latencies {
+				s.record(TraceEvent{At: deadline, Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat})
+			}
+		}
+	}
 
 	// 4. Account power, performance, and queue statistics.
 	quantumSec := s.cfg.Quantum.Seconds()
 	rs := RoundStats{Round: s.round, Budget: s.arb.Budget(), Arrivals: arrivals}
-	for _, inst := range active {
-		rs.Arrivals += inst.minted
-		inst.minted = 0
-	}
 	for _, h := range s.hosts {
 		var busy time.Duration
 		for _, inst := range h.residents {
@@ -712,37 +906,8 @@ func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
 			Residents:  len(h.residents),
 		})
 	}
-	var perfSum, planLossSum, reqLossSum float64
-	var perfN int
-	for _, inst := range active {
-		snap := inst.rt.Snapshot()
-		rs.Beats += snap.Beats - inst.prevBeats
-		inst.prevBeats = snap.Beats
-		rs.QueueDepth += inst.QueueDepth()
-		rs.Completions += inst.completed
-		reqLossSum += inst.lossSum
-		if snap.NormPerf > 0 {
-			perfSum += snap.NormPerf
-			planLossSum += snap.PlanLoss
-			perfN++
-		}
-		s.completed += inst.completed
-		s.aborted += inst.aborted
-		s.lossSum += inst.lossSum
-		s.lossN += inst.completed
-		inst.completed, inst.aborted, inst.lossSum = 0, 0, 0
-		s.latAll = append(s.latAll, inst.latencies...)
-		inst.latencies = nil
-	}
-	if perfN > 0 {
-		rs.MeanNormPerf = perfSum / float64(perfN)
-		rs.MeanPlanLoss = planLossSum / float64(perfN)
-	}
-	if rs.Completions > 0 {
-		rs.RequestLoss = reqLossSum / float64(rs.Completions)
-	}
-	// Backlog no instance accepts yet still counts as queued work.
-	rs.QueueDepth += len(s.pending)
+	s.drainRoundCounters(&rs)
+	s.record(TraceEvent{At: deadline, Kind: TraceRound, Instance: -1, Host: -1, State: -1, Value: rs.PowerWatts})
 	s.rounds = append(s.rounds, rs)
 	s.round++
 	return rs, nil
@@ -756,33 +921,6 @@ func (s *Supervisor) Run(gen *LoadGen, rounds int) error {
 		}
 	}
 	return nil
-}
-
-// Report summarizes the run so far.
-func (s *Supervisor) Report() Report {
-	rep := Report{
-		Rounds:       append([]RoundStats(nil), s.rounds...),
-		TotalEnergyJ: s.energy,
-		Completions:  s.completed,
-		Aborted:      s.aborted,
-	}
-	if s.lossN > 0 {
-		rep.MeanRequestLoss = s.lossSum / float64(s.lossN)
-	}
-	if elapsed := float64(s.round) * s.cfg.Quantum.Seconds(); elapsed > 0 {
-		rep.MeanPower = s.energy / elapsed
-	}
-	if len(s.latAll) > 0 {
-		sorted := append([]float64(nil), s.latAll...)
-		sort.Float64s(sorted)
-		var sum float64
-		for _, l := range sorted {
-			sum += l
-		}
-		rep.MeanLatency = sum / float64(len(sorted))
-		rep.P95Latency = sorted[(len(sorted)-1)*95/100]
-	}
-	return rep
 }
 
 // MeanPowerOver returns the mean cluster power over rounds [from, to).

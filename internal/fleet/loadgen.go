@@ -1,31 +1,44 @@
 package fleet
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
+
+	"repro/internal/workload"
 )
 
-// Request is one unit of offered load: a whole input stream (a video to
-// encode, a portfolio to price, a query batch) that an instance processes
-// iteration by iteration under PowerDial control.
+// Request is one unit of offered load: a work item over an input stream
+// (a video to encode, a portfolio to price, a query batch) that an
+// instance processes iteration by iteration under PowerDial control. By
+// default a request covers a whole stream; WithRequestIters splits the
+// offered load into per-iteration work items instead, so one instance
+// interleaves many short requests and per-request latency reflects
+// queueing delay at beat granularity.
 type Request struct {
 	ID int
 	// StreamIdx selects which production stream of the serving instance's
 	// application realizes the request (cycled modulo the stream count).
 	StreamIdx int
+	// Iters caps how many iterations of the stream this request covers
+	// (0 = the whole stream).
+	Iters int
 	// Arrival is the fleet virtual time the request entered the system.
 	Arrival time.Time
 }
 
-// LoadGen is an open-loop arrival process: it decides how many requests
-// enter the fleet each control quantum, independent of how fast the fleet
-// drains them (queues grow when the fleet falls behind). All processes
-// are deterministic for a fixed seed.
+// LoadGen is an open-loop arrival process: it decides when requests
+// enter the fleet, independent of how fast the fleet drains them
+// (queues grow when the fleet falls behind). Under the event-driven
+// timeline arrivals land at exponentially spaced virtual instants — a
+// true Poisson process — rather than in per-quantum batches. All
+// processes are deterministic for a fixed seed.
 type LoadGen struct {
 	rng      *rand.Rand
 	rate     func(round int) float64
 	saturate int
+	reqIters int
 	nextID   int
 	nextIdx  int
 }
@@ -88,6 +101,21 @@ func NewSaturatingLoad(depth int) *LoadGen {
 	return &LoadGen{saturate: depth}
 }
 
+// WithRequestIters makes the generator mint per-iteration work items:
+// every request covers n iterations of its stream instead of the whole
+// stream (the request-level batching model). It returns the generator
+// for chaining; n <= 0 restores whole-stream requests.
+func (g *LoadGen) WithRequestIters(n int) *LoadGen {
+	if n < 0 {
+		n = 0
+	}
+	g.reqIters = n
+	return g
+}
+
+// RequestIters returns the per-request iteration cap (0 = whole stream).
+func (g *LoadGen) RequestIters() int { return g.reqIters }
+
 // Saturating returns the target queue depth of a saturating generator
 // (ok=false for open-loop generators).
 func (g *LoadGen) Saturating() (depth int, ok bool) {
@@ -106,11 +134,72 @@ func (g *LoadGen) Arrivals(round int) int {
 
 // next mints a request arriving at the given virtual time.
 func (g *LoadGen) next(arrival time.Time) *Request {
-	r := &Request{ID: g.nextID, StreamIdx: g.nextIdx, Arrival: arrival}
+	r := &Request{ID: g.nextID, StreamIdx: g.nextIdx, Iters: g.reqIters, Arrival: arrival}
 	g.nextID++
 	g.nextIdx++
 	return r
 }
+
+// eventTimes samples the arrival instants inside the round starting at
+// start: a Poisson process with piecewise-constant rate (this round's
+// mean spread over the quantum), realized as exponential inter-arrival
+// gaps. Saturating generators return nil; the supervisor tops queues up
+// directly.
+func (g *LoadGen) eventTimes(round int, start time.Time, quantum time.Duration) []time.Time {
+	if g.saturate > 0 || g.rate == nil {
+		return nil
+	}
+	lambda := g.rate(round)
+	if lambda <= 0 {
+		return nil
+	}
+	perSec := lambda / quantum.Seconds()
+	end := start.Add(quantum)
+	var out []time.Time
+	t := start
+	for {
+		t = t.Add(time.Duration(g.rng.ExpFloat64() / perSec * float64(time.Second)))
+		if !t.Before(end) {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// limitStream is a per-iteration work item: the first n iterations of
+// an underlying stream, served as one request.
+type limitStream struct {
+	workload.Stream
+	n int
+}
+
+func (s limitStream) Len() int { return s.n }
+
+func (s limitStream) Name() string {
+	return fmt.Sprintf("%s[:%d]", s.Stream.Name(), s.n)
+}
+
+func (s limitStream) NewRun() workload.Run {
+	return &limitRun{run: s.Stream.NewRun(), left: s.n}
+}
+
+type limitRun struct {
+	run  workload.Run
+	left int
+}
+
+func (r *limitRun) Step() (float64, bool) {
+	if r.left <= 0 {
+		return 0, false
+	}
+	cost, ok := r.run.Step()
+	if ok {
+		r.left--
+	}
+	return cost, ok
+}
+
+func (r *limitRun) Output() workload.Output { return r.run.Output() }
 
 // poisson draws from Poisson(lambda) by Knuth's product method, exact
 // and deterministic. Large lambdas are split into chunks (the sum of

@@ -1,0 +1,170 @@
+package fleet
+
+import "sort"
+
+// HostStats is one machine's state over one quantum.
+type HostStats struct {
+	Index      int
+	State      int
+	FreqGHz    float64
+	Util       float64
+	PowerWatts float64
+	Residents  int
+}
+
+// RoundStats reports one control quantum of the fleet.
+type RoundStats struct {
+	Round        int
+	Budget       float64 // watts (<= 0 = unlimited)
+	PowerWatts   float64 // total cluster power this quantum
+	Hosts        []HostStats
+	Arrivals     int
+	Completions  int
+	QueueDepth   int     // queued + in-flight + undispatched at quantum end
+	Beats        int     // iterations completed this quantum
+	MeanNormPerf float64 // mean normalized performance over measuring instances
+	MeanPlanLoss float64 // mean expected QoS loss of active plans
+	// RequestLoss is the mean realized QoS loss of requests completed
+	// this quantum (served output vs the baseline-setting output).
+	RequestLoss float64
+	// LatencyP50/P95/P99 are request-latency percentiles in seconds
+	// over the requests completed this quantum (0 when none completed).
+	// On the event timeline these reflect true queueing delay at beat
+	// granularity: arrivals land mid-quantum and completions are booked
+	// at their exact virtual instant.
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+}
+
+// InstanceLatency is one instance's request-latency summary over a run.
+type InstanceLatency struct {
+	ID          int
+	Completions int
+	P50         float64 // seconds
+	P95         float64 // seconds
+	P99         float64 // seconds
+}
+
+// Report summarizes a fleet run.
+type Report struct {
+	Rounds       []RoundStats
+	TotalEnergyJ float64
+	MeanPower    float64
+	Completions  int
+	Aborted      int
+	MeanLatency  float64 // seconds
+	P50Latency   float64 // seconds
+	P95Latency   float64 // seconds
+	P99Latency   float64 // seconds
+	// PerInstance summarizes request latency per instance (every
+	// instance ever started, in id order).
+	PerInstance []InstanceLatency
+	// MeanRequestLoss is the realized QoS loss averaged over every
+	// completed request.
+	MeanRequestLoss float64
+}
+
+// percentile returns the nearest-rank p-th percentile of a sorted,
+// non-empty slice.
+func percentile(sorted []float64, p int) float64 {
+	return sorted[(len(sorted)-1)*p/100]
+}
+
+// drainRoundCounters moves the per-round instance counters (requests,
+// losses, latencies, beats) into the round's stats and the run totals.
+// Both timelines share it, so quantum-mode and event-mode rounds report
+// through the same bookkeeping.
+func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
+	for _, inst := range s.insts {
+		rs.Arrivals += inst.minted
+		inst.minted = 0
+	}
+	var perfSum, planLossSum, reqLossSum float64
+	var perfN int
+	var roundLats []float64
+	for _, inst := range s.insts {
+		// Beat deltas count for retired instances too: an instance
+		// retiring mid-round (event timeline) still served beats this
+		// round. Performance and queue depth only aggregate over the
+		// instances still placed.
+		snap := inst.rt.Snapshot()
+		rs.Beats += snap.Beats - inst.prevBeats
+		inst.prevBeats = snap.Beats
+		if !inst.retired {
+			rs.QueueDepth += inst.QueueDepth()
+			if snap.NormPerf > 0 {
+				perfSum += snap.NormPerf
+				planLossSum += snap.PlanLoss
+				perfN++
+			}
+		}
+		rs.Completions += inst.completed
+		reqLossSum += inst.lossSum
+		s.completed += inst.completed
+		s.aborted += inst.aborted
+		s.lossSum += inst.lossSum
+		s.lossN += inst.completed
+		inst.completed, inst.aborted, inst.lossSum = 0, 0, 0
+		roundLats = append(roundLats, inst.latencies...)
+		inst.latencies = nil
+	}
+	if perfN > 0 {
+		rs.MeanNormPerf = perfSum / float64(perfN)
+		rs.MeanPlanLoss = planLossSum / float64(perfN)
+	}
+	if rs.Completions > 0 {
+		rs.RequestLoss = reqLossSum / float64(rs.Completions)
+	}
+	if len(roundLats) > 0 {
+		sort.Float64s(roundLats)
+		rs.LatencyP50 = percentile(roundLats, 50)
+		rs.LatencyP95 = percentile(roundLats, 95)
+		rs.LatencyP99 = percentile(roundLats, 99)
+	}
+	// Backlog no instance accepts yet still counts as queued work.
+	rs.QueueDepth += len(s.pending)
+}
+
+// Report summarizes the run so far.
+func (s *Supervisor) Report() Report {
+	rep := Report{
+		Rounds:       append([]RoundStats(nil), s.rounds...),
+		TotalEnergyJ: s.energy,
+		Completions:  s.completed,
+		Aborted:      s.aborted,
+	}
+	if s.lossN > 0 {
+		rep.MeanRequestLoss = s.lossSum / float64(s.lossN)
+	}
+	if elapsed := float64(s.round) * s.cfg.Quantum.Seconds(); elapsed > 0 {
+		rep.MeanPower = s.energy / elapsed
+	}
+	var sorted []float64
+	for _, inst := range s.insts {
+		sorted = append(sorted, inst.allLats...)
+	}
+	if len(sorted) > 0 {
+		sort.Float64s(sorted)
+		var sum float64
+		for _, l := range sorted {
+			sum += l
+		}
+		rep.MeanLatency = sum / float64(len(sorted))
+		rep.P50Latency = percentile(sorted, 50)
+		rep.P95Latency = percentile(sorted, 95)
+		rep.P99Latency = percentile(sorted, 99)
+	}
+	for _, inst := range s.insts {
+		il := InstanceLatency{ID: inst.id, Completions: len(inst.allLats)}
+		if len(inst.allLats) > 0 {
+			sorted := append([]float64(nil), inst.allLats...)
+			sort.Float64s(sorted)
+			il.P50 = percentile(sorted, 50)
+			il.P95 = percentile(sorted, 95)
+			il.P99 = percentile(sorted, 99)
+		}
+		rep.PerInstance = append(rep.PerInstance, il)
+	}
+	return rep
+}

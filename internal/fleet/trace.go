@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// TraceKind labels one entry of the fleet's event-time trace.
+type TraceKind string
+
+const (
+	// TraceArrival is a request entering the fleet (Value unused).
+	TraceArrival TraceKind = "arrival"
+	// TraceComplete is a request served to completion (Value = latency
+	// in seconds).
+	TraceComplete TraceKind = "complete"
+	// TraceCap is a cluster-budget change landing (Value = watts).
+	TraceCap TraceKind = "cap"
+	// TraceArbiter is an arbiter tick (Value = budget in watts).
+	TraceArbiter TraceKind = "arbiter"
+	// TraceState is a host DVFS state transition (Value = GHz).
+	TraceState TraceKind = "state"
+	// TraceStart is an instance joining the fleet.
+	TraceStart TraceKind = "start"
+	// TraceRetire is an instance leaving the fleet.
+	TraceRetire TraceKind = "retire"
+	// TraceMigrate is an instance moving between machines.
+	TraceMigrate TraceKind = "migrate"
+	// TraceRound closes a reporting quantum (Value = cluster watts).
+	TraceRound TraceKind = "round"
+)
+
+// TraceEvent is one entry of the event-time trace: what happened, at
+// which virtual instant, scoped to an instance and/or host where that
+// applies (-1 otherwise). Collected when Config.RecordTrace is set;
+// exported so Fig. 8-style spiky runs can be plotted from the exact
+// event times instead of quantum-rounded aggregates.
+type TraceEvent struct {
+	At       time.Time
+	Kind     TraceKind
+	Instance int
+	Host     int
+	State    int
+	Value    float64
+}
+
+// record appends a trace event when tracing is enabled.
+func (s *Supervisor) record(ev TraceEvent) {
+	if s.cfg.RecordTrace {
+		s.trace = append(s.trace, ev)
+	}
+}
+
+// Trace returns the event-time trace collected so far (nil unless
+// Config.RecordTrace is set).
+func (s *Supervisor) Trace() []TraceEvent {
+	out := make([]TraceEvent, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// WriteTraceCSV writes trace events as CSV with a header row: virtual
+// seconds since the run epoch, kind, instance, host, state, and the
+// kind-specific value.
+func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", "kind", "instance", "host", "state", "value"}); err != nil {
+		return err
+	}
+	epoch := time.Unix(0, 0)
+	for _, ev := range events {
+		rec := []string{
+			strconv.FormatFloat(ev.At.Sub(epoch).Seconds(), 'f', 6, 64),
+			string(ev.Kind),
+			strconv.Itoa(ev.Instance),
+			strconv.Itoa(ev.Host),
+			strconv.Itoa(ev.State),
+			strconv.FormatFloat(ev.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("fleet: trace csv: %w", err)
+	}
+	return nil
+}

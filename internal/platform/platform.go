@@ -76,6 +76,12 @@ type Machine struct {
 	state        int     // index into Frequencies
 	interference float64 // fraction of capacity consumed by co-located load
 
+	// pending is a scheduled DVFS change (SetStateAt) that lands when
+	// the virtual clock reaches pendingAt.
+	pending      bool
+	pendingState int
+	pendingAt    time.Time
+
 	busy time.Duration // accumulated busy time
 	all  time.Duration // accumulated total time
 }
@@ -116,10 +122,20 @@ func (m *Machine) Clock() *clock.Virtual { return m.clk }
 // Cores returns the core count.
 func (m *Machine) Cores() int { return m.cores }
 
+// applyPendingLocked installs a scheduled state change once the clock
+// has reached its landing time. Callers hold m.mu.
+func (m *Machine) applyPendingLocked() {
+	if m.pending && !m.clk.Now().Before(m.pendingAt) {
+		m.state = m.pendingState
+		m.pending = false
+	}
+}
+
 // Frequency returns the current clock frequency in GHz.
 func (m *Machine) Frequency() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.applyPendingLocked()
 	return Frequencies[m.state]
 }
 
@@ -127,17 +143,45 @@ func (m *Machine) Frequency() float64 {
 func (m *Machine) State() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.applyPendingLocked()
 	return m.state
 }
 
 // SetState selects a DVFS state by index (0 = 2.4 GHz). It returns an
-// error for out-of-range states.
+// error for out-of-range states. Any scheduled SetStateAt still in
+// flight is cancelled: an explicit cap overrides a queued one.
 func (m *Machine) SetState(i int) error {
 	if i < 0 || i >= len(Frequencies) {
 		return fmt.Errorf("platform: power state %d out of range [0,%d]", i, len(Frequencies)-1)
 	}
 	m.mu.Lock()
 	m.state = i
+	m.pending = false
+	m.mu.Unlock()
+	return nil
+}
+
+// SetStateAt schedules a DVFS state change to land at virtual time at —
+// the paper's cpufrequtils cap arriving asynchronously between beats
+// rather than at a control-round boundary. If the clock has already
+// reached at, the change applies immediately. Otherwise it applies
+// lazily once the machine's clock crosses at: work in flight completes
+// at the old frequency (beats are the atomic unit, as on real hardware
+// where a DVFS transition lands at the next scheduling boundary), and an
+// Idle period spanning the landing time is split so each side is charged
+// at the right state. A later SetStateAt or SetState replaces the
+// pending change.
+func (m *Machine) SetStateAt(i int, at time.Time) error {
+	if i < 0 || i >= len(Frequencies) {
+		return fmt.Errorf("platform: power state %d out of range [0,%d]", i, len(Frequencies)-1)
+	}
+	m.mu.Lock()
+	if !at.After(m.clk.Now()) {
+		m.state = i
+		m.pending = false
+	} else {
+		m.pending, m.pendingState, m.pendingAt = true, i, at
+	}
 	m.mu.Unlock()
 	return nil
 }
@@ -185,6 +229,7 @@ func (m *Machine) speedLocked() float64 {
 func (m *Machine) Speed() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.applyPendingLocked()
 	return m.speedLocked()
 }
 
@@ -198,6 +243,7 @@ func (m *Machine) Execute(cost float64) time.Duration {
 		return 0
 	}
 	m.mu.Lock()
+	m.applyPendingLocked()
 	seconds := cost / m.speedLocked()
 	d := time.Duration(seconds * float64(time.Second))
 	power := m.model.Power(Frequencies[m.state], 1)
@@ -211,17 +257,26 @@ func (m *Machine) Execute(cost float64) time.Duration {
 
 // Idle advances the clock with the controlled application idle. Any
 // co-located interference keeps consuming its share of the machine, so
-// the meter charges that utilization.
+// the meter charges that utilization. An idle period spanning a
+// scheduled SetStateAt landing time is split at the boundary so each
+// side is charged at the correct state.
 func (m *Machine) Idle(d time.Duration) {
-	if d <= 0 {
-		return
+	for d > 0 {
+		m.mu.Lock()
+		m.applyPendingLocked()
+		seg := d
+		if m.pending {
+			if until := m.pendingAt.Sub(m.clk.Now()); until < seg {
+				seg = until
+			}
+		}
+		power := m.model.Power(Frequencies[m.state], m.interference)
+		m.all += seg
+		m.mu.Unlock()
+		m.meter.accumulate(seg, power)
+		m.clk.Advance(seg)
+		d -= seg
 	}
-	m.mu.Lock()
-	power := m.model.Power(Frequencies[m.state], m.interference)
-	m.all += d
-	m.mu.Unlock()
-	m.meter.accumulate(d, power)
-	m.clk.Advance(d)
 }
 
 // Utilization returns the busy fraction of all accounted time.

@@ -224,3 +224,82 @@ func TestMeanPowerUnderCapDrops(t *testing.T) {
 		t.Fatalf("mean power after cap %v, want below %v", e2, e1)
 	}
 }
+
+// TestSetStateAtLandsMidStream checks the async cap event: a state
+// change scheduled for a future virtual time must not affect work
+// executed before that time, must split an idle period spanning the
+// landing time so each side is charged at the right state, and must
+// govern all work after it.
+func TestSetStateAtLandsMidStream(t *testing.T) {
+	m := newTestMachine(t)
+	lowest := len(Frequencies) - 1
+	if err := m.SetStateAt(lowest, time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Work before the landing time still runs at 2.4 GHz.
+	if d := m.Execute(2.4 * SpeedPerGHz / 2); d != 500*time.Millisecond {
+		t.Fatalf("pre-cap beat took %v, want 500ms at 2.4 GHz", d)
+	}
+	if m.State() != 0 {
+		t.Fatalf("cap landed early: state %d before its scheduled time", m.State())
+	}
+	// An idle spanning the landing time is split: [0.5s, 1s) at 2.4 GHz,
+	// [1s, 2s) at 1.6 GHz. With co-located interference the idle power
+	// differs across the boundary, so the meter exposes the split.
+	m.SetInterference(0.5)
+	m.Idle(1500 * time.Millisecond)
+	pm := DefaultPowerModel()
+	wantJ := pm.Power(2.4, 1)*0.5 + pm.Power(2.4, 0.5)*0.5 + pm.Power(1.6, 0.5)*1.0
+	if got := m.Meter().Energy(); math.Abs(got-wantJ) > 0.01 {
+		t.Fatalf("energy with mid-idle cap = %v J, want %v J", got, wantJ)
+	}
+	if m.State() != lowest {
+		t.Fatalf("state = %d after landing time, want %d", m.State(), lowest)
+	}
+	// Work after the landing time runs at the capped frequency.
+	m.SetInterference(0)
+	if d := m.Execute(1.6 * SpeedPerGHz); d != time.Second {
+		t.Fatalf("post-cap beat took %v, want 1s at 1.6 GHz", d)
+	}
+}
+
+// TestSetStateAtOverrides pins the replacement rules: a later SetStateAt
+// replaces a pending one, an explicit SetState cancels it, and a landing
+// time in the past applies immediately.
+func TestSetStateAtOverrides(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.SetStateAt(6, time.Unix(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStateAt(3, time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m.Idle(2 * time.Second)
+	if m.State() != 3 {
+		t.Fatalf("state = %d, want 3: second schedule should replace the first", m.State())
+	}
+	m.Idle(4 * time.Second) // past the first (replaced) landing time
+	if m.State() != 3 {
+		t.Fatalf("state = %d, want 3: replaced schedule must not land", m.State())
+	}
+	if err := m.SetStateAt(6, time.Unix(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetState(1); err != nil {
+		t.Fatal(err)
+	}
+	m.Idle(200 * time.Second)
+	if m.State() != 1 {
+		t.Fatalf("state = %d, want 1: SetState should cancel the pending schedule", m.State())
+	}
+	// A landing time already in the past applies immediately.
+	if err := m.SetStateAt(2, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != 2 {
+		t.Fatalf("state = %d, want 2: past landing time should apply now", m.State())
+	}
+	if err := m.SetStateAt(99, time.Unix(0, 0)); err == nil {
+		t.Fatal("want error for out-of-range scheduled state")
+	}
+}

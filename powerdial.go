@@ -29,6 +29,7 @@
 package powerdial
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/calibrate"
@@ -156,28 +157,49 @@ type (
 	ClusterOracle = cluster.Oracle
 	// ClusterPrediction is one oracle steady-state prediction.
 	ClusterPrediction = cluster.Prediction
+	// MD1 is the closed-form M/D/1 queueing station of the oracle's
+	// event-time surface.
+	MD1 = cluster.MD1
+	// QueueingPrediction is the oracle's event-time steady state for an
+	// open-loop offered load.
+	QueueingPrediction = cluster.QueueingPrediction
 )
 
-// Fleet types (see internal/fleet): the concurrent supervisor that runs
-// many Runtime instances across simulated machines under a shared power
-// budget.
+// Fleet types (see internal/fleet): the supervisor that runs many
+// Runtime instances across simulated machines under a shared power
+// budget, on a deterministic discrete-event timeline (or the legacy
+// bulk-synchronous quantum loop).
 type (
 	// FleetConfig assembles a fleet.
 	FleetConfig = fleet.Config
-	// Fleet is the concurrent fleet supervisor.
+	// Fleet is the fleet supervisor.
 	Fleet = fleet.Supervisor
+	// FleetTimeline selects the fleet's execution engine.
+	FleetTimeline = fleet.Timeline
 	// FleetInstance is one controlled application instance.
 	FleetInstance = fleet.Instance
 	// FleetHost is one simulated machine of a fleet.
 	FleetHost = fleet.Host
 	// FleetRoundStats reports one control quantum.
 	FleetRoundStats = fleet.RoundStats
+	// FleetInstanceLatency is one instance's latency percentiles.
+	FleetInstanceLatency = fleet.InstanceLatency
 	// FleetReport summarizes a fleet run.
 	FleetReport = fleet.Report
 	// LoadGen is an open-loop arrival process feeding a fleet.
 	LoadGen = fleet.LoadGen
 	// FleetRequest is one unit of offered load.
 	FleetRequest = fleet.Request
+	// FleetTraceEvent is one entry of the fleet's event-time trace.
+	FleetTraceEvent = fleet.TraceEvent
+)
+
+// Fleet timeline selectors.
+const (
+	// FleetTimelineEvent is the discrete-event scheduler (default).
+	FleetTimelineEvent = fleet.TimelineEvent
+	// FleetTimelineQuantum is the legacy bulk-synchronous loop.
+	FleetTimelineQuantum = fleet.TimelineQuantum
 )
 
 // Influence-tracing types (see internal/influence).
@@ -224,8 +246,13 @@ func NewClusterOracle(machines, coresPerMachine int, profile *Profile, power Pow
 	return cluster.NewOracle(machines, coresPerMachine, profile, power, freqGHz)
 }
 
-// NewFleet builds a concurrent fleet supervisor.
+// NewFleet builds a fleet supervisor (event-driven by default).
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// WriteFleetTraceCSV writes a fleet event-time trace as CSV.
+func WriteFleetTraceCSV(w io.Writer, events []FleetTraceEvent) error {
+	return fleet.WriteTraceCSV(w, events)
+}
 
 // NewSyntheticApp builds the analytically exact synthetic workload used
 // by fleet tests and demos.
