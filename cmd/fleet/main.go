@@ -13,6 +13,8 @@
 //	fleet -budget 400 -drop-to 340 -drop-at 20 -drop-frac 0.5
 //	fleet -load constant -rate 4 -req-iters 10 -latency
 //	fleet -trace trace.csv                 # export the event-time trace
+//	fleet -replay replay.csv -rounds 90    # Fig. 8 autoscaler replay
+//	fleet -replay replay.csv -rates recorded.csv -slo-p95 1.5
 package main
 
 import (
@@ -47,7 +49,18 @@ func main() {
 	timeline := flag.String("timeline", "event", "execution engine: event | quantum")
 	latency := flag.Bool("latency", false, "print per-instance p50/p95/p99 request latency")
 	tracePath := flag.String("trace", "", "write the event-time trace to this CSV file")
+	replayPath := flag.String("replay", "", "run the Fig. 8 autoscaler replay and write its per-quantum CSV here")
+	ratesPath := flag.String("rates", "", "recorded arrival trace for -replay (one mean-arrivals-per-quantum per line; default: synthetic Fig. 8 shape at peak -rate)")
+	sloP95 := flag.Float64("slo-p95", 1.2, "p95 request-latency SLO in seconds the replay autoscaler provisions for")
+	scaleMin := flag.Int("scale-min", 1, "replay autoscaler lower instance bound")
+	scaleMax := flag.Int("scale-max", 0, "replay autoscaler upper instance bound (0 = total cluster cores)")
 	flag.Parse()
+	instancesSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "instances" {
+			instancesSet = true
+		}
+	})
 
 	if err := run(options{
 		app: *appName, scale: *scale,
@@ -55,6 +68,9 @@ func main() {
 		budget: *budget, dropTo: *dropTo, dropAt: *dropAt, dropFrac: *dropFrac,
 		load: *load, rate: *rate, reqIters: *reqIters, seed: *seed,
 		timeline: *timeline, latency: *latency, tracePath: *tracePath,
+		replayPath: *replayPath, ratesPath: *ratesPath,
+		sloP95: *sloP95, scaleMin: *scaleMin, scaleMax: *scaleMax,
+		instancesSet: instancesSet,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -63,11 +79,15 @@ func main() {
 
 type options struct {
 	app, scale, load, timeline, tracePath string
+	replayPath, ratesPath                 string
 	machines, cores, instances, rounds    int
 	dropAt, reqIters                      int
+	scaleMin, scaleMax                    int
 	budget, dropTo, dropFrac, rate        float64
+	sloP95                                float64
 	seed                                  int64
 	latency                               bool
+	instancesSet                          bool // -instances given explicitly
 }
 
 // workloadFor builds the per-instance app factory and its calibrated
@@ -107,6 +127,9 @@ func workloadFor(appName, scale string) (func() (workload.App, error), *calibrat
 }
 
 func run(o options) error {
+	if o.replayPath != "" {
+		return runReplay(o)
+	}
 	newApp, prof, err := workloadFor(o.app, o.scale)
 	if err != nil {
 		return err
@@ -230,6 +253,190 @@ func run(o options) error {
 		}
 		fmt.Printf("oracle (uncapped): per-instance speedup %.2fx, loss %.2f%%, cluster power %.1f W\n",
 			pred.Speedup, pred.Loss*100, pred.PowerWatts)
+	}
+	return nil
+}
+
+// runReplay is the Fig. 8 replay harness: a spiky arrival trace
+// (recorded via -rates, or the synthetic Fig. 8 shape peaking at -rate)
+// is fed through the autoscaled fleet on the event timeline, the
+// per-quantum consolidation timeline is written as CSV, and the
+// autoscaler's steady-state provisioning is cross-checked against the
+// M/D/1 planner.
+func runReplay(o options) error {
+	newApp, prof, err := workloadFor(o.app, o.scale)
+	if err != nil {
+		return err
+	}
+	var tl fleet.Timeline
+	switch o.timeline {
+	case "event":
+		tl = fleet.TimelineEvent
+	case "quantum":
+		tl = fleet.TimelineQuantum
+	default:
+		return fmt.Errorf("unknown timeline %q (event | quantum)", o.timeline)
+	}
+	if o.reqIters <= 0 {
+		// Replay queues per-iteration work items so latency percentiles
+		// reflect queueing at request granularity.
+		o.reqIters = 10
+	}
+	const quantum = time.Second
+	sup, err := fleet.New(fleet.Config{
+		Machines:        o.machines,
+		CoresPerMachine: o.cores,
+		NewApp:          newApp,
+		Profile:         prof,
+		Budget:          o.budget,
+		Quantum:         quantum,
+		Timeline:        tl,
+		RecordTrace:     o.tracePath != "",
+	})
+	if err != nil {
+		return err
+	}
+	if o.scaleMax <= 0 {
+		o.scaleMax = o.machines * o.cores
+	}
+	// Initial provisioning: the autoscaler's lower bound, unless
+	// -instances was given explicitly (clamped to the scaling bounds).
+	initial := o.scaleMin
+	if o.instancesSet {
+		initial = o.instances
+		if initial < o.scaleMin {
+			initial = o.scaleMin
+		}
+		if initial > o.scaleMax {
+			initial = o.scaleMax
+		}
+	}
+	for i := 0; i < initial; i++ {
+		if _, err := sup.StartInstance(-1); err != nil {
+			return err
+		}
+	}
+	scaler, err := fleet.NewHysteresisScaler(fleet.HysteresisConfig{
+		SLO: fleet.SLO{P95: o.sloP95},
+		Min: o.scaleMin,
+		Max: o.scaleMax,
+	})
+	if err != nil {
+		return err
+	}
+
+	var rates []float64
+	if o.ratesPath != "" {
+		f, err := os.Open(o.ratesPath)
+		if err != nil {
+			return err
+		}
+		rates, err = fleet.ReadRatesCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(rates) == 0 {
+			return fmt.Errorf("rates file %s holds no rates", o.ratesPath)
+		}
+	} else {
+		rates = fleet.Fig8Rates(o.rounds, o.rate, o.seed)
+	}
+	if o.dropTo != 0 {
+		at := time.Unix(0, 0).
+			Add(time.Duration(o.dropAt) * quantum).
+			Add(time.Duration(o.dropFrac * float64(quantum)))
+		sup.SetBudgetAt(at, o.dropTo)
+	}
+
+	fmt.Printf("replay: %s on %d machines x %d cores, budget %s, %d-round trace, p95 SLO %.2f s, instances [%d,%d], %d iters/request\n",
+		o.app, o.machines, o.cores, watts(o.budget), len(rates), o.sloP95, o.scaleMin, o.scaleMax, o.reqIters)
+	res, err := fleet.Replay(sup, fleet.ReplayConfig{
+		Rates:    rates,
+		Seed:     o.seed,
+		ReqIters: o.reqIters,
+		Scaler:   scaler,
+		SLO:      fleet.SLO{P95: o.sloP95},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%5s | %5s | %4s | %4s | %4s | %7s | %6s | %5s | %s\n",
+		"round", "rate", "inst", "want", "arr", "power W", "p95 s", "queue", "flags")
+	for _, pt := range res.Points {
+		flags := ""
+		if pt.Scaled {
+			flags += "scaled "
+		}
+		if pt.Blackout {
+			flags += "blackout "
+		}
+		if pt.SLOViolated {
+			flags += "SLO!"
+		}
+		fmt.Printf("%5d | %5.1f | %4d | %4d | %4d | %7.1f | %6.2f | %5d | %s\n",
+			pt.Round, pt.Rate, pt.Instances, pt.Desired, pt.Arrivals,
+			pt.PowerWatts, pt.P95, pt.QueueDepth, flags)
+	}
+	fmt.Printf("\nreplay summary: instances ranged [%d,%d], mean power %.1f W, %d completions\n",
+		res.MinInstances, res.MaxInstances, res.MeanPower, res.Completions)
+	fmt.Printf("SLO: %d violations outside blackout windows (%d blackout rounds of %d)\n",
+		res.Violations, res.BlackoutRounds, len(res.Points))
+
+	// Cross-check the autoscaler's provisioning against the M/D/1
+	// planner at the trace's trough and peak rates. Service time per
+	// request follows from the per-instance target heart rate.
+	service := float64(o.reqIters) / sup.Target().Goal()
+	trough, peak := rates[0], rates[0]
+	for _, r := range rates {
+		if r < trough {
+			trough = r
+		}
+		if r > peak {
+			peak = r
+		}
+	}
+	for _, pt := range []struct {
+		name string
+		rate float64
+	}{{"trough", trough}, {"peak", peak}} {
+		n, ok := cluster.PlanInstances(pt.rate/quantum.Seconds(), service, 0.95, o.sloP95, o.scaleMax)
+		feas := ""
+		if !ok {
+			feas = " (infeasible at this bound)"
+		}
+		fmt.Printf("M/D/1 planner: %s rate %.1f/q, service %.2f s -> %d instances%s\n",
+			pt.name, pt.rate, service, n, feas)
+	}
+
+	f, err := os.Create(o.replayPath)
+	if err != nil {
+		return err
+	}
+	if err := fleet.WriteReplayCSV(f, res.Points); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d replay rows to %s\n", len(res.Points), o.replayPath)
+
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		events := sup.Trace()
+		if err := fleet.WriteTraceCSV(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s\n", len(events), o.tracePath)
 	}
 	return nil
 }

@@ -26,7 +26,7 @@ func TestExamplesRun(t *testing.T) {
 	}{
 		{"quickstart", "Pareto-optimal knob settings"},
 		{"powercap", "norm perf"},
-		{"consolidation", "energy saved"},
+		{"consolidation", "autoscaler consolidated"},
 		{"searchserver", "identified control variables"},
 		{"fleet", "oracle"},
 	}

@@ -50,6 +50,140 @@ func (q MD1) MeanSojourn() float64 { return q.MeanWait() + q.Service }
 // Lq = λ·Wq).
 func (q MD1) MeanQueue() float64 { return q.Lambda * q.MeanWait() }
 
+// waitCDFExactLimit bounds the domain of the exact Erlang series: its
+// j=0 term is e^{λt}, so past λt ≈ 18 the alternating sum's float64
+// cancellation noise (~e^{λt}·ε) approaches the surviving tail mass and
+// WaitCDF switches to the exponential tail asymptote instead.
+const waitCDFExactLimit = 18.0
+
+// WaitCDF returns P(W ≤ t), the M/D/1 waiting-time distribution. For
+// λt ≤ 18 it evaluates the exact classical series (Erlang; see Franx,
+// "A simple proof for the waiting time distribution of the M/D/1
+// queue"): with D = Service and k = ⌊t/D⌋,
+//
+//	P(W ≤ t) = (1−ρ) · Σ_{j=0}^{k} (λ(jD−t))^j / j! · e^{−λ(jD−t)}
+//
+// Beyond that the series cancels catastrophically in float64, so the
+// tail is extrapolated with the asymptotically exact exponential decay
+// P(W > t) ≈ C·e^{−ηt}, with C and η fit to the last two exactly
+// computable points. It returns 0 for an unstable queue (no stationary
+// waiting time exists).
+func (q MD1) WaitCDF(t float64) float64 {
+	if t < 0 || !q.Stable() {
+		return 0
+	}
+	if q.Lambda*t > waitCDFExactLimit {
+		// Anchor the exponential tail at two in-domain points one
+		// service time apart and extend its log-linear survival slope.
+		t1 := waitCDFExactLimit/q.Lambda - q.Service
+		if t1 < 0 {
+			t1 = 0
+		}
+		t2 := t1 + q.Service
+		s1, s2 := 1-q.waitCDFExact(t1), 1-q.waitCDFExact(t2)
+		if s2 <= 0 || s1 <= s2 {
+			return 1
+		}
+		eta := math.Log(s1/s2) / q.Service
+		s := s2 * math.Exp(-eta*(t-t2))
+		return clamp01(1 - s)
+	}
+	return q.waitCDFExact(t)
+}
+
+// waitCDFExact evaluates the Erlang series termwise in log space; each
+// term is (−u_j)^j/j!·e^{u_j} with u_j = λ(t−jD) ≥ 0.
+func (q MD1) waitCDFExact(t float64) float64 {
+	sum := 0.0
+	for j := 0; float64(j)*q.Service <= t; j++ {
+		u := q.Lambda * (t - float64(j)*q.Service)
+		var mag float64
+		if u <= 0 {
+			if j == 0 {
+				mag = 1
+			}
+		} else {
+			lg, _ := math.Lgamma(float64(j + 1))
+			mag = math.Exp(float64(j)*math.Log(u) + u - lg)
+		}
+		if j%2 == 1 {
+			mag = -mag
+		}
+		sum += mag
+	}
+	return clamp01((1 - q.Rho()) * sum)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// WaitQuantile returns the p-quantile of the waiting time (the smallest
+// t with P(W ≤ t) ≥ p), found by bisection over the exact CDF. It is
+// +Inf for an unstable queue or p ≥ 1.
+func (q MD1) WaitQuantile(p float64) float64 {
+	if !q.Stable() || p >= 1 {
+		return math.Inf(1)
+	}
+	if p <= q.WaitCDF(0) {
+		return 0
+	}
+	lo, hi := 0.0, q.Service
+	for q.WaitCDF(hi) < p {
+		lo, hi = hi, hi*2
+		if hi > 1e9*q.Service {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if q.WaitCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// SojournQuantile returns the p-quantile of the sojourn time (wait plus
+// the deterministic service time).
+func (q MD1) SojournQuantile(p float64) float64 {
+	return q.WaitQuantile(p) + q.Service
+}
+
+// PlanInstances returns the smallest instance count n ≤ max such that
+// splitting the offered load evenly across n independent M/D/1 stations
+// (λ/n each, deterministic service) keeps every station stable with its
+// p-quantile sojourn time within target seconds. ok is false when even
+// max instances cannot meet the objective (the count returned is then
+// max). This is the steady-state provisioning ground truth the fleet
+// autoscaler is validated against: a latency-SLO controller observing a
+// stationary arrival rate must converge to this count (±1 for queue-
+// discipline effects — the fleet dispatches join-shortest-queue, which
+// strictly improves on the independent-split bound).
+func PlanInstances(lambda, service, p, target float64, max int) (n int, ok bool) {
+	if max < 1 || lambda < 0 || service <= 0 || p <= 0 || p >= 1 || target <= 0 {
+		return max, false
+	}
+	for n := 1; n <= max; n++ {
+		q := MD1{Lambda: lambda / float64(n), Service: service}
+		if !q.Stable() {
+			continue
+		}
+		if q.SojournQuantile(p) <= target {
+			return n, true
+		}
+	}
+	return max, false
+}
+
 // QueueingPrediction is the oracle's event-time steady state for an
 // open-loop offered load: per-instance M/D/1 queueing plus the
 // partial-utilization cluster power at that load.

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// simulateMD1Waits runs the Lindley recursion W_{n+1} = max(0, W_n + D −
+// A_n) over seeded exponential inter-arrival gaps, returning the
+// stationary waiting-time sample after warmup.
+func simulateMD1Waits(q MD1, n, warmup int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	waits := make([]float64, 0, n)
+	w := 0.0
+	for i := 0; i < n+warmup; i++ {
+		if i >= warmup {
+			waits = append(waits, w)
+		}
+		gap := rng.ExpFloat64() / q.Lambda
+		w += q.Service - gap
+		if w < 0 {
+			w = 0
+		}
+	}
+	return waits
+}
+
+// TestMD1WaitCDFMatchesSimulation validates the exact Erlang series
+// against a seeded M/D/1 simulation: the CDF at several quantile-ish
+// points, the atom at zero, and the p95 sojourn quantile.
+func TestMD1WaitCDFMatchesSimulation(t *testing.T) {
+	q := MD1{Lambda: 0.8, Service: 1}
+	const samples = 400000
+	waits := simulateMD1Waits(q, samples, 5000, 42)
+
+	// P(W = 0) = 1 − ρ exactly.
+	if got, want := q.WaitCDF(0), 1-q.Rho(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WaitCDF(0) = %v, want 1−ρ = %v", got, want)
+	}
+	for _, x := range []float64{0.5, 1, 2, 4, 8} {
+		hits := 0
+		for _, w := range waits {
+			if w <= x {
+				hits++
+			}
+		}
+		emp := float64(hits) / samples
+		if got := q.WaitCDF(x); math.Abs(got-emp) > 0.01 {
+			t.Errorf("WaitCDF(%v) = %.4f, simulation says %.4f", x, got, emp)
+		}
+	}
+	// Monotone and converging to 1.
+	prev := -1.0
+	for x := 0.0; x <= 30; x += 0.25 {
+		f := q.WaitCDF(x)
+		if f < prev-1e-12 {
+			t.Fatalf("WaitCDF not monotone at %v: %v < %v", x, f, prev)
+		}
+		prev = f
+	}
+	if f := q.WaitCDF(40); f < 0.9999 {
+		t.Errorf("WaitCDF(40) = %v, want ~1", f)
+	}
+
+	// p95 sojourn quantile within 5% of the empirical one.
+	idx := int(0.95 * samples)
+	sorted := append([]float64(nil), waits...)
+	sort.Float64s(sorted)
+	empQ := sorted[idx] + q.Service
+	if got := q.SojournQuantile(0.95); math.Abs(got-empQ)/empQ > 0.05 {
+		t.Errorf("SojournQuantile(0.95) = %.4f, simulation says %.4f", got, empQ)
+	}
+	// Quantile inverts the CDF.
+	if p := q.WaitCDF(q.WaitQuantile(0.95)); math.Abs(p-0.95) > 1e-6 {
+		t.Errorf("WaitCDF(WaitQuantile(0.95)) = %v, want 0.95", p)
+	}
+}
+
+// TestMD1QuantileEdgeCases covers the unstable and degenerate regimes.
+func TestMD1QuantileEdgeCases(t *testing.T) {
+	unstable := MD1{Lambda: 2, Service: 1}
+	if f := unstable.WaitCDF(10); f != 0 {
+		t.Errorf("unstable WaitCDF = %v, want 0", f)
+	}
+	if !math.IsInf(unstable.WaitQuantile(0.5), 1) {
+		t.Error("unstable WaitQuantile should be +Inf")
+	}
+	light := MD1{Lambda: 0.01, Service: 1}
+	// Nearly empty queue: the p50 wait is the zero atom.
+	if got := light.WaitQuantile(0.5); got != 0 {
+		t.Errorf("light-load p50 wait = %v, want 0", got)
+	}
+	if got := light.SojournQuantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("light-load p50 sojourn = %v, want service time 1", got)
+	}
+}
+
+// TestPlanInstances pins the provisioning planner: monotone in load,
+// consistent with the per-station quantile, and honest about
+// infeasibility.
+func TestPlanInstances(t *testing.T) {
+	const service, p, target = 0.25, 0.95, 0.6
+	n, ok := PlanInstances(8, service, p, target, 16)
+	if !ok {
+		t.Fatal("planner says 16 instances cannot serve λ=8, S=0.25s")
+	}
+	// The chosen count meets the target; one fewer must not.
+	q := MD1{Lambda: 8 / float64(n), Service: service}
+	if got := q.SojournQuantile(p); got > target {
+		t.Errorf("planner picked n=%d but its p95 sojourn %.3f exceeds %.2f", n, got, target)
+	}
+	if n > 1 {
+		q = MD1{Lambda: 8 / float64(n-1), Service: service}
+		if q.Stable() && q.SojournQuantile(p) <= target {
+			t.Errorf("planner picked n=%d but n−1 already meets the target", n)
+		}
+	}
+	// More load never needs fewer instances.
+	prev := 0
+	for _, lambda := range []float64{1, 2, 4, 8, 12} {
+		m, ok := PlanInstances(lambda, service, p, target, 32)
+		if !ok {
+			t.Fatalf("λ=%v infeasible at 32 instances", lambda)
+		}
+		if m < prev {
+			t.Errorf("planner not monotone: λ=%v needs %d < %d", lambda, m, prev)
+		}
+		prev = m
+	}
+	// Infeasible: service alone exceeds the target.
+	if _, ok := PlanInstances(1, 1, p, 0.5, 8); ok {
+		t.Error("planner claims feasibility when service time alone busts the SLO")
+	}
+}

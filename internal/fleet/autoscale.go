@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// SLO is the latency service-level objective an autoscaler provisions
+// for.
+type SLO struct {
+	// P95 is the p95 request-latency bound in seconds (required, > 0).
+	P95 float64
+	// QueuePerInstance is the backlog watermark per accepting instance
+	// above which the fleet counts as overloaded even before completed-
+	// request latency degrades — queues signal a spike one quantum
+	// before percentiles do (default 8).
+	QueuePerInstance float64
+}
+
+// ScaleObservation is one closed reporting quantum as an autoscaler
+// sees it.
+type ScaleObservation struct {
+	// Round is the closed round's index.
+	Round int
+	// Now is the quantum's end — the virtual instant the decision is
+	// made at.
+	Now time.Time
+	// Active counts accepting instances, including placements already
+	// scheduled but not yet landed (so slow actuation cannot
+	// double-provision).
+	Active int
+	// Draining counts instances still working off their queues on the
+	// way out.
+	Draining int
+	// QueueDepth is queued + in-flight + undispatched requests at the
+	// quantum end.
+	QueueDepth int
+	// Arrivals and Completions are this quantum's request counts.
+	Arrivals    int
+	Completions int
+	// LatencyP95/P99 are this quantum's request-latency percentiles in
+	// seconds (0 when nothing completed).
+	LatencyP95 float64
+	LatencyP99 float64
+}
+
+// Autoscaler decides the fleet's accepting-instance count. The
+// supervisor consults it after every reporting quantum and schedules
+// the placement events (StartAt/DrainAt) that move the fleet toward the
+// returned count.
+type Autoscaler interface {
+	// Scale returns the desired accepting-instance count after the
+	// observed round; returning obs.Active is a no-op.
+	Scale(obs ScaleObservation) int
+}
+
+// HysteresisConfig tunes the default autoscaling policy.
+type HysteresisConfig struct {
+	// SLO is the objective (SLO.P95 required).
+	SLO SLO
+	// Min and Max bound the accepting-instance count (Min defaults to
+	// 1; Max is required and must be >= Min).
+	Min, Max int
+	// DownFraction widens the hysteresis band: the controller only
+	// consolidates while the smoothed p95 sits below
+	// DownFraction·SLO.P95 (default 0.5). Between the band edges it
+	// holds, which is what keeps the instance count from flapping on
+	// measurement noise.
+	DownFraction float64
+	// Cooldown is how many rounds a consolidation must wait after any
+	// scaling action (default 2). Scale-ups are never delayed — spikes
+	// must be absorbed at event speed.
+	Cooldown int
+	// Smoothing is the EWMA weight of the newest p95 sample in the
+	// smoothed latency signal (default 0.5).
+	Smoothing float64
+}
+
+func (c *HysteresisConfig) fill() error {
+	if c.SLO.P95 <= 0 {
+		return fmt.Errorf("fleet: hysteresis autoscaler requires SLO.P95 > 0")
+	}
+	if c.SLO.QueuePerInstance == 0 {
+		c.SLO.QueuePerInstance = 8
+	}
+	if c.Min == 0 {
+		c.Min = 1
+	}
+	if c.Min < 1 || c.Max < c.Min {
+		return fmt.Errorf("fleet: hysteresis bounds [%d,%d] invalid", c.Min, c.Max)
+	}
+	if c.DownFraction == 0 {
+		c.DownFraction = 0.5
+	}
+	if c.DownFraction <= 0 || c.DownFraction >= 1 {
+		return fmt.Errorf("fleet: DownFraction %v outside (0,1)", c.DownFraction)
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.5
+	}
+	if c.Smoothing <= 0 || c.Smoothing > 1 {
+		return fmt.Errorf("fleet: Smoothing %v outside (0,1]", c.Smoothing)
+	}
+	return nil
+}
+
+// HysteresisScaler is the default Autoscaler: a two-sided hysteresis
+// controller over the measured queue depth and smoothed p95 latency.
+// It scales up immediately — and proportionally to the backlog — the
+// round the SLO is threatened, and consolidates one instance at a time
+// during troughs, only after the smoothed p95 has fallen deep below the
+// objective and a cooldown has passed. The asymmetric shape is the
+// paper's Fig. 8 story: spikes are absorbed fast, consolidation is
+// cautious.
+type HysteresisScaler struct {
+	cfg      HysteresisConfig
+	ewma     float64
+	lastMove int // round of the last scaling action
+}
+
+// NewHysteresisScaler builds the default autoscaling policy.
+func NewHysteresisScaler(cfg HysteresisConfig) (*HysteresisScaler, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &HysteresisScaler{cfg: cfg, lastMove: -1 << 30}, nil
+}
+
+// SLO returns the objective the scaler provisions for.
+func (h *HysteresisScaler) SLO() SLO { return h.cfg.SLO }
+
+// Scale implements Autoscaler.
+func (h *HysteresisScaler) Scale(obs ScaleObservation) int {
+	h.ewma = h.cfg.Smoothing*obs.LatencyP95 + (1-h.cfg.Smoothing)*h.ewma
+	active := obs.Active
+	if active < 1 {
+		active = 1
+	}
+	clamp := func(n int) int {
+		if n < h.cfg.Min {
+			n = h.cfg.Min
+		}
+		if n > h.cfg.Max {
+			n = h.cfg.Max
+		}
+		return n
+	}
+	queueHigh := float64(obs.QueueDepth) > h.cfg.SLO.QueuePerInstance*float64(active)
+	latencyHigh := h.ewma > h.cfg.SLO.P95
+	if queueHigh || latencyHigh {
+		// Overloaded: jump to the instance count the backlog itself
+		// implies, at least one step up.
+		need := int(math.Ceil(float64(obs.QueueDepth) / h.cfg.SLO.QueuePerInstance))
+		desired := clamp(max(obs.Active+1, need))
+		if desired > obs.Active {
+			h.lastMove = obs.Round
+		}
+		return desired
+	}
+	queueLow := float64(obs.QueueDepth) <= h.cfg.SLO.QueuePerInstance*float64(active)/4
+	latencyLow := h.ewma < h.cfg.DownFraction*h.cfg.SLO.P95
+	cooled := obs.Round-h.lastMove >= h.cfg.Cooldown
+	if queueLow && latencyLow && cooled && obs.Draining == 0 && obs.Active > h.cfg.Min {
+		h.lastMove = obs.Round
+		return clamp(obs.Active - 1)
+	}
+	return clamp(obs.Active)
+}
+
+// Autoscale attaches an autoscaling policy to the supervisor: after
+// every reporting quantum the policy sees that round's observations and
+// the supervisor schedules the placement events that move the
+// accepting-instance count toward the desired one, landing delay into
+// the following quantum — on the event timeline that is an arbitrary
+// mid-quantum instant, with re-arbitration and backlog re-dispatch the
+// moment each event lands. A nil policy detaches autoscaling.
+func (s *Supervisor) Autoscale(policy Autoscaler, delay time.Duration) error {
+	if delay < 0 {
+		return fmt.Errorf("fleet: negative autoscale delay %v", delay)
+	}
+	s.scaler = policy
+	s.scaleDelay = delay
+	return nil
+}
+
+// ScaleMoves returns how many placement actions the attached autoscaler
+// has issued so far.
+func (s *Supervisor) ScaleMoves() int { return s.scaleMoves }
+
+// DesiredInstances returns the autoscaler's most recent desired
+// accepting-instance count (0 before the first decision).
+func (s *Supervisor) DesiredInstances() int { return s.lastDesired }
+
+// applyAutoscale feeds one closed round to the attached policy and
+// schedules the resulting placement events.
+func (s *Supervisor) applyAutoscale(rs RoundStats) error {
+	accepting := s.acceptingInstances()
+	active := len(accepting)
+	draining := 0
+	for _, inst := range s.insts {
+		if !inst.retired && inst.draining {
+			draining++
+		}
+	}
+	// Fold in scheduled-but-unlanded placements so an actuation delay
+	// of a quantum or more cannot double-provision.
+	outbound := make(map[*Instance]bool)
+	for _, p := range s.places {
+		switch p.op {
+		case placeStart:
+			if !p.inst.retired {
+				active++
+			}
+		case placeDrain, placeStop:
+			if p.inst.accepting {
+				active--
+				outbound[p.inst] = true
+			}
+		}
+	}
+	obs := ScaleObservation{
+		Round:       rs.Round,
+		Now:         s.Now(),
+		Active:      active,
+		Draining:    draining,
+		QueueDepth:  rs.QueueDepth,
+		Arrivals:    rs.Arrivals,
+		Completions: rs.Completions,
+		LatencyP95:  rs.LatencyP95,
+		LatencyP99:  rs.LatencyP99,
+	}
+	desired := s.scaler.Scale(obs)
+	if desired < 0 {
+		desired = 0
+	}
+	s.lastDesired = desired
+	s.record(TraceEvent{At: s.Now(), Kind: TraceScale, Instance: -1, Host: -1, State: -1, Value: float64(desired)})
+	at := s.Now().Add(s.scaleDelay)
+	for i := active; i < desired; i++ {
+		if _, err := s.StartAt(at, -1); err != nil {
+			return err
+		}
+		s.scaleMoves++
+	}
+	if desired < active {
+		// Consolidate the shallowest queues first (newest instance on
+		// ties), skipping instances already on their way out.
+		victims := append([]*Instance(nil), accepting...)
+		sort.SliceStable(victims, func(i, j int) bool {
+			if di, dj := victims[i].QueueDepth(), victims[j].QueueDepth(); di != dj {
+				return di < dj
+			}
+			return victims[i].id > victims[j].id
+		})
+		n := active - desired
+		for _, v := range victims {
+			if n == 0 {
+				break
+			}
+			if outbound[v] {
+				continue
+			}
+			s.DrainAt(at, v)
+			s.scaleMoves++
+			n--
+		}
+	}
+	return nil
+}

@@ -8,14 +8,16 @@ import (
 	"repro/internal/platform"
 )
 
-// evKind orders simultaneous events: cap changes land before the
-// arbiter tick they must precede, arrivals are delivered before service
+// evKind orders simultaneous events: cap changes land first, placement
+// changes land next (so the arbiter tick they both precede sees the new
+// budget and the new placement), arrivals are delivered before service
 // continuations at the same instant, and everything is FIFO within a
 // kind (seq).
 type evKind int8
 
 const (
 	evCap evKind = iota
+	evPlace
 	evTick
 	evArrival
 	evServe
@@ -26,9 +28,10 @@ type event struct {
 	at    time.Time
 	kind  evKind
 	seq   uint64
-	inst  *Instance // evServe
-	req   *Request  // evArrival
-	watts float64   // evCap
+	inst  *Instance   // evServe
+	req   *Request    // evArrival
+	watts float64     // evCap
+	place placeChange // evPlace
 }
 
 // eventQueue is a deterministic min-heap over (at, kind, seq).
@@ -163,7 +166,11 @@ func (s *Supervisor) serve(now time.Time, inst *Instance) error {
 				s.record(TraceEvent{At: inst.clk.Now(), Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
 			} else {
 				if inst.draining {
-					s.retireAt(inst, inst.clk.Now())
+					// Retirement changes the host's demand: re-divide
+					// the budget at the same instant the share frees up.
+					t := inst.clk.Now()
+					s.retireAt(inst, t)
+					s.arbitrate(t)
 				}
 				return nil // idle until the next dispatch re-activates
 			}
@@ -219,6 +226,15 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 		}
 		s.push(&event{at: at, kind: evCap, watts: c.watts})
 	}
+	// Scheduled placement changes landing this round become placement
+	// events; past-due ones clamp to the round start like caps do.
+	for _, p := range s.duePlaces(end) {
+		at := p.at
+		if at.Before(start) {
+			at = start
+		}
+		s.push(&event{at: at, kind: evPlace, place: p})
+	}
 
 	// Offered load: saturating generators top queues up at the
 	// boundary and self-feed between beats; open-loop generators mint
@@ -227,10 +243,10 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 	for _, inst := range s.insts {
 		inst.selfFeed = false
 	}
-	// The accepting set is constant within a round: placement calls
-	// land between rounds, and mid-round retirement only reaches
-	// draining instances, which already left the set. Computed once
-	// here and reused by every arrival event.
+	// The accepting set changes only when a placement event lands (a
+	// mid-round retirement only reaches draining instances, which
+	// already left the set), so it is computed here and refreshed by
+	// the evPlace handler instead of on every arrival.
 	accepting := s.acceptingInstances()
 	if gen != nil {
 		s.ensureBaselines(gen.reqIters)
@@ -248,7 +264,7 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 			var still []*Request
 			for _, req := range s.pending {
 				s.ensureBaselines(req.Iters)
-				if tgt := dispatch(accepting, req); tgt == nil {
+				if tgt := s.dispatch(accepting, req); tgt == nil {
 					still = append(still, req)
 				}
 			}
@@ -275,11 +291,30 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 			s.arb.SetBudget(ev.watts)
 			s.record(TraceEvent{At: ev.at, Kind: TraceCap, Instance: -1, Host: -1, State: -1, Value: ev.watts})
 			s.arbitrate(ev.at)
+		case evPlace:
+			if !s.landPlace(ev.at, ev.place) {
+				break
+			}
+			// Placement changed the fleet: re-divide the budget at the
+			// landing instant (before the next periodic tick), refresh
+			// the accepting set, and offer any undispatched backlog to
+			// it — a start landing mid-quantum serves from that instant.
+			s.arbitrate(ev.at)
+			accepting = s.acceptingInstances()
+			var still []*Request
+			for _, req := range s.pending {
+				if tgt := s.dispatch(accepting, req); tgt != nil {
+					s.activate(tgt, ev.at)
+				} else {
+					still = append(still, req)
+				}
+			}
+			s.pending = still
 		case evTick:
 			s.arbitrate(ev.at)
 		case evArrival:
 			s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
-			if tgt := dispatch(accepting, ev.req); tgt != nil {
+			if tgt := s.dispatch(accepting, ev.req); tgt != nil {
 				s.activate(tgt, ev.at)
 			} else {
 				s.pending = append(s.pending, ev.req)

@@ -3,7 +3,14 @@
 // across M simulated machines, with a global power-budget arbiter that
 // re-divides a cluster-wide cap across the machines, a load generator
 // feeding per-instance request queues, and live placement — instances
-// start, drain, stop, and migrate between machines mid-run.
+// start, drain, stop, and migrate between machines mid-run, either
+// synchronously between rounds or as scheduled placement events
+// (StartAt, DrainAt, StopAt, MigrateAt) that land at arbitrary virtual
+// instants exactly like power caps do, re-arbitrating the budget the
+// moment they land. An attachable Autoscaler (Autoscale) closes the
+// provisioning loop: it watches queue depth and latency percentiles
+// against an SLO and issues those placement events itself, which is how
+// the Fig. 8 consolidation replay (Replay) drives the fleet.
 //
 // Time is event-driven: a deterministic discrete-event scheduler over
 // virtual time drives the fleet from a seeded event queue — request
@@ -43,6 +50,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -111,6 +119,15 @@ type Config struct {
 	// validate the event timeline against closed-form queueing models,
 	// where service times must stay deterministic.
 	ControlDisabled bool
+	// SplitDispatch routes each arrival to a uniformly random accepting
+	// instance (seeded, deterministic) instead of the default
+	// join-shortest-queue policy. A uniform random split of a Poisson
+	// stream is Poisson per instance, so under this mode the fleet is
+	// an ensemble of independent M/D/1 stations — the exact premise of
+	// the queueing oracle (cluster.PredictQueueing) and the
+	// provisioning planner (cluster.PlanInstances). Join-shortest-queue
+	// pools queues and strictly improves on that bound.
+	SplitDispatch bool
 	// RecordTrace collects the event-time trace (Supervisor.Trace):
 	// arrivals, completions, cap changes, arbiter ticks, host state
 	// transitions, placement. Off by default; traces grow with load.
@@ -208,6 +225,7 @@ type Instance struct {
 	baseSliced  map[int][]workload.Output // shared sliced baselines, read-only during a round
 
 	accepting bool
+	pending   bool // created by StartAt; not placed until the event lands
 	draining  bool
 	stopping  bool
 	retired   bool
@@ -369,21 +387,56 @@ type capChange struct {
 	watts float64
 }
 
-// dueCaps removes and returns the scheduled budget changes landing
-// before cutoff, in virtual-time order (stable, so of two caps due at
-// the same instant the later-scheduled one is applied last and wins).
-// Both timelines route their cap handling through this single policy.
-func (s *Supervisor) dueCaps(cutoff time.Time) []capChange {
-	var due, later []capChange
-	for _, c := range s.caps {
-		if c.at.Before(cutoff) {
-			due = append(due, c)
+// placeOp labels a scheduled placement change.
+type placeOp int8
+
+const (
+	placeStart placeOp = iota
+	placeDrain
+	placeStop
+	placeMigrate
+)
+
+// placeChange is a scheduled placement event (StartAt, DrainAt, StopAt,
+// MigrateAt): a start, drain, stop, or migration that lands at an
+// arbitrary virtual instant, exactly like cap changes do.
+type placeChange struct {
+	at   time.Time
+	op   placeOp
+	inst *Instance
+	host int // target host for start/migrate (-1 = fewest residents)
+}
+
+// duePlaces removes and returns the scheduled placement changes landing
+// before cutoff, in virtual-time order (stable, so simultaneous
+// placements land in the order they were scheduled).
+func (s *Supervisor) duePlaces(cutoff time.Time) []placeChange {
+	due, later := dueBefore(s.places, func(p placeChange) time.Time { return p.at }, cutoff)
+	s.places = later
+	return due
+}
+
+// dueBefore partitions scheduled changes around cutoff (exclusive),
+// returning the due ones in stable virtual-time order — of two changes
+// due at the same instant the later-scheduled one lands last and wins.
+// Cap and placement scheduling on both timelines share this one policy.
+func dueBefore[T any](items []T, at func(T) time.Time, cutoff time.Time) (due, later []T) {
+	for _, it := range items {
+		if at(it).Before(cutoff) {
+			due = append(due, it)
 		} else {
-			later = append(later, c)
+			later = append(later, it)
 		}
 	}
+	sort.SliceStable(due, func(i, j int) bool { return at(due[i]).Before(at(due[j])) })
+	return due, later
+}
+
+// dueCaps removes and returns the scheduled budget changes landing
+// before cutoff, in virtual-time order.
+func (s *Supervisor) dueCaps(cutoff time.Time) []capChange {
+	due, later := dueBefore(s.caps, func(c capChange) time.Time { return c.at }, cutoff)
 	s.caps = later
-	sort.SliceStable(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
 	return due
 }
 
@@ -413,10 +466,21 @@ type Supervisor struct {
 	rounds    []RoundStats
 
 	// Event timeline state.
-	eq    eventQueue
-	seq   uint64
-	caps  []capChange
-	trace []TraceEvent
+	eq     eventQueue
+	seq    uint64
+	caps   []capChange
+	places []placeChange
+	trace  []TraceEvent
+
+	// Autoscaling state (Autoscale).
+	scaler      Autoscaler
+	scaleDelay  time.Duration
+	scaleMoves  int // placement actions the autoscaler has issued
+	lastDesired int // the autoscaler's most recent desired count
+
+	// splitRng realizes the uniform pick of SplitDispatch; a fixed seed
+	// keeps runs bit-identical.
+	splitRng *rand.Rand
 }
 
 // New builds a fleet supervisor with empty machines; add instances with
@@ -450,6 +514,7 @@ func New(cfg Config) (*Supervisor, error) {
 		cfg:        cfg,
 		arb:        NewArbiter(cfg.Power, cfg.Budget),
 		baseSliced: make(map[int][]workload.Output),
+		splitRng:   rand.New(rand.NewSource(314159)),
 	}
 	epoch := time.Unix(0, 0)
 	for i := 0; i < cfg.Machines; i++ {
@@ -531,11 +596,12 @@ func (s *Supervisor) Instances() []*Instance {
 	return out
 }
 
-// Active returns the instances currently placed on a machine.
+// Active returns the instances currently placed on a machine (an
+// instance scheduled with StartAt joins once its placement event lands).
 func (s *Supervisor) Active() []*Instance {
 	var out []*Instance
 	for _, inst := range s.insts {
-		if !inst.retired {
+		if inst.host != nil {
 			out = append(out, inst)
 		}
 	}
@@ -559,26 +625,15 @@ func (s *Supervisor) SetBudgetAt(at time.Time, watts float64) {
 // Budget returns the current cluster-wide cap.
 func (s *Supervisor) Budget() float64 { return s.arb.Budget() }
 
-// StartInstance creates a controlled application instance on the given
-// machine (host < 0 places it on the machine with the fewest residents).
-// The instance begins serving at the next quantum.
-func (s *Supervisor) StartInstance(host int) (*Instance, error) {
-	if host >= len(s.hosts) {
-		return nil, fmt.Errorf("fleet: host %d out of range [0,%d]", host, len(s.hosts)-1)
-	}
-	if host < 0 {
-		host = 0
-		for i, h := range s.hosts {
-			if len(h.residents) < len(s.hosts[host].residents) {
-				host = i
-			}
-		}
-	}
+// newInstance builds an unplaced instance whose virtual clock starts at
+// the given instant. The caller places it (landStart) or schedules its
+// placement (StartAt).
+func (s *Supervisor) newInstance(at time.Time) (*Instance, error) {
 	app, err := s.cfg.NewApp()
 	if err != nil {
 		return nil, err
 	}
-	clk := clock.NewVirtual(s.Now())
+	clk := clock.NewVirtual(at)
 	view, err := platform.NewMachine(platform.Config{Clock: clk, Model: s.cfg.Power, Cores: 1})
 	if err != nil {
 		return nil, err
@@ -605,17 +660,120 @@ func (s *Supervisor) StartInstance(host int) (*Instance, error) {
 		rt:         rt,
 		view:       view,
 		clk:        clk,
-		host:       s.hosts[host],
 		streams:    streams,
 		baseOuts:   s.baseOuts,
 		baseSliced: s.baseSliced,
-		accepting:  true,
+		pending:    true,
 	}
 	s.nextInst++
 	s.insts = append(s.insts, inst)
-	s.hosts[host].residents = append(s.hosts[host].residents, inst)
-	s.record(TraceEvent{At: s.Now(), Kind: TraceStart, Instance: inst.id, Host: host, State: -1})
 	return inst, nil
+}
+
+// resolveHost maps host < 0 to the machine with the fewest residents.
+func (s *Supervisor) resolveHost(host int) int {
+	if host >= 0 {
+		return host
+	}
+	host = 0
+	for i, h := range s.hosts {
+		if len(h.residents) < len(s.hosts[host].residents) {
+			host = i
+		}
+	}
+	return host
+}
+
+// landStart places a pending instance on a machine at virtual time at.
+// On the event timeline the caller has already closed the host's power
+// segment and re-arbitrates afterwards.
+func (s *Supervisor) landStart(inst *Instance, host int, at time.Time) {
+	if c := inst.clk.Now(); c.Before(at) {
+		// The landing was deferred past the scheduled instant (quantum
+		// mode's boundary degrade, or a past-due clamp): idle the
+		// instance's view up to the landing so its clock agrees with
+		// fleet time — a trailing clock would book negative request
+		// latencies and execute more than a quantum per round.
+		inst.view.Idle(at.Sub(c))
+	}
+	host = s.resolveHost(host)
+	inst.host = s.hosts[host]
+	inst.pending = false
+	inst.accepting = true
+	s.hosts[host].residents = append(s.hosts[host].residents, inst)
+	s.record(TraceEvent{At: at, Kind: TraceStart, Instance: inst.id, Host: host, State: -1})
+}
+
+// StartInstance creates a controlled application instance on the given
+// machine (host < 0 places it on the machine with the fewest residents).
+// The instance begins serving at the next quantum.
+func (s *Supervisor) StartInstance(host int) (*Instance, error) {
+	if host >= len(s.hosts) {
+		return nil, fmt.Errorf("fleet: host %d out of range [0,%d]", host, len(s.hosts)-1)
+	}
+	inst, err := s.newInstance(s.Now())
+	if err != nil {
+		return nil, err
+	}
+	s.landStart(inst, host, s.Now())
+	return inst, nil
+}
+
+// StartAt schedules a new instance to join the given machine (host < 0 =
+// fewest residents, resolved at landing) at virtual time at. On the
+// event timeline the start is a placement event: the instance lands at
+// that exact instant — mid-quantum included — the cluster budget is
+// re-arbitrated immediately, and requests queued fleet-wide are offered
+// to it from that instant on. In quantum mode it degrades to the first
+// quantum boundary at or after at. Under a saturating load the new
+// instance begins self-feeding at the next round seed. The returned
+// instance is constructed eagerly (so the call reports errors
+// synchronously and determinism is preserved) but stays unplaced, off
+// every machine, until the event lands.
+func (s *Supervisor) StartAt(at time.Time, host int) (*Instance, error) {
+	if host >= len(s.hosts) {
+		return nil, fmt.Errorf("fleet: host %d out of range [0,%d]", host, len(s.hosts)-1)
+	}
+	inst, err := s.newInstance(at)
+	if err != nil {
+		return nil, err
+	}
+	s.places = append(s.places, placeChange{at: at, op: placeStart, inst: inst, host: host})
+	return inst, nil
+}
+
+// DrainAt schedules a graceful retirement to land at virtual time at:
+// from that instant the instance accepts no new requests, finishes its
+// queue, and leaves its machine the moment it idles — retirement and the
+// freed budget land at exact virtual instants, with re-arbitration on
+// each. In quantum mode it degrades to the first boundary at or after
+// at.
+func (s *Supervisor) DrainAt(at time.Time, inst *Instance) {
+	s.places = append(s.places, placeChange{at: at, op: placeDrain, inst: inst, host: -1})
+}
+
+// StopAt schedules a hard stop to land at virtual time at: the in-flight
+// request is aborted, the backlog is redistributed to the remaining
+// accepting instances at that instant, and the host's budget share is
+// re-arbitrated. In quantum mode it degrades to the first boundary at or
+// after at.
+func (s *Supervisor) StopAt(at time.Time, inst *Instance) {
+	s.places = append(s.places, placeChange{at: at, op: placeStop, inst: inst, host: -1})
+}
+
+// MigrateAt schedules a migration to land at virtual time at: the
+// instance changes machines at that instant and suffers the configured
+// migration downtime as an event-time blackout interval [at,
+// at+MigrationDowntime) during which it serves nothing. Both machines'
+// power segments close at the landing instant and the budget is
+// re-arbitrated. In quantum mode it degrades to the first boundary at or
+// after at.
+func (s *Supervisor) MigrateAt(at time.Time, inst *Instance, to int) error {
+	if to < 0 || to >= len(s.hosts) {
+		return fmt.Errorf("fleet: host %d out of range [0,%d]", to, len(s.hosts)-1)
+	}
+	s.places = append(s.places, placeChange{at: at, op: placeMigrate, inst: inst, host: to})
+	return nil
 }
 
 // Drain gracefully retires an instance: it accepts no new requests,
@@ -647,20 +805,118 @@ func (s *Supervisor) Migrate(inst *Instance, to int) error {
 	if inst.retired {
 		return fmt.Errorf("fleet: instance %d is retired", inst.id)
 	}
-	if inst.host == s.hosts[to] {
-		return nil
-	}
-	now := s.Now()
-	if s.eventMode() {
-		s.closeSegment(inst.host, now)
-		s.closeSegment(s.hosts[to], now)
-	}
-	inst.host.removeResident(inst)
-	inst.host = s.hosts[to]
-	s.hosts[to].residents = append(s.hosts[to].residents, inst)
-	inst.pausedUntil = now.Add(s.cfg.MigrationDowntime)
-	s.record(TraceEvent{At: now, Kind: TraceMigrate, Instance: inst.id, Host: to, State: -1})
+	s.landPlace(s.Now(), placeChange{at: s.Now(), op: placeMigrate, inst: inst, host: to})
 	return nil
+}
+
+// landPlace applies one placement change at virtual time at and reports
+// whether fleet state changed — the event timeline re-arbitrates and
+// re-dispatches backlog when it did. Power-segment closes are an
+// event-timeline concern (quantum mode accounts power at boundaries),
+// and share pushes are left to the arbitration that follows every
+// landing on both timelines.
+func (s *Supervisor) landPlace(at time.Time, p placeChange) bool {
+	inst := p.inst
+	switch p.op {
+	case placeStart:
+		if inst.retired || !inst.pending {
+			return false
+		}
+		if inst.draining || inst.stopping {
+			// Drained or stopped before the start landed: cancel the
+			// start instead of resurrecting the instance.
+			inst.pending = false
+			inst.retired = true
+			return false
+		}
+		host := s.resolveHost(p.host)
+		if s.eventMode() {
+			s.closeSegment(s.hosts[host], at)
+		}
+		s.landStart(inst, host, at)
+		return true
+	case placeDrain:
+		if inst.retired || inst.draining || inst.stopping {
+			return false
+		}
+		if inst.pending {
+			// Drained before its start landed: cancel the start.
+			inst.retired = true
+			return false
+		}
+		inst.accepting = false
+		inst.draining = true
+		s.record(TraceEvent{At: at, Kind: TraceDrain, Instance: inst.id, Host: inst.HostIndex(), State: -1})
+		if s.eventMode() && inst.sess == nil && len(inst.queue) == 0 {
+			// Already idle: the retirement lands at the same instant.
+			s.retireAt(inst, at)
+		}
+		return true
+	case placeStop:
+		if inst.retired {
+			return false
+		}
+		inst.accepting = false
+		inst.stopping = true
+		inst.rt.Drain()
+		// The instance's own abort counter books the abandoned request:
+		// a mid-round landing is drained at this round's close.
+		s.retireStopped(inst, at, true)
+		return true
+	case placeMigrate:
+		if inst.retired || inst.pending || inst.host == s.hosts[p.host] {
+			return false
+		}
+		to := s.hosts[p.host]
+		if s.eventMode() {
+			s.closeSegment(inst.host, at)
+			s.closeSegment(to, at)
+		}
+		inst.host.removeResident(inst)
+		inst.host = to
+		to.residents = append(to.residents, inst)
+		inst.pausedUntil = at.Add(s.cfg.MigrationDowntime)
+		s.record(TraceEvent{At: at, Kind: TraceMigrate, Instance: inst.id, Host: p.host, State: -1})
+		return true
+	}
+	return false
+}
+
+// retireStopped finalizes a hard stop at virtual time at: the in-flight
+// session is aborted (preempted at its beat boundary; the runtime's
+// drain flag guarantees it cannot advance even if stepped again), the
+// backlog is redistributed to the shared pending queue, and the
+// instance leaves its machine. creditInstance selects which abort
+// counter books the abandoned request: the instance's own (drained at
+// this round's close — the mid-round event path) or the supervisor's
+// (the boundary sweep, whose instance counters were already drained
+// last quantum).
+func (s *Supervisor) retireStopped(inst *Instance, at time.Time, creditInstance bool) {
+	if inst.sess != nil {
+		inst.sess.Abort()
+		if creditInstance {
+			inst.aborted++
+		} else {
+			s.aborted++
+		}
+		inst.sess, inst.cur = nil, nil
+	}
+	s.pending = append(s.pending, inst.queue...)
+	inst.queue = nil
+	hostIdx := -1
+	if h := inst.host; h != nil {
+		hostIdx = h.index
+		if s.eventMode() {
+			// At a quantum boundary this segment is already closed
+			// (zero length); mid-round it books the pre-stop power.
+			s.closeSegment(h, at)
+		}
+		h.removeResident(inst)
+		inst.host = nil
+	}
+	inst.pending = false
+	inst.retired = true
+	s.record(TraceEvent{At: at, Kind: TraceRetire, Instance: inst.id, Host: hostIdx, State: -1})
 }
 
 // eventMode reports whether the event timeline drives the fleet.
@@ -677,30 +933,17 @@ func (s *Supervisor) retireDone() {
 			continue
 		}
 		if inst.stopping {
-			if inst.sess != nil {
-				// The abandoned in-flight request counts as aborted
-				// (credited to the supervisor directly — the instance's
-				// own counters were already drained last quantum); the
-				// session is preempted at its beat boundary and the
-				// runtime's drain flag guarantees it cannot advance
-				// even if stepped again.
-				inst.sess.Abort()
-				s.aborted++
-				inst.sess, inst.cur = nil, nil
-			}
-			s.pending = append(s.pending, inst.queue...)
-			inst.queue = nil
-			host := inst.host.index
-			inst.host.removeResident(inst)
-			inst.host = nil
-			inst.retired = true
-			s.record(TraceEvent{At: s.Now(), Kind: TraceRetire, Instance: inst.id, Host: host, State: -1})
+			s.retireStopped(inst, s.Now(), false)
 			continue
 		}
 		if inst.draining && inst.sess == nil && len(inst.queue) == 0 {
-			host := inst.host.index
-			inst.host.removeResident(inst)
-			inst.host = nil
+			host := -1
+			if inst.host != nil {
+				host = inst.host.index
+				inst.host.removeResident(inst)
+				inst.host = nil
+			}
+			inst.pending = false
 			inst.retired = true
 			s.record(TraceEvent{At: s.Now(), Kind: TraceRetire, Instance: inst.id, Host: host, State: -1})
 		}
@@ -718,18 +961,22 @@ func (s *Supervisor) acceptingInstances() []*Instance {
 	return out
 }
 
-// dispatch assigns a request to the accepting instance with the
-// shallowest queue (ties to the lower id), returning nil when no
-// instance accepts work.
-func dispatch(accepting []*Instance, req *Request) *Instance {
-	var best *Instance
-	for _, inst := range accepting {
-		if best == nil || inst.QueueDepth() < best.QueueDepth() {
-			best = inst
-		}
-	}
-	if best == nil {
+// dispatch assigns a request to an accepting instance — the shallowest
+// queue (ties to the lower id) by default, or a seeded uniform pick
+// under SplitDispatch — returning nil when no instance accepts work.
+func (s *Supervisor) dispatch(accepting []*Instance, req *Request) *Instance {
+	if len(accepting) == 0 {
 		return nil
+	}
+	var best *Instance
+	if s.cfg.SplitDispatch {
+		best = accepting[s.splitRng.Intn(len(accepting))]
+	} else {
+		for _, inst := range accepting {
+			if best == nil || inst.QueueDepth() < best.QueueDepth() {
+				best = inst
+			}
+		}
 	}
 	best.queue = append(best.queue, req)
 	return best
@@ -781,12 +1028,27 @@ func (s *Supervisor) arbitrate(t time.Time) {
 	s.record(TraceEvent{At: t, Kind: TraceArbiter, Instance: -1, Host: -1, State: -1, Value: s.arb.Budget()})
 }
 
-// Step advances the fleet by one control quantum and reports it.
+// Step advances the fleet by one control quantum and reports it. When
+// an autoscaler is attached (Autoscale), the closed round's
+// observations are fed to it and its placement decisions are scheduled
+// to land in the following quantum.
 func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
+	var rs RoundStats
+	var err error
 	if s.eventMode() {
-		return s.stepEvent(gen)
+		rs, err = s.stepEvent(gen)
+	} else {
+		rs, err = s.stepQuantum(gen)
 	}
-	return s.stepQuantum(gen)
+	if err != nil {
+		return rs, err
+	}
+	if s.scaler != nil {
+		if err := s.applyAutoscale(rs); err != nil {
+			return rs, err
+		}
+	}
+	return rs, nil
 }
 
 // stepQuantum is the legacy bulk-synchronous round: arbitration, load
@@ -802,6 +1064,12 @@ func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
 	for _, c := range s.dueCaps(now.Add(time.Nanosecond)) {
 		s.arb.SetBudget(c.watts)
 		s.record(TraceEvent{At: now, Kind: TraceCap, Instance: -1, Host: -1, State: -1, Value: c.watts})
+	}
+	// Scheduled placement changes degrade the same way: they land at the
+	// first boundary at or after their instant, before this round's
+	// arbitration and load delivery see the fleet.
+	for _, p := range s.duePlaces(now.Add(time.Nanosecond)) {
+		s.landPlace(now, p)
 	}
 
 	// 1. Arbitrate the shared power budget into per-machine frequency
@@ -830,7 +1098,7 @@ func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
 			var still []*Request
 			for _, req := range s.pending {
 				s.ensureBaselines(req.Iters)
-				if dispatch(accepting, req) == nil {
+				if s.dispatch(accepting, req) == nil {
 					still = append(still, req)
 				}
 			}
@@ -839,7 +1107,7 @@ func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
 				req := gen.next(now)
 				arrivals++
 				s.record(TraceEvent{At: now, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
-				if dispatch(accepting, req) == nil {
+				if s.dispatch(accepting, req) == nil {
 					s.pending = append(s.pending, req)
 				}
 			}

@@ -89,6 +89,27 @@ func NewSpikeLoad(seed int64, base, peak float64, period, width int) *LoadGen {
 	}
 }
 
+// NewTraceLoad replays a recorded per-round arrival-rate trace:
+// Poisson arrivals whose mean in round r is rates[r] requests per
+// quantum (the last rate holds past the end of the trace). This is how
+// a recorded Fig. 8-style consolidation trace, or the synthetic
+// Fig8Rates shape, is offered to the fleet.
+func NewTraceLoad(seed int64, rates []float64) *LoadGen {
+	rates = append([]float64(nil), rates...)
+	return &LoadGen{
+		rng: rand.New(rand.NewSource(seed)),
+		rate: func(round int) float64 {
+			if len(rates) == 0 {
+				return 0
+			}
+			if round >= len(rates) {
+				round = len(rates) - 1
+			}
+			return rates[round]
+		},
+	}
+}
+
 // NewSaturatingLoad keeps every accepting instance continuously busy:
 // its queue is topped up to the given depth at each quantum boundary
 // and the instance feeds itself the next request whenever the queue

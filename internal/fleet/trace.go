@@ -23,12 +23,19 @@ const (
 	TraceArbiter TraceKind = "arbiter"
 	// TraceState is a host DVFS state transition (Value = GHz).
 	TraceState TraceKind = "state"
-	// TraceStart is an instance joining the fleet.
+	// TraceStart is an instance joining the fleet (its placement event
+	// landing, for StartAt).
 	TraceStart TraceKind = "start"
+	// TraceDrain is a drain landing: the instance stops accepting work
+	// and will retire once idle (Value unused).
+	TraceDrain TraceKind = "drain"
 	// TraceRetire is an instance leaving the fleet.
 	TraceRetire TraceKind = "retire"
 	// TraceMigrate is an instance moving between machines.
 	TraceMigrate TraceKind = "migrate"
+	// TraceScale is an autoscaler decision (Value = desired accepting-
+	// instance count).
+	TraceScale TraceKind = "scale"
 	// TraceRound closes a reporting quantum (Value = cluster watts).
 	TraceRound TraceKind = "round"
 )
@@ -62,9 +69,18 @@ func (s *Supervisor) Trace() []TraceEvent {
 	return out
 }
 
-// WriteTraceCSV writes trace events as CSV with a header row: virtual
-// seconds since the run epoch, kind, instance, host, state, and the
-// kind-specific value.
+// WriteTraceCSV writes trace events as CSV with a header row. Columns
+// (see docs/TRACE_FORMAT.md for the full schema):
+//
+//	t_seconds — virtual seconds since the run epoch (fixed 6 decimals)
+//	kind      — the TraceKind string (arrival, complete, cap, arbiter,
+//	            state, start, drain, retire, migrate, scale, round)
+//	instance  — instance id the event is scoped to, -1 if none
+//	host      — host index the event is scoped to, -1 if none
+//	state     — DVFS state index for state events, -1 otherwise
+//	value     — kind-specific value: latency seconds (complete), watts
+//	            (cap, arbiter, round), GHz (state), desired instance
+//	            count (scale); 0 when unused
 func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"t_seconds", "kind", "instance", "host", "state", "value"}); err != nil {

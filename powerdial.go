@@ -158,7 +158,8 @@ type (
 	// ClusterPrediction is one oracle steady-state prediction.
 	ClusterPrediction = cluster.Prediction
 	// MD1 is the closed-form M/D/1 queueing station of the oracle's
-	// event-time surface.
+	// event-time surface, including the exact waiting-time distribution
+	// (WaitCDF) and its quantiles.
 	MD1 = cluster.MD1
 	// QueueingPrediction is the oracle's event-time steady state for an
 	// open-loop offered load.
@@ -186,12 +187,35 @@ type (
 	FleetInstanceLatency = fleet.InstanceLatency
 	// FleetReport summarizes a fleet run.
 	FleetReport = fleet.Report
-	// LoadGen is an open-loop arrival process feeding a fleet.
+	// LoadGen is an arrival process feeding a fleet: open-loop Poisson
+	// shapes (constant, ramp, spike, recorded trace) or closed-loop
+	// saturation.
 	LoadGen = fleet.LoadGen
 	// FleetRequest is one unit of offered load.
 	FleetRequest = fleet.Request
 	// FleetTraceEvent is one entry of the fleet's event-time trace.
 	FleetTraceEvent = fleet.TraceEvent
+	// SyntheticOptions sizes the analytically exact synthetic workload.
+	SyntheticOptions = fleet.SyntheticOptions
+	// FleetSLO is the latency objective a fleet autoscaler provisions
+	// for.
+	FleetSLO = fleet.SLO
+	// FleetAutoscaler decides the fleet's accepting-instance count.
+	FleetAutoscaler = fleet.Autoscaler
+	// FleetScaleObservation is one closed quantum as an autoscaler sees
+	// it.
+	FleetScaleObservation = fleet.ScaleObservation
+	// FleetHysteresisConfig tunes the default autoscaling policy.
+	FleetHysteresisConfig = fleet.HysteresisConfig
+	// FleetHysteresisScaler is the default hysteresis autoscaler.
+	FleetHysteresisScaler = fleet.HysteresisScaler
+	// FleetReplayConfig drives one Fig. 8 consolidation replay.
+	FleetReplayConfig = fleet.ReplayConfig
+	// FleetReplayPoint is one reporting quantum of a replay (one CSV
+	// row).
+	FleetReplayPoint = fleet.ReplayPoint
+	// FleetReplayResult is a finished replay.
+	FleetReplayResult = fleet.ReplayResult
 )
 
 // Fleet timeline selectors.
@@ -256,7 +280,41 @@ func WriteFleetTraceCSV(w io.Writer, events []FleetTraceEvent) error {
 
 // NewSyntheticApp builds the analytically exact synthetic workload used
 // by fleet tests and demos.
-func NewSyntheticApp(opts fleet.SyntheticOptions) App { return fleet.NewSynthetic(opts) }
+func NewSyntheticApp(opts SyntheticOptions) App { return fleet.NewSynthetic(opts) }
+
+// NewHysteresisScaler builds the default fleet autoscaling policy: a
+// two-sided hysteresis controller over queue depth and smoothed p95
+// latency against an SLO.
+func NewHysteresisScaler(cfg FleetHysteresisConfig) (*FleetHysteresisScaler, error) {
+	return fleet.NewHysteresisScaler(cfg)
+}
+
+// ReplayFleet feeds a spiky arrival trace through the autoscaled fleet
+// on the event timeline — the executed form of the paper's Fig. 8
+// consolidation experiment.
+func ReplayFleet(sup *Fleet, cfg FleetReplayConfig) (*FleetReplayResult, error) {
+	return fleet.Replay(sup, cfg)
+}
+
+// WriteFleetReplayCSV writes replay points as the documented
+// per-quantum consolidation CSV (docs/TRACE_FORMAT.md).
+func WriteFleetReplayCSV(w io.Writer, points []FleetReplayPoint) error {
+	return fleet.WriteReplayCSV(w, points)
+}
+
+// Fig8Rates synthesizes the paper's Sec. 5.5 spiky consolidation trace
+// as an arrival-rate series.
+func Fig8Rates(rounds int, peak float64, seed int64) []float64 {
+	return fleet.Fig8Rates(rounds, peak, seed)
+}
+
+// PlanMD1Instances returns the smallest instance count that keeps every
+// independent M/D/1 station's p-quantile sojourn within target seconds
+// — the provisioning ground truth the fleet autoscaler is validated
+// against.
+func PlanMD1Instances(lambda, service, p, target float64, max int) (int, bool) {
+	return cluster.PlanInstances(lambda, service, p, target, max)
+}
 
 // NewConstantLoad produces Poisson arrivals at a fixed mean rate.
 func NewConstantLoad(seed int64, perRound float64) *LoadGen {
@@ -276,6 +334,12 @@ func NewSpikeLoad(seed int64, base, peak float64, period, width int) *LoadGen {
 // NewSaturatingLoad keeps every instance continuously busy.
 func NewSaturatingLoad(depth int) *LoadGen {
 	return fleet.NewSaturatingLoad(depth)
+}
+
+// NewTraceLoad replays a recorded per-round arrival-rate trace as
+// Poisson arrivals.
+func NewTraceLoad(seed int64, rates []float64) *LoadGen {
+	return fleet.NewTraceLoad(seed, rates)
 }
 
 // ConsolidateCluster provisions the minimum machines serving the
