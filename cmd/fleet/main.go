@@ -47,6 +47,8 @@ func main() {
 	reqIters := flag.Int("req-iters", 0, "iterations per request work item (0 = whole stream)")
 	seed := flag.Int64("seed", 1, "load generator seed")
 	timeline := flag.String("timeline", "event", "execution engine: event | quantum")
+	workers := flag.Int("workers", 0, "event-engine shard workers: 0 = GOMAXPROCS, 1 = single-heap reference engine, N>1 = sharded engine with an N-worker pool (bit-identical results at any value; -trace row order is engine-specific)")
+	feedforward := flag.Bool("feedforward", false, "replay: clamp autoscaler proposals to ±1 of the M/D/1 planner at the smoothed arrival rate (model-informed damping)")
 	latency := flag.Bool("latency", false, "print per-instance p50/p95/p99 request latency")
 	tracePath := flag.String("trace", "", "write the event-time trace to this CSV file")
 	replayPath := flag.String("replay", "", "run the Fig. 8 autoscaler replay and write its per-quantum CSV here")
@@ -67,7 +69,8 @@ func main() {
 		machines: *machines, cores: *cores, instances: *instances, rounds: *rounds,
 		budget: *budget, dropTo: *dropTo, dropAt: *dropAt, dropFrac: *dropFrac,
 		load: *load, rate: *rate, reqIters: *reqIters, seed: *seed,
-		timeline: *timeline, latency: *latency, tracePath: *tracePath,
+		timeline: *timeline, workers: *workers, feedforward: *feedforward,
+		latency: *latency, tracePath: *tracePath,
 		replayPath: *replayPath, ratesPath: *ratesPath,
 		sloP95: *sloP95, scaleMin: *scaleMin, scaleMax: *scaleMax,
 		instancesSet: instancesSet,
@@ -81,12 +84,13 @@ type options struct {
 	app, scale, load, timeline, tracePath string
 	replayPath, ratesPath                 string
 	machines, cores, instances, rounds    int
-	dropAt, reqIters                      int
+	dropAt, reqIters, workers             int
 	scaleMin, scaleMax                    int
 	budget, dropTo, dropFrac, rate        float64
 	sloP95                                float64
 	seed                                  int64
 	latency                               bool
+	feedforward                           bool
 	instancesSet                          bool // -instances given explicitly
 }
 
@@ -152,6 +156,7 @@ func run(o options) error {
 		Budget:          o.budget,
 		Quantum:         quantum,
 		Timeline:        tl,
+		Workers:         o.workers,
 		RecordTrace:     o.tracePath != "",
 	})
 	if err != nil {
@@ -291,6 +296,7 @@ func runReplay(o options) error {
 		Budget:          o.budget,
 		Quantum:         quantum,
 		Timeline:        tl,
+		Workers:         o.workers,
 		RecordTrace:     o.tracePath != "",
 	})
 	if err != nil {
@@ -316,11 +322,19 @@ func runReplay(o options) error {
 			return err
 		}
 	}
-	scaler, err := fleet.NewHysteresisScaler(fleet.HysteresisConfig{
+	// Service time per request follows from the per-instance target
+	// heart rate; the M/D/1 cross-check below and the optional
+	// feed-forward planner share it.
+	service := float64(o.reqIters) / sup.Target().Goal()
+	scalerCfg := fleet.HysteresisConfig{
 		SLO: fleet.SLO{P95: o.sloP95},
 		Min: o.scaleMin,
 		Max: o.scaleMax,
-	})
+	}
+	if o.feedforward {
+		scalerCfg.Planner = &fleet.PlannerConfig{Service: service, Quantum: quantum}
+	}
+	scaler, err := fleet.NewHysteresisScaler(scalerCfg)
 	if err != nil {
 		return err
 	}
@@ -385,9 +399,7 @@ func runReplay(o options) error {
 		res.Violations, res.BlackoutRounds, len(res.Points))
 
 	// Cross-check the autoscaler's provisioning against the M/D/1
-	// planner at the trace's trough and peak rates. Service time per
-	// request follows from the per-instance target heart rate.
-	service := float64(o.reqIters) / sup.Target().Goal()
+	// planner at the trace's trough and peak rates.
 	trough, peak := rates[0], rates[0]
 	for _, r := range rates {
 		if r < trough {

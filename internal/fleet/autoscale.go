@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // SLO is the latency service-level objective an autoscaler provisions
@@ -74,8 +76,41 @@ type HysteresisConfig struct {
 	// must be absorbed at event speed.
 	Cooldown int
 	// Smoothing is the EWMA weight of the newest p95 sample in the
-	// smoothed latency signal (default 0.5).
+	// smoothed latency signal (default 0.5). The EWMA is seeded with
+	// the first round that completes requests — starting it at zero
+	// dragged early samples toward zero and delayed the first scale-up
+	// under an immediate overload by several rounds.
 	Smoothing float64
+	// Planner optionally feeds the M/D/1 provisioning estimate forward:
+	// proposals are clamped to within ±1 of cluster.PlanInstances at
+	// the smoothed arrival rate, which damps the ±1–2 instance
+	// oscillation the pure measurement-driven policy shows under
+	// sustained peak load (the measured p95 sits in its dead band).
+	Planner *PlannerConfig
+}
+
+// PlannerConfig parameterizes the model-informed feed-forward term of
+// the hysteresis policy: the smallest instance count whose per-station
+// p-quantile M/D/1 sojourn meets the SLO, at an EWMA estimate λ̂ of the
+// observed arrival rate.
+type PlannerConfig struct {
+	// Service is the deterministic per-request service time in seconds
+	// at the target heart rate (required, > 0) — e.g. request iterations
+	// divided by Supervisor.Target().Goal().
+	Service float64
+	// Quantum converts per-round arrival counts into per-second rates
+	// (required, > 0; the fleet's Config.Quantum).
+	Quantum time.Duration
+	// Quantile is the sojourn quantile planned for (default 0.95).
+	Quantile float64
+	// RateSmoothing is the EWMA weight of the newest arrival-rate
+	// sample in λ̂ (default 0.3; seeded with the first observation).
+	// The EWMA is asymmetric: a sample above λ̂ replaces it outright —
+	// provisioning must track a rising load at event speed, mirroring
+	// the scaler's own up-fast/down-slow asymmetry — while samples
+	// below it decay smoothly, so a single quiet round cannot drag the
+	// plan down mid-peak.
+	RateSmoothing float64
 }
 
 func (c *HysteresisConfig) fill() error {
@@ -106,6 +141,23 @@ func (c *HysteresisConfig) fill() error {
 	if c.Smoothing <= 0 || c.Smoothing > 1 {
 		return fmt.Errorf("fleet: Smoothing %v outside (0,1]", c.Smoothing)
 	}
+	if p := c.Planner; p != nil {
+		if p.Service <= 0 || p.Quantum <= 0 {
+			return fmt.Errorf("fleet: PlannerConfig requires Service and Quantum > 0")
+		}
+		if p.Quantile == 0 {
+			p.Quantile = 0.95
+		}
+		if p.Quantile <= 0 || p.Quantile >= 1 {
+			return fmt.Errorf("fleet: PlannerConfig.Quantile %v outside (0,1)", p.Quantile)
+		}
+		if p.RateSmoothing == 0 {
+			p.RateSmoothing = 0.3
+		}
+		if p.RateSmoothing <= 0 || p.RateSmoothing > 1 {
+			return fmt.Errorf("fleet: PlannerConfig.RateSmoothing %v outside (0,1]", p.RateSmoothing)
+		}
+	}
 	return nil
 }
 
@@ -120,7 +172,12 @@ func (c *HysteresisConfig) fill() error {
 type HysteresisScaler struct {
 	cfg      HysteresisConfig
 	ewma     float64
-	lastMove int // round of the last scaling action
+	seeded   bool // ewma holds at least one completing round's p95
+	lastMove int  // round of the last scaling action
+
+	// Planner feed-forward state: λ̂, the arrival-rate EWMA.
+	rateEwma   float64
+	rateSeeded bool
 }
 
 // NewHysteresisScaler builds the default autoscaling policy.
@@ -136,19 +193,32 @@ func (h *HysteresisScaler) SLO() SLO { return h.cfg.SLO }
 
 // Scale implements Autoscaler.
 func (h *HysteresisScaler) Scale(obs ScaleObservation) int {
-	h.ewma = h.cfg.Smoothing*obs.LatencyP95 + (1-h.cfg.Smoothing)*h.ewma
+	// Seed the EWMA with the first observed completing round: an EWMA
+	// started at zero drags early p95 samples toward zero, so a round-1
+	// SLO breach would take several rounds to cross the threshold.
+	if !h.seeded {
+		if obs.LatencyP95 > 0 {
+			h.ewma = obs.LatencyP95
+			h.seeded = true
+		}
+	} else {
+		h.ewma = h.cfg.Smoothing*obs.LatencyP95 + (1-h.cfg.Smoothing)*h.ewma
+	}
+	desired := h.measured(obs)
+	if h.cfg.Planner != nil {
+		desired = h.clampToPlan(desired, obs)
+	}
+	if desired != obs.Active {
+		h.lastMove = obs.Round
+	}
+	return desired
+}
+
+// measured is the pure measurement-driven hysteresis rule.
+func (h *HysteresisScaler) measured(obs ScaleObservation) int {
 	active := obs.Active
 	if active < 1 {
 		active = 1
-	}
-	clamp := func(n int) int {
-		if n < h.cfg.Min {
-			n = h.cfg.Min
-		}
-		if n > h.cfg.Max {
-			n = h.cfg.Max
-		}
-		return n
 	}
 	queueHigh := float64(obs.QueueDepth) > h.cfg.SLO.QueuePerInstance*float64(active)
 	latencyHigh := h.ewma > h.cfg.SLO.P95
@@ -156,20 +226,52 @@ func (h *HysteresisScaler) Scale(obs ScaleObservation) int {
 		// Overloaded: jump to the instance count the backlog itself
 		// implies, at least one step up.
 		need := int(math.Ceil(float64(obs.QueueDepth) / h.cfg.SLO.QueuePerInstance))
-		desired := clamp(max(obs.Active+1, need))
-		if desired > obs.Active {
-			h.lastMove = obs.Round
-		}
-		return desired
+		return h.clamp(max(obs.Active+1, need))
 	}
 	queueLow := float64(obs.QueueDepth) <= h.cfg.SLO.QueuePerInstance*float64(active)/4
-	latencyLow := h.ewma < h.cfg.DownFraction*h.cfg.SLO.P95
+	// Consolidation additionally requires a seeded latency signal: an
+	// unmeasured EWMA sits at zero, which would read as a deep trough.
+	latencyLow := h.seeded && h.ewma < h.cfg.DownFraction*h.cfg.SLO.P95
 	cooled := obs.Round-h.lastMove >= h.cfg.Cooldown
 	if queueLow && latencyLow && cooled && obs.Draining == 0 && obs.Active > h.cfg.Min {
-		h.lastMove = obs.Round
-		return clamp(obs.Active - 1)
+		return h.clamp(obs.Active - 1)
 	}
-	return clamp(obs.Active)
+	return h.clamp(obs.Active)
+}
+
+func (h *HysteresisScaler) clamp(n int) int {
+	if n < h.cfg.Min {
+		n = h.cfg.Min
+	}
+	if n > h.cfg.Max {
+		n = h.cfg.Max
+	}
+	return n
+}
+
+// clampToPlan is the model-informed feed-forward term: the measured
+// proposal is clamped to within ±1 of the M/D/1 planner's count at the
+// smoothed arrival rate λ̂. The measurement stays in charge inside that
+// band (queue spikes still scale up, troughs still consolidate), but
+// transient overshoots past plan+1 and dead-band drift below plan−1 —
+// the oscillation under sustained peak load — are cut off at the model.
+func (h *HysteresisScaler) clampToPlan(desired int, obs ScaleObservation) int {
+	p := h.cfg.Planner
+	rate := float64(obs.Arrivals) / p.Quantum.Seconds()
+	if !h.rateSeeded || rate > h.rateEwma {
+		h.rateEwma = rate
+		h.rateSeeded = true
+	} else {
+		h.rateEwma = p.RateSmoothing*rate + (1-p.RateSmoothing)*h.rateEwma
+	}
+	plan, _ := cluster.PlanInstances(h.rateEwma, p.Service, p.Quantile, h.cfg.SLO.P95, h.cfg.Max)
+	if desired > plan+1 {
+		desired = plan + 1
+	}
+	if desired < plan-1 {
+		desired = plan - 1
+	}
+	return h.clamp(desired)
 }
 
 // Autoscale attaches an autoscaling policy to the supervisor: after

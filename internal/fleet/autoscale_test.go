@@ -80,6 +80,143 @@ func TestHysteresisScalerPolicy(t *testing.T) {
 	}
 }
 
+// TestHysteresisEWMAColdStart pins the cold-start fix: the latency EWMA
+// is seeded with the first completing round's p95 instead of starting
+// at zero, so an SLO breach in round 1 proposes a scale-up that very
+// round (well within Cooldown) rather than waiting for the smoothed
+// signal to climb out of the artificial zero.
+func TestHysteresisEWMAColdStart(t *testing.T) {
+	h, err := NewHysteresisScaler(HysteresisConfig{
+		SLO: SLO{P95: 1, QueuePerInstance: 8},
+		Max: 8, // default Smoothing 0.5 — the regime the bug lived in
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0: nothing completed yet (p95 = 0). The seed must wait for
+	// a real observation, not lock the EWMA to zero.
+	if got := h.Scale(ScaleObservation{Round: 0, Active: 2}); got != 2 {
+		t.Fatalf("round 0 (no completions): desired = %d, want hold at 2", got)
+	}
+	// Round 1: immediate overload. p95 = 1.6 is well over the SLO but
+	// the backlog (10) is under the queue watermark (16), so only the
+	// latency path can trigger. The zero-started EWMA read
+	// 0.5·1.6 = 0.8 < 1 here and held — the delayed-first-scale-up bug;
+	// seeded, the EWMA is 1.6 and the scaler steps up this round.
+	if got := h.Scale(ScaleObservation{Round: 1, Active: 2, QueueDepth: 10, LatencyP95: 1.6}); got != 3 {
+		t.Fatalf("round 1 SLO breach: desired = %d, want immediate scale-up to 3", got)
+	}
+	// Once seeded, smoothing applies normally: a single good round must
+	// not instantly unwind the signal (EWMA = 0.5·0.2 + 0.5·1.6 = 0.9,
+	// inside the hold band).
+	if got := h.Scale(ScaleObservation{Round: 2, Active: 3, QueueDepth: 0, LatencyP95: 0.2}); got != 3 {
+		t.Fatalf("round 2 single good sample: desired = %d, want hold at 3", got)
+	}
+}
+
+// TestPlannerFeedForwardDampsOscillation is the acceptance check for
+// model-informed autoscaling: on a sustained-peak arrival segment (the
+// regime where the paper's Fig. 8 trace parks at peak and the measured
+// p95 sits in the hysteresis dead band) the planner-fed policy —
+// proposals clamped to ±1 of cluster.PlanInstances at the smoothed
+// arrival rate — must issue strictly fewer scale actions than the pure
+// measurement-driven policy without violating the SLO more often, and
+// must stop the ±1–2 instance oscillation during the peak.
+func TestPlannerFeedForwardDampsOscillation(t *testing.T) {
+	const (
+		iters   = 10
+		beatSec = 0.025
+		service = iters * beatSec // 0.25 s at 2.4 GHz baseline
+		sloP95  = 0.6
+		maxInst = 8
+		peak    = 10.0
+	)
+	// A Fig. 8-style trace whose burst does not end: a short trough
+	// lead-in, then a sustained peak segment.
+	rates := make([]float64, 40)
+	for i := range rates {
+		if i < 6 {
+			rates[i] = 2
+		} else {
+			rates[i] = peak
+		}
+	}
+	run := func(planner *PlannerConfig) (*ReplayResult, int) {
+		sup, err := New(Config{
+			Machines:        1,
+			CoresPerMachine: maxInst, // no multiplexing: service stays deterministic
+			NewApp:          func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+			Profile:         syntheticProfile(t),
+			ControlDisabled: true,
+			SplitDispatch:   true, // the planner's independent-station premise
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		startN(t, sup, 1)
+		scaler, err := NewHysteresisScaler(HysteresisConfig{
+			SLO:          SLO{P95: sloP95},
+			Max:          maxInst,
+			DownFraction: 0.7, // see TestAutoscalerSteadyStateMatchesMD1
+			Planner:      planner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(sup, ReplayConfig{Rates: rates, Seed: 5, ReqIters: iters, Scaler: scaler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sup.ScaleMoves()
+	}
+
+	pure, pureMoves := run(nil)
+	ff, ffMoves := run(&PlannerConfig{Service: service, Quantum: time.Second})
+
+	// Strictly fewer scale actions at no more violations.
+	if ffMoves >= pureMoves {
+		t.Errorf("feed-forward issued %d scale actions, pure policy %d; want strictly fewer", ffMoves, pureMoves)
+	}
+	if ff.Violations > pure.Violations {
+		t.Errorf("feed-forward has %d SLO violations vs pure %d; damping must not cost the objective", ff.Violations, pure.Violations)
+	}
+	// The sustained-peak segment no longer oscillates ±1–2 around the
+	// plan: once the peak has settled, the planner-fed count is pinned
+	// inside the ±1-of-plan band (amplitude ≤ 2 by construction, and
+	// strictly tighter than the pure policy's excursions), and the
+	// planner-fed policy acts in strictly fewer of those rounds.
+	settleFrom := 14 // peak starts at round 6; allow the jump + drains to land
+	countRange := func(res *ReplayResult) (lo, hi, scaled int) {
+		lo, hi = 1<<30, 0
+		for _, pt := range res.Points[settleFrom:] {
+			if pt.Accepting < lo {
+				lo = pt.Accepting
+			}
+			if pt.Accepting > hi {
+				hi = pt.Accepting
+			}
+			if pt.Scaled {
+				scaled++
+			}
+		}
+		return lo, hi, scaled
+	}
+	ffLo, ffHi, ffScaled := countRange(ff)
+	pureLo, pureHi, pureScaled := countRange(pure)
+	if ffHi-ffLo > 2 {
+		t.Errorf("feed-forward instance count swings [%d,%d] at sustained peak; the ±1-of-plan clamp bounds the amplitude at 2", ffLo, ffHi)
+	}
+	if ffHi-ffLo >= pureHi-pureLo {
+		t.Errorf("feed-forward peak amplitude [%d,%d] not tighter than pure policy's [%d,%d]", ffLo, ffHi, pureLo, pureHi)
+	}
+	if ffScaled >= pureScaled {
+		t.Errorf("feed-forward acted in %d peak rounds, pure policy in %d; want strictly fewer", ffScaled, pureScaled)
+	}
+	if ff.Completions == 0 || pure.Completions == 0 {
+		t.Fatal("replay completed no requests; the comparison proves nothing")
+	}
+}
+
 // TestAutoscalerSteadyStateMatchesMD1 is the acceptance check tying the
 // autoscaler to the queueing oracle: under a stationary Poisson load of
 // deterministic work items with split dispatch — a uniform random split
@@ -117,6 +254,13 @@ func TestAutoscalerSteadyStateMatchesMD1(t *testing.T) {
 	scaler, err := NewHysteresisScaler(HysteresisConfig{
 		SLO: SLO{P95: sloP95},
 		Max: maxInst,
+		// A round completes only ~8 requests, so the ceil-based
+		// nearest-rank p95 the scaler observes is the per-round sample
+		// maximum — an upward-noisy estimate of the true p95 the
+		// planner speaks about. The consolidation band must sit high
+		// enough that trough rounds still register as troughs under
+		// that estimator, or the controller parks above the plan.
+		DownFraction: 0.7,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -170,11 +314,15 @@ func TestReplayFig8Consolidation(t *testing.T) {
 			t.Fatal(err)
 		}
 		startN(t, sup, 1)
+		// SLO 1.3: per-round p95 is now the ceil-based nearest rank —
+		// on the handful of completions a marginal round books, that is
+		// the sample maximum, which the old floor-biased rank sat one
+		// sample below. The scenario's objective moves up accordingly.
 		res, err := Replay(sup, ReplayConfig{
 			Rates:    rates,
 			Seed:     11,
 			ReqIters: 10,
-			SLO:      SLO{P95: 1.2},
+			SLO:      SLO{P95: 1.3},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -34,6 +35,10 @@ func benchFleet(b *testing.B, prof *calibrate.Profile, tl Timeline, gen *LoadGen
 			Profile:         prof,
 			Budget:          400,
 			Timeline:        tl,
+			// Pin the single-heap engine so this A/B series keeps its
+			// historical meaning on multi-core runners; the sharded
+			// engine has its own series (BenchmarkFleetScale).
+			Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -72,6 +77,58 @@ func BenchmarkFleetEventWorkItems(b *testing.B) {
 	prof := benchProfile(b)
 	b.ResetTimer()
 	benchFleet(b, prof, TimelineEvent, NewConstantLoad(3, 12).WithRequestIters(10), 10)
+}
+
+// BenchmarkFleetScale is the hundred-host scaling benchmark: one
+// saturated instance per host under a binding cluster budget, one
+// iteration simulating 3 rounds, across fleet sizes and engines.
+// workers=1 is the single-heap reference engine (one global heap over
+// every beat of every instance); workers=4 is the sharded engine
+// (per-host event queues, a 4-worker pool between barriers). CI's
+// bench-smoke step records every variant into BENCH_fleet.json, so the
+// single-heap vs sharded trajectory is tracked per commit at 8, 32,
+// and 128 hosts. On a single-core runner the sharded engine's win is
+// algorithmic only (tiny per-host queues and the peek-ahead fast path
+// instead of a fleet-wide heap); with real cores the worker pool adds
+// parallel speedup on top.
+func BenchmarkFleetScale(b *testing.B) {
+	prof := benchProfile(b)
+	for _, hosts := range []int{8, 32, 128} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("hosts=%d/workers=%d", hosts, workers), func(b *testing.B) {
+				// Fleet construction is identical for both engines and
+				// would dilute the engine ratio, so it sits outside the
+				// timer; one op is one steady-state saturated round.
+				sup, err := New(Config{
+					Machines:        hosts,
+					CoresPerMachine: 1,
+					NewApp:          func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+					Profile:         prof,
+					Budget:          float64(hosts) * 190,
+					Workers:         workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < hosts; j++ {
+					if _, err := sup.StartInstance(-1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				gen := NewSaturatingLoad(2)
+				if err := sup.Run(gen, 2); err != nil { // warm to steady state
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sup.Step(gen); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkEventQueue isolates the scheduler's heap: push/pop of a

@@ -1,0 +1,292 @@
+package fleet
+
+// This file is the coordinator half of the sharded parallel event
+// engine. The round is cut into windows bounded by the global events
+// that couple hosts — arbiter ticks, cap landings, placement landings,
+// and join-shortest-queue arrivals (which need global queue depths).
+// Between consecutive barriers no host can influence another, so every
+// shard advances through the window independently on a bounded worker
+// pool (Config.Workers); at each barrier the coordinator flushes shard
+// trace buffers in host-index order, applies the barrier's events in
+// the same kind order the single-heap engine uses, and releases the
+// next window.
+//
+// Two couplings do not sit at statically known instants and are handled
+// specially:
+//
+//   - SplitDispatch arrivals need no global state (the target is a
+//     seeded uniform draw over the accepting set, which only changes at
+//     barriers), so the coordinator pre-routes each window's arrivals
+//     to their target shards and they execute as shard-local events —
+//     the per-shard fast path.
+//
+//   - A draining instance retires at the data-dependent instant its
+//     queue empties, and retirement re-arbitrates the whole cluster.
+//     Conservative lookahead therefore collapses for any window in
+//     which a live draining instance exists: such windows run serially,
+//     merging shard queues by (instant, kind, host index, seq) — the
+//     canonical order that keeps results bit-identical to the
+//     single-heap engine. Windows without live drains (the common case,
+//     and the entire saturating benchmark) run fully parallel.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stepSharded advances the fleet by one reporting quantum on the
+// sharded event timeline. It mirrors stepEvent exactly — same round
+// seeding, same kind ordering, same accounting — with the single heap
+// replaced by per-host shards synchronized at global-event barriers.
+func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
+	s.retireDone()
+	start := s.Now()
+	end := start.Add(s.cfg.Quantum)
+
+	// The round seeds through the shared seedRound (so the engines
+	// cannot drift apart): global events — ticks, due caps and
+	// placements, and join-shortest-queue arrival instants — collect
+	// into the coordinator's barrier list, while SplitDispatch arrivals
+	// bypass it (they are pre-routed per window below) and instances
+	// wake on their hosts' shards. A stable sort by (at, kind)
+	// reproduces the single-heap ordering for simultaneous events.
+	var globals, splitArrivals []*event
+	emit := func(ev *event) {
+		if ev.kind == evArrival && s.cfg.SplitDispatch {
+			splitArrivals = append(splitArrivals, ev)
+			return
+		}
+		globals = append(globals, ev)
+	}
+	wake := func(inst *Instance, t time.Time) { inst.host.shard.activate(inst, t) }
+	arrivals, accepting := s.seedRound(gen, start, end, emit, wake)
+	sort.SliceStable(globals, func(i, j int) bool {
+		if !globals[i].at.Equal(globals[j].at) {
+			return globals[i].at.Before(globals[j].at)
+		}
+		return globals[i].kind < globals[j].kind
+	})
+
+	// The window loop: run shards to the next barrier, apply the
+	// barrier, repeat until the round end.
+	gi, ai := 0, 0
+	for {
+		barrier := end
+		if gi < len(globals) {
+			barrier = globals[gi].at
+		}
+		// SplitDispatch fast path: draw this window's arrival targets
+		// (in arrival order, so the seeded RNG sequence matches the
+		// single-heap engine draw for draw) and hand each arrival to
+		// its target's shard as a local event.
+		for ai < len(splitArrivals) && splitArrivals[ai].at.Before(barrier) {
+			ev := splitArrivals[ai]
+			ai++
+			if len(accepting) == 0 {
+				// Nothing accepts: the request queues fleet-wide, like
+				// the single-heap dispatch returning nil (no RNG draw).
+				s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
+				s.pending = append(s.pending, ev.req)
+				continue
+			}
+			ev.inst = accepting[s.splitRng.Intn(len(accepting))]
+			ev.inst.host.shard.push(ev)
+		}
+		if err := s.runWindow(barrier); err != nil {
+			return RoundStats{}, err
+		}
+		s.flushShardTraces()
+		if gi >= len(globals) {
+			break
+		}
+		// Apply every global event landing at this barrier instant, in
+		// the shared kind order (cap < place < tick < arrival).
+		for gi < len(globals) && globals[gi].at.Equal(barrier) {
+			g := globals[gi]
+			gi++
+			switch g.kind {
+			case evCap:
+				s.arb.SetBudget(g.watts)
+				s.record(TraceEvent{At: g.at, Kind: TraceCap, Instance: -1, Host: -1, State: -1, Value: g.watts})
+				s.arbitrate(g.at)
+			case evPlace:
+				from := g.place.inst.host
+				if !s.landPlace(g.at, g.place) {
+					break
+				}
+				if g.place.op == placeMigrate && from != nil {
+					// The instance changed shards: its pending events
+					// (continuation, pre-routed arrivals) follow it.
+					from.shard.moveEvents(g.place.inst, s.hosts[g.place.host].shard)
+				}
+				// Placement changed the fleet: re-divide the budget at
+				// the landing instant, refresh the accepting set, and
+				// offer undispatched backlog to it.
+				s.arbitrate(g.at)
+				accepting = s.acceptingInstances()
+				var still []*Request
+				for _, req := range s.pending {
+					if tgt := s.dispatch(accepting, req); tgt != nil {
+						tgt.host.shard.activate(tgt, g.at)
+					} else {
+						still = append(still, req)
+					}
+				}
+				s.pending = still
+			case evTick:
+				s.arbitrate(g.at)
+			case evArrival:
+				// Join-shortest-queue needs global queue depths, so the
+				// arrival is itself a barrier: every shard has advanced
+				// to this instant and the depths are exact.
+				s.record(TraceEvent{At: g.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
+				if tgt := s.dispatch(accepting, g.req); tgt != nil {
+					tgt.host.shard.activate(tgt, g.at)
+				} else {
+					s.pending = append(s.pending, g.req)
+				}
+			}
+		}
+	}
+
+	return s.closeEventRound(end, arrivals), nil
+}
+
+// runWindow advances every shard to the barrier. Windows in which a
+// live draining instance could retire (re-arbitrating the cluster at a
+// data-dependent instant) run serially in canonical merge order;
+// everything else fans out over the worker pool.
+func (s *Supervisor) runWindow(barrier time.Time) error {
+	if s.anyDrainingLive() {
+		return s.runSerialWindow(barrier)
+	}
+	var work []*shard
+	for _, h := range s.hosts {
+		if h.shard.hasWorkBefore(barrier) {
+			work = append(work, h.shard)
+		}
+	}
+	workers := s.cfg.Workers
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		for _, sh := range work {
+			sh.run(barrier)
+		}
+	} else {
+		// A bounded pool pulling shard indices from an atomic cursor:
+		// shards touch disjoint state between barriers, so scheduling
+		// order cannot affect results — only wall-clock time.
+		var cursor atomic.Int64
+		cursor.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := cursor.Add(1)
+					if i >= int64(len(work)) {
+						return
+					}
+					work[i].run(barrier)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, sh := range work {
+		if sh.err != nil {
+			return sh.err
+		}
+	}
+	return nil
+}
+
+// runSerialWindow processes shard events one at a time in the global
+// (instant, kind, host index, seq) order, handling drain retirements —
+// the global action parallel windows must exclude — inline: the
+// instance leaves at the exact instant its queue empties and the freed
+// budget share is re-arbitrated there, exactly like the single-heap
+// engine's retire event.
+func (s *Supervisor) runSerialWindow(barrier time.Time) error {
+	// Cross-shard ties break on (instant, kind) only: per-shard seq
+	// counters are meaningless between shards, so the ascending host
+	// scan with strict-less replacement realizes the canonical
+	// host-index tie-break.
+	crossLess := func(a, b *event) bool {
+		if !a.at.Equal(b.at) {
+			return a.at.Before(b.at)
+		}
+		return a.kind < b.kind
+	}
+	for {
+		var best *shard
+		for _, h := range s.hosts {
+			sh := h.shard
+			if !sh.hasWorkBefore(barrier) {
+				continue
+			}
+			if best == nil || crossLess(sh.peek(), best.peek()) {
+				best = sh
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		ev := best.popHeap()
+		if ev.kind == evRetire {
+			if !ev.inst.retired {
+				s.retireAt(ev.inst, ev.at)
+				s.arbitrate(ev.at)
+			}
+			continue
+		}
+		best.handle(ev)
+		if best.err != nil {
+			return best.err
+		}
+	}
+}
+
+// anyDrainingLive reports whether any placed instance is still draining
+// — the condition under which a retirement (and its re-arbitration)
+// could land mid-window. Draining only begins at barriers or round
+// boundaries, so the check at window start is conservative and exact.
+func (s *Supervisor) anyDrainingLive() bool {
+	for _, inst := range s.insts {
+		if !inst.retired && inst.draining {
+			return true
+		}
+	}
+	return false
+}
+
+// flushShardTraces merges each shard's window-local trace buffer into
+// the global trace: buffers concatenate in host-index order, then the
+// window's batch stable-sorts by instant — deterministic for any
+// Workers value, with per-shard relative order preserved at equal
+// instants. Trace ROW ORDER is the one observable the sharded engine
+// does not reproduce byte-for-byte from the single-heap engine: both
+// engines emit the same trace as a multiset (the differential tests
+// compare canonically sorted traces), but simultaneous events of
+// different hosts interleave in engine-specific (deterministic) order,
+// and a completion whose beat overran the window boundary books late
+// on both engines.
+func (s *Supervisor) flushShardTraces() {
+	if !s.cfg.RecordTrace {
+		return
+	}
+	n := len(s.trace)
+	for _, h := range s.hosts {
+		if sh := h.shard; len(sh.trace) > 0 {
+			s.trace = append(s.trace, sh.trace...)
+			sh.trace = sh.trace[:0]
+		}
+	}
+	batch := s.trace[n:]
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].At.Before(batch[j].At) })
+}

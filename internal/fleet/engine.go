@@ -10,15 +10,22 @@ import (
 
 // evKind orders simultaneous events: cap changes land first, placement
 // changes land next (so the arbiter tick they both precede sees the new
-// budget and the new placement), arrivals are delivered before service
-// continuations at the same instant, and everything is FIFO within a
-// kind (seq).
+// budget and the new placement), drain retirements land after the tick
+// (freeing their budget share before new work is delivered), arrivals
+// are delivered before service continuations at the same instant, and
+// everything is FIFO within a kind (seq). The kind order is the
+// canonical tie-break both engines share: the sharded engine merges
+// per-shard queues by (instant, kind, host index, per-shard seq), and
+// every same-instant same-kind pair commutes (serves touch disjoint
+// instances, retirements re-arbitrate idempotently), so the single-heap
+// and sharded engines produce bit-identical results.
 type evKind int8
 
 const (
 	evCap evKind = iota
 	evPlace
 	evTick
+	evRetire
 	evArrival
 	evServe
 )
@@ -28,25 +35,46 @@ type event struct {
 	at    time.Time
 	kind  evKind
 	seq   uint64
-	inst  *Instance   // evServe
+	inst  *Instance   // evServe, evRetire; dispatch target for sharded evArrival
 	req   *Request    // evArrival
 	watts float64     // evCap
 	place placeChange // evPlace
 }
 
+// eventLess is the deterministic (at, kind, seq) order shared by the
+// single-heap queue and each shard's local queue.
+func eventLess(a, b *event) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+// engineSink is where the shared service path (serve) publishes its
+// side effects, so one implementation drives both engines: the
+// single-heap Supervisor pushes into the global queue and records into
+// the global trace; a shard of the parallel engine pushes into its own
+// queue and buffers trace events locally (merged at the next barrier).
+type engineSink interface {
+	// activate schedules the instance's next service continuation at t.
+	activate(inst *Instance, t time.Time)
+	// scheduleRetire enqueues a drain retirement event at t: the
+	// instance's queue emptied, so it leaves the fleet and the freed
+	// budget share is re-arbitrated — a global action, which is why it
+	// is a first-class event rather than an inline side effect.
+	scheduleRetire(inst *Instance, t time.Time)
+	// record appends a trace event (no-op unless tracing is enabled).
+	record(ev TraceEvent)
+}
+
 // eventQueue is a deterministic min-heap over (at, kind, seq).
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	if q[i].kind != q[j].kind {
-		return q[i].kind < q[j].kind
-	}
-	return q[i].seq < q[j].seq
-}
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return eventLess(q[i], q[j]) }
 func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
 func (q *eventQueue) Pop() interface{} {
@@ -79,6 +107,12 @@ func (s *Supervisor) activate(inst *Instance, t time.Time) {
 	}
 	inst.scheduled = true
 	s.push(&event{at: t, kind: evServe, inst: inst})
+}
+
+// scheduleRetire enqueues a drain retirement on the global queue
+// (single-heap engineSink).
+func (s *Supervisor) scheduleRetire(inst *Instance, t time.Time) {
+	s.push(&event{at: t, kind: evRetire, inst: inst})
 }
 
 // closeSegment integrates one host's power over a segment of constant
@@ -138,15 +172,17 @@ func (s *Supervisor) retireAt(inst *Instance, t time.Time) {
 // execute one beat, and book the completion if the request finished.
 // Each completed beat schedules the next continuation at the exact
 // virtual time the beat ended, so DVFS caps and arbiter decisions
-// landing between beats govern the very next beat.
-func (s *Supervisor) serve(now time.Time, inst *Instance) error {
+// landing between beats govern the very next beat. It touches only the
+// instance and the sink, which is what lets shards of the parallel
+// engine serve disjoint instance sets concurrently.
+func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error {
 	inst.scheduled = false
 	if inst.retired {
 		return nil
 	}
 	if inst.pausedUntil.After(now) {
 		// Migration blackout: resume at its end.
-		s.activate(inst, inst.pausedUntil)
+		sink.activate(inst, inst.pausedUntil)
 		return nil
 	}
 	if c := inst.clk.Now(); c.Before(now) {
@@ -158,19 +194,18 @@ func (s *Supervisor) serve(now time.Time, inst *Instance) error {
 	if inst.sess == nil {
 		if len(inst.queue) == 0 {
 			if inst.selfFeed {
-				// Self-feed mints run on the single-threaded event
-				// loop, so (unlike quantum mode) they can be traced.
+				// Self-feed mints run on the event loop (or its shard),
+				// so (unlike quantum mode) they can be traced.
 				inst.queue = append(inst.queue, &Request{ID: -1, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: inst.clk.Now()})
 				inst.feedIdx++
 				inst.minted++
-				s.record(TraceEvent{At: inst.clk.Now(), Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
+				sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
 			} else {
 				if inst.draining {
-					// Retirement changes the host's demand: re-divide
-					// the budget at the same instant the share frees up.
-					t := inst.clk.Now()
-					s.retireAt(inst, t)
-					s.arbitrate(t)
+					// Retirement changes the host's demand and re-divides
+					// the budget — a global action, scheduled as a
+					// first-class retire event at this exact instant.
+					sink.scheduleRetire(inst, inst.clk.Now())
 				}
 				return nil // idle until the next dispatch re-activates
 			}
@@ -196,58 +231,53 @@ func (s *Supervisor) serve(now time.Time, inst *Instance) error {
 			return fmt.Errorf("fleet: request on instance %d completed without advancing virtual time (zero-cost stream?)", inst.id)
 		}
 		lat := inst.finishRequest()
-		s.record(TraceEvent{At: inst.clk.Now(), Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat})
+		sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat})
 	}
-	s.activate(inst, inst.clk.Now())
+	sink.activate(inst, inst.clk.Now())
 	return nil
 }
 
-// stepEvent advances the fleet by one reporting quantum on the event
-// timeline: it seeds the round's events (arbiter ticks, scheduled cap
-// changes, Poisson arrival instants, service continuations), pumps the
-// queue in deterministic virtual-time order, and closes the round.
-func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
-	s.retireDone()
-	start := s.Now()
-	end := start.Add(s.cfg.Quantum)
-
-	// Arbiter ticks for the round. Cap events scheduled at the same
-	// instant sort ahead of the tick, so a cap always lands before the
-	// arbitration that must honor it.
+// seedRound assembles one round's inputs, shared by both event
+// engines so their bit-identity cannot rot in two hand-synchronized
+// copies. Global events — arbiter ticks, due cap and placement changes
+// (past-due ones clamp to the round start; due* returns them in
+// virtual-time order so the latest-scheduled change wins a tie), and
+// open-loop arrival instants — are handed to emit in the single-heap
+// push order (ticks, caps, places, arrivals; caps at the same instant
+// still sort ahead of the tick by kind, so a cap always lands before
+// the arbitration that must honor it). Offered load is delivered the
+// shared way: saturating generators top queues up at the boundary and
+// mark instances self-feeding, open-loop generators first re-offer the
+// undispatched backlog, then mint this round's arrivals. Finally every
+// instance holding (or self-feeding) work is woken via wake; instances
+// mid-beat from the previous round already hold a continuation and are
+// skipped by the scheduled flag. The returned accepting set is what
+// arrivals dispatch against until the first placement landing refreshes
+// it (a mid-round retirement only reaches draining instances, which
+// already left the set).
+func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*event), wake func(*Instance, time.Time)) (arrivals int, accepting []*Instance) {
 	for t := start; t.Before(end); t = t.Add(s.cfg.ArbiterInterval) {
-		s.push(&event{at: t, kind: evTick})
+		emit(&event{at: t, kind: evTick})
 	}
-	// Past-due caps all clamp to the round start; dueCaps returns them
-	// in virtual-time order so the latest-scheduled cap wins the tie.
 	for _, c := range s.dueCaps(end) {
 		at := c.at
 		if at.Before(start) {
 			at = start
 		}
-		s.push(&event{at: at, kind: evCap, watts: c.watts})
+		emit(&event{at: at, kind: evCap, watts: c.watts})
 	}
-	// Scheduled placement changes landing this round become placement
-	// events; past-due ones clamp to the round start like caps do.
 	for _, p := range s.duePlaces(end) {
 		at := p.at
 		if at.Before(start) {
 			at = start
 		}
-		s.push(&event{at: at, kind: evPlace, place: p})
+		emit(&event{at: at, kind: evPlace, place: p})
 	}
 
-	// Offered load: saturating generators top queues up at the
-	// boundary and self-feed between beats; open-loop generators mint
-	// arrival events at exponentially spaced virtual instants.
-	arrivals := 0
 	for _, inst := range s.insts {
 		inst.selfFeed = false
 	}
-	// The accepting set changes only when a placement event lands (a
-	// mid-round retirement only reaches draining instances, which
-	// already left the set), so it is computed here and refreshed by
-	// the evPlace handler instead of on every arrival.
-	accepting := s.acceptingInstances()
+	accepting = s.acceptingInstances()
 	if gen != nil {
 		s.ensureBaselines(gen.reqIters)
 		if depth, ok := gen.Saturating(); ok {
@@ -270,19 +300,28 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 			}
 			s.pending = still
 			for _, at := range gen.eventTimes(s.round, start, s.cfg.Quantum) {
-				s.push(&event{at: at, kind: evArrival, req: gen.next(at)})
+				emit(&event{at: at, kind: evArrival, req: gen.next(at)})
 				arrivals++
 			}
 		}
 	}
-	// Wake every instance holding (or self-feeding) work; instances
-	// mid-beat from the previous round already have a continuation in
-	// the queue and are skipped by the scheduled flag.
 	for _, inst := range s.insts {
 		if !inst.retired && (inst.sess != nil || len(inst.queue) > 0 || inst.selfFeed) {
-			s.activate(inst, start)
+			wake(inst, start)
 		}
 	}
+	return arrivals, accepting
+}
+
+// stepEvent advances the fleet by one reporting quantum on the event
+// timeline: it seeds the round's events (arbiter ticks, scheduled cap
+// changes, Poisson arrival instants, service continuations), pumps the
+// queue in deterministic virtual-time order, and closes the round.
+func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
+	s.retireDone()
+	start := s.Now()
+	end := start.Add(s.cfg.Quantum)
+	arrivals, accepting := s.seedRound(gen, start, end, func(ev *event) { s.push(ev) }, s.activate)
 
 	for len(s.eq) > 0 && s.eq[0].at.Before(end) {
 		ev := s.pop()
@@ -312,6 +351,15 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 			s.pending = still
 		case evTick:
 			s.arbitrate(ev.at)
+		case evRetire:
+			// A drained instance's queue emptied at this instant: retire
+			// it and re-divide the budget the moment the share frees up.
+			// A stop or an earlier retire may have raced it at the same
+			// instant (stops sort first), so re-check.
+			if !ev.inst.retired {
+				s.retireAt(ev.inst, ev.at)
+				s.arbitrate(ev.at)
+			}
 		case evArrival:
 			s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
 			if tgt := s.dispatch(accepting, ev.req); tgt != nil {
@@ -320,14 +368,19 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 				s.pending = append(s.pending, ev.req)
 			}
 		case evServe:
-			if err := s.serve(ev.at, ev.inst); err != nil {
+			if err := s.serve(ev.at, ev.inst, s); err != nil {
 				return RoundStats{}, err
 			}
 		}
 	}
 
-	// Close the round: integrate each host's final power segment and
-	// drain the shared per-round counters.
+	return s.closeEventRound(end, arrivals), nil
+}
+
+// closeEventRound finishes an event-timeline round, on either engine:
+// integrate each host's final power segment, drain the shared per-round
+// counters, and publish the round.
+func (s *Supervisor) closeEventRound(end time.Time, arrivals int) RoundStats {
 	quantumSec := s.cfg.Quantum.Seconds()
 	rs := RoundStats{Round: s.round, Budget: s.arb.Budget(), Arrivals: arrivals}
 	for _, h := range s.hosts {
@@ -352,5 +405,5 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 	s.record(TraceEvent{At: end, Kind: TraceRound, Instance: -1, Host: -1, State: -1, Value: rs.PowerWatts})
 	s.rounds = append(s.rounds, rs)
 	s.round++
-	return rs, nil
+	return rs
 }

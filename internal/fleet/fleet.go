@@ -26,11 +26,25 @@
 // Requests are work items over input streams — whole streams by
 // default, or per-iteration batches via LoadGen.WithRequestIters — and
 // RoundStats reports p50/p95/p99 request latency per control quantum.
-// The event loop is single-threaded, so results are bit-for-bit
-// deterministic for a fixed seed, which is what lets the end-to-end
-// tests validate the executed fleet against the closed-form cluster
-// oracle (cluster.Oracle, including its event-time M/D/1 queueing
-// surface).
+//
+// The event timeline has two interchangeable engines. With Workers = 1
+// a single heap orders every event of every instance and the loop is
+// strictly sequential. With Workers > 1 (the default is GOMAXPROCS)
+// the timeline is sharded per host: each host owns the events of its
+// resident instances and advances independently up to the next global
+// synchronization barrier — an arbiter tick, a cap or placement
+// landing, or a join-shortest-queue arrival — where a coordinator
+// merges host states, runs the arbiter, re-dispatches backlog, and
+// releases the next window; between barriers shards execute on a
+// bounded worker pool. Determinism is preserved by construction
+// (per-shard sequence counters, a canonical host-index merge order,
+// and a serial fallback for windows in which a draining instance could
+// retire), so both engines — and every Workers value — are bit-for-bit
+// identical for a fixed seed, which is what lets the end-to-end tests
+// validate the executed fleet against the closed-form cluster oracle
+// (cluster.Oracle, including its event-time M/D/1 queueing surface)
+// and lets the differential tests hold the sharded engine to the
+// single-heap reference.
 //
 // The original bulk-synchronous quantum loop survives as a thin
 // compatibility mode (TimelineQuantum): the fleet advances in control
@@ -51,6 +65,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -110,6 +125,20 @@ type Config struct {
 	MigrationDowntime time.Duration
 	// Timeline selects the engine (default TimelineEvent).
 	Timeline Timeline
+	// Workers bounds the event timeline's shard worker pool. 0 defaults
+	// to GOMAXPROCS. 1 selects the single-heap reference engine (one
+	// global event queue, strictly sequential). Any larger value
+	// selects the sharded engine: each host owns its own event queue
+	// and advances independently between global synchronization
+	// barriers, with up to Workers shards executing concurrently. The
+	// two engines — and every Workers value — are bit-identical for a
+	// fixed seed (see docs/ARCHITECTURE.md for the determinism
+	// argument); Workers only changes wall-clock speed. The single
+	// exception is trace ROW ORDER (RecordTrace): both engines emit
+	// the same events, deterministically, but simultaneous events of
+	// different hosts interleave in engine-specific order. Ignored in
+	// quantum mode.
+	Workers int
 	// ArbiterInterval is the arbiter tick period on the event timeline;
 	// it defaults to Quantum and may be shorter for finer-grained
 	// re-arbitration. Ignored in quantum mode (one tick per quantum).
@@ -150,6 +179,10 @@ type Host struct {
 	segStart    time.Time
 	roundEnergy float64
 	roundBusy   time.Duration
+
+	// shard is the host's event queue on the sharded engine (nil when
+	// the single-heap engine or quantum mode drives the fleet).
+	shard *shard
 }
 
 // Index returns the host's position in the fleet.
@@ -202,11 +235,12 @@ func (h *Host) removeResident(inst *Instance) {
 	}
 }
 
-// Instance is one controlled application instance. On the event
-// timeline only the single-threaded event loop touches it. In quantum
-// mode, during a quantum only its own goroutine touches it; between
-// quanta only the supervisor does (the WaitGroup barrier orders the
-// two).
+// Instance is one controlled application instance. On the single-heap
+// event timeline only the event loop touches it; on the sharded
+// timeline only its host's shard touches it between barriers and only
+// the coordinator does at barriers. In quantum mode, during a quantum
+// only its own goroutine touches it; between quanta only the
+// supervisor does (the WaitGroup barrier orders the two).
 type Instance struct {
 	id      int
 	app     workload.App
@@ -510,6 +544,9 @@ func New(cfg Config) (*Supervisor, error) {
 	if cfg.MigrationDowntime == 0 {
 		cfg.MigrationDowntime = 100 * time.Millisecond
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Supervisor{
 		cfg:        cfg,
 		arb:        NewArbiter(cfg.Power, cfg.Budget),
@@ -518,7 +555,11 @@ func New(cfg Config) (*Supervisor, error) {
 	}
 	epoch := time.Unix(0, 0)
 	for i := 0; i < cfg.Machines; i++ {
-		s.hosts = append(s.hosts, &Host{index: i, cores: cfg.CoresPerMachine, segStart: epoch})
+		h := &Host{index: i, cores: cfg.CoresPerMachine, segStart: epoch}
+		if cfg.Timeline == TimelineEvent && cfg.Workers > 1 {
+			h.shard = &shard{sup: s, host: h}
+		}
+		s.hosts = append(s.hosts, h)
 	}
 	probe, err := cfg.NewApp()
 	if err != nil {
@@ -1035,9 +1076,12 @@ func (s *Supervisor) arbitrate(t time.Time) {
 func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
 	var rs RoundStats
 	var err error
-	if s.eventMode() {
+	switch {
+	case s.eventMode() && s.cfg.Workers > 1:
+		rs, err = s.stepSharded(gen)
+	case s.eventMode():
 		rs, err = s.stepEvent(gen)
-	} else {
+	default:
 		rs, err = s.stepQuantum(gen)
 	}
 	if err != nil {

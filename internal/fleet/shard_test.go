@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// diffResult is everything observable about a finished run that the
+// sharded engine must reproduce bit-identically: per-round statistics,
+// the aggregate report, per-host energy and DVFS state, and per-instance
+// terminal state. Trace events are compared canonically sorted — the
+// engines interleave simultaneous events of different hosts in
+// different (but individually deterministic) orders, so the trace is
+// equal as a multiset but not position by position.
+type diffResult struct {
+	rounds []RoundStats
+	report Report
+	energy []float64
+	states []int
+	insts  []instState
+	trace  []TraceEvent
+}
+
+type instState struct {
+	Host      int
+	Retired   bool
+	Completed int
+}
+
+func traceSortKey(a, b TraceEvent) bool {
+	if !a.At.Equal(b.At) {
+		return a.At.Before(b.At)
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Instance != b.Instance {
+		return a.Instance < b.Instance
+	}
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	if a.State != b.State {
+		return a.State < b.State
+	}
+	return a.Value < b.Value
+}
+
+// runDiffScenario drives one seeded scenario at the given worker count
+// and snapshots its observable state. The scenario covers every
+// coupling edge of the sharded engine: a cluster-wide cap landing
+// mid-window, a migration whose source and destination live in
+// different shards, a drain whose retirement lands between barriers
+// (forcing the serial-window fallback), a mid-window start, and a
+// mid-window hard stop — all over open-loop Poisson work items (each
+// join-shortest-queue arrival is a barrier) under a binding budget.
+func runDiffScenario(t *testing.T, machines, instances, workers int, split bool, gen func() *LoadGen, rounds int) diffResult {
+	t.Helper()
+	sup, err := New(Config{
+		Machines:        machines,
+		CoresPerMachine: 1,
+		NewApp:          func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+		Profile:         syntheticProfile(t),
+		Budget:          float64(machines) * 190, // binding: full load wants 210 W/host
+		Workers:         workers,
+		SplitDispatch:   split,
+		RecordTrace:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := startN(t, sup, instances)
+	g := gen()
+
+	// The coupling edges, all at mid-window instants.
+	sup.SetBudgetAt(time.Unix(2, 0).Add(330*time.Millisecond), float64(machines)*175)
+	if _, err := sup.StartAt(time.Unix(3, 0).Add(400*time.Millisecond), -1); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-shard migration: source and destination hosts are distinct
+	// shards by construction.
+	if err := sup.MigrateAt(time.Unix(4, 0).Add(650*time.Millisecond), insts[1], (insts[1].HostIndex()+1)%machines); err != nil {
+		t.Fatal(err)
+	}
+	// Drain a loaded instance: its retirement lands between barriers,
+	// at the data-dependent instant its queue empties.
+	sup.DrainAt(time.Unix(5, 0).Add(250*time.Millisecond), insts[0])
+	sup.StopAt(time.Unix(7, 0).Add(600*time.Millisecond), insts[2])
+
+	for r := 0; r < rounds; r++ {
+		if _, err := sup.Step(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res := diffResult{rounds: sup.rounds, report: sup.Report(), trace: sup.Trace()}
+	for _, h := range sup.Hosts() {
+		res.energy = append(res.energy, h.Energy())
+		res.states = append(res.states, h.State())
+	}
+	for _, inst := range sup.Instances() {
+		res.insts = append(res.insts, instState{Host: inst.HostIndex(), Retired: inst.Retired(), Completed: len(inst.allLats)})
+	}
+	sort.SliceStable(res.trace, func(i, j int) bool { return traceSortKey(res.trace[i], res.trace[j]) })
+	return res
+}
+
+func assertDiffEqual(t *testing.T, name string, ref, got diffResult, refWorkers, gotWorkers int) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.rounds, got.rounds) {
+		for i := range ref.rounds {
+			if i < len(got.rounds) && !reflect.DeepEqual(ref.rounds[i], got.rounds[i]) {
+				t.Fatalf("%s: round %d diverged between Workers=%d and Workers=%d:\n  %+v\nvs\n  %+v",
+					name, i, refWorkers, gotWorkers, ref.rounds[i], got.rounds[i])
+			}
+		}
+		t.Fatalf("%s: rounds diverged between Workers=%d and Workers=%d", name, refWorkers, gotWorkers)
+	}
+	if !reflect.DeepEqual(ref.report, got.report) {
+		t.Fatalf("%s: reports diverged between Workers=%d and Workers=%d:\n  %+v\nvs\n  %+v",
+			name, refWorkers, gotWorkers, ref.report, got.report)
+	}
+	if !reflect.DeepEqual(ref.energy, got.energy) || !reflect.DeepEqual(ref.states, got.states) {
+		t.Fatalf("%s: host energy/state diverged between Workers=%d and Workers=%d", name, refWorkers, gotWorkers)
+	}
+	if !reflect.DeepEqual(ref.insts, got.insts) {
+		t.Fatalf("%s: instance terminal state diverged between Workers=%d and Workers=%d:\n  %+v\nvs\n  %+v",
+			name, refWorkers, gotWorkers, ref.insts, got.insts)
+	}
+	if !reflect.DeepEqual(ref.trace, got.trace) {
+		t.Fatalf("%s: canonically sorted traces diverged between Workers=%d and Workers=%d (%d vs %d events)",
+			name, refWorkers, gotWorkers, len(ref.trace), len(got.trace))
+	}
+}
+
+// TestShardedEngineBitIdenticalJSQ is the differential acceptance test:
+// a seeded 32-host run with join-shortest-queue dispatch — every
+// arrival a barrier — including a mid-window cap, a cross-shard
+// migration, a drain retiring between barriers, a mid-window start and
+// stop, must be bit-identical between the single-heap engine
+// (Workers=1) and the sharded engine at Workers=2 and Workers=4.
+func TestShardedEngineBitIdenticalJSQ(t *testing.T) {
+	gen := func() *LoadGen { return NewConstantLoad(21, 40).WithRequestIters(10) }
+	ref := runDiffScenario(t, 32, 24, 1, false, gen, 10)
+	for _, workers := range []int{2, 4} {
+		got := runDiffScenario(t, 32, 24, workers, false, gen, 10)
+		assertDiffEqual(t, "jsq-32-host", ref, got, 1, workers)
+	}
+	if ref.report.Completions == 0 {
+		t.Fatal("scenario completed no requests; the differential proves nothing")
+	}
+}
+
+// TestShardedEngineBitIdenticalSplit exercises the SplitDispatch
+// per-shard fast path: arrivals are pre-routed at window starts and
+// execute as shard-local events, so windows span whole arbiter
+// intervals — the engines must still agree bit for bit, including the
+// seeded RNG draw sequence.
+func TestShardedEngineBitIdenticalSplit(t *testing.T) {
+	gen := func() *LoadGen { return NewConstantLoad(9, 24).WithRequestIters(10) }
+	ref := runDiffScenario(t, 8, 10, 1, true, gen, 10)
+	got := runDiffScenario(t, 8, 10, 4, true, gen, 10)
+	assertDiffEqual(t, "split-8-host", ref, got, 1, 4)
+	if ref.report.Completions == 0 {
+		t.Fatal("scenario completed no requests; the differential proves nothing")
+	}
+}
+
+// TestShardedEngineBitIdenticalSaturated covers the saturating
+// closed-loop regime — self-feeding instances, no arrival barriers, the
+// widest parallel windows — plus a spike-load variant with an arbiter
+// interval finer than the quantum (more ticks, more barriers).
+func TestShardedEngineBitIdenticalSaturated(t *testing.T) {
+	gen := func() *LoadGen { return NewSaturatingLoad(2) }
+	ref := runDiffScenario(t, 16, 24, 1, false, gen, 8)
+	got := runDiffScenario(t, 16, 24, 4, false, gen, 8)
+	assertDiffEqual(t, "saturated-16-host", ref, got, 1, 4)
+
+	run := func(workers int) diffResult {
+		sup, err := New(Config{
+			Machines:        4,
+			CoresPerMachine: 2,
+			NewApp:          func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+			Profile:         syntheticProfile(t),
+			Budget:          700,
+			ArbiterInterval: 250 * time.Millisecond,
+			Workers:         workers,
+			RecordTrace:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts := startN(t, sup, 10)
+		sup.DrainAt(time.Unix(3, 0).Add(700*time.Millisecond), insts[3])
+		if err := sup.Run(NewSpikeLoad(7, 6, 24, 8, 2).WithRequestIters(10), 12); err != nil {
+			t.Fatal(err)
+		}
+		res := diffResult{rounds: sup.rounds, report: sup.Report(), trace: sup.Trace()}
+		for _, h := range sup.Hosts() {
+			res.energy = append(res.energy, h.Energy())
+			res.states = append(res.states, h.State())
+		}
+		sort.SliceStable(res.trace, func(i, j int) bool { return traceSortKey(res.trace[i], res.trace[j]) })
+		return res
+	}
+	assertDiffEqual(t, "spike-subquantum-ticks", run(1), run(4), 1, 4)
+}
+
+// TestShardedEngineAutoscaledReplay holds the sharded engine to the
+// single-heap reference on the full Fig. 8 replay — the autoscaler
+// issuing mid-quantum starts and drains round after round, the
+// harshest placement churn the repo produces.
+func TestShardedEngineAutoscaledReplay(t *testing.T) {
+	rates := Fig8Rates(40, 10, 2026)
+	run := func(workers int) *ReplayResult {
+		sup, err := New(Config{
+			Machines:        2,
+			CoresPerMachine: 2,
+			NewApp:          func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+			Profile:         syntheticProfile(t),
+			ControlDisabled: true,
+			Workers:         workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		startN(t, sup, 1)
+		res, err := Replay(sup, ReplayConfig{Rates: rates, Seed: 11, ReqIters: 10, SLO: SLO{P95: 1.3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref, got := run(1), run(4)
+	if !reflect.DeepEqual(ref.Points, got.Points) {
+		for i := range ref.Points {
+			if !reflect.DeepEqual(ref.Points[i], got.Points[i]) {
+				t.Fatalf("replay round %d diverged between engines:\n  %+v\nvs\n  %+v", i, ref.Points[i], got.Points[i])
+			}
+		}
+		t.Fatal("replay diverged between engines")
+	}
+}

@@ -66,9 +66,20 @@ type Report struct {
 }
 
 // percentile returns the nearest-rank p-th percentile of a sorted,
-// non-empty slice.
+// non-empty slice, with the ceil-based rank ⌈p·n/100⌉ (1-indexed). The
+// floor form used previously biased small samples low — with 10
+// completions P99 returned the 9th-smallest sample instead of the max,
+// and P95 collapsed toward P50 — which understated tail latency on
+// exactly the small per-round samples the autoscaler acts on.
 func percentile(sorted []float64, p int) float64 {
-	return sorted[(len(sorted)-1)*p/100]
+	rank := (p*len(sorted) + 99) / 100 // ⌈p·n/100⌉ in integer arithmetic
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // drainRoundCounters moves the per-round instance counters (requests,

@@ -1,0 +1,57 @@
+package fleet
+
+import "testing"
+
+// TestPercentileNearestRankCeil pins the ceil-based nearest-rank
+// definition against the floor bias it replaces: with n samples the
+// p-th percentile is the ⌈p·n/100⌉-th smallest, so P99 of 10 samples is
+// the maximum (the floor form returned the 9th-smallest) and P95 does
+// not collapse toward P50 on small per-round samples.
+func TestPercentileNearestRankCeil(t *testing.T) {
+	// sorted[i] = i+1, so values double as 1-indexed ranks.
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		n             int
+		p50, p95, p99 float64
+	}{
+		{n: 1, p50: 1, p95: 1, p99: 1},
+		// ⌈0.5·10⌉=5, ⌈0.95·10⌉=10 (the max; floor gave rank 9),
+		// ⌈0.99·10⌉=10 (floor gave rank 9).
+		{n: 10, p50: 5, p95: 10, p99: 10},
+		// ⌈0.5·20⌉=10, ⌈0.95·20⌉=19, ⌈0.99·20⌉=20 (floor gave 19).
+		{n: 20, p50: 10, p95: 19, p99: 20},
+		// ⌈0.5·100⌉=50, ⌈0.95·100⌉=95, ⌈0.99·100⌉=99.
+		{n: 100, p50: 50, p95: 95, p99: 99},
+	}
+	for _, c := range cases {
+		sorted := seq(c.n)
+		if got := percentile(sorted, 50); got != c.p50 {
+			t.Errorf("n=%d: P50 = %v, want %v", c.n, got, c.p50)
+		}
+		if got := percentile(sorted, 95); got != c.p95 {
+			t.Errorf("n=%d: P95 = %v, want %v", c.n, got, c.p95)
+		}
+		if got := percentile(sorted, 99); got != c.p99 {
+			t.Errorf("n=%d: P99 = %v, want %v", c.n, got, c.p99)
+		}
+	}
+	// Percentiles are monotone in p and never exceed the max.
+	sorted := seq(17)
+	prev := 0.0
+	for p := 1; p <= 100; p++ {
+		v := percentile(sorted, p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%d: %v < %v", p, v, prev)
+		}
+		if v > sorted[len(sorted)-1] {
+			t.Fatalf("percentile %d exceeds the maximum: %v", p, v)
+		}
+		prev = v
+	}
+}

@@ -209,6 +209,9 @@ type (
 	FleetHysteresisConfig = fleet.HysteresisConfig
 	// FleetHysteresisScaler is the default hysteresis autoscaler.
 	FleetHysteresisScaler = fleet.HysteresisScaler
+	// FleetPlannerConfig feeds the M/D/1 provisioning estimate forward
+	// into the hysteresis autoscaler (model-informed damping).
+	FleetPlannerConfig = fleet.PlannerConfig
 	// FleetReplayConfig drives one Fig. 8 consolidation replay.
 	FleetReplayConfig = fleet.ReplayConfig
 	// FleetReplayPoint is one reporting quantum of a replay (one CSV
