@@ -15,6 +15,7 @@
 //	fleet -trace trace.csv                 # export the event-time trace
 //	fleet -replay replay.csv -rounds 90    # Fig. 8 autoscaler replay
 //	fleet -replay replay.csv -rates recorded.csv -slo-p95 1.5
+//	fleet -scenario mix.json               # heterogeneous workload groups
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 	latency := flag.Bool("latency", false, "print per-instance p50/p95/p99 request latency")
 	tracePath := flag.String("trace", "", "write the event-time trace to this CSV file")
 	replayPath := flag.String("replay", "", "run the Fig. 8 autoscaler replay and write its per-quantum CSV here")
+	scenarioPath := flag.String("scenario", "", "run a heterogeneous scenario from this JSON spec (named workload groups with per-group apps, loads, SLOs, and contention pressure)")
 	ratesPath := flag.String("rates", "", "recorded arrival trace for -replay (one mean-arrivals-per-quantum per line; default: synthetic Fig. 8 shape at peak -rate)")
 	sloP95 := flag.Float64("slo-p95", 1.2, "p95 request-latency SLO in seconds the replay autoscaler provisions for")
 	scaleMin := flag.Int("scale-min", 1, "replay autoscaler lower instance bound")
@@ -71,7 +73,7 @@ func main() {
 		load: *load, rate: *rate, reqIters: *reqIters, seed: *seed,
 		timeline: *timeline, workers: *workers, feedforward: *feedforward,
 		latency: *latency, tracePath: *tracePath,
-		replayPath: *replayPath, ratesPath: *ratesPath,
+		replayPath: *replayPath, ratesPath: *ratesPath, scenarioPath: *scenarioPath,
 		sloP95: *sloP95, scaleMin: *scaleMin, scaleMax: *scaleMax,
 		instancesSet: instancesSet,
 	}); err != nil {
@@ -82,7 +84,7 @@ func main() {
 
 type options struct {
 	app, scale, load, timeline, tracePath string
-	replayPath, ratesPath                 string
+	replayPath, ratesPath, scenarioPath   string
 	machines, cores, instances, rounds    int
 	dropAt, reqIters, workers             int
 	scaleMin, scaleMax                    int
@@ -131,6 +133,9 @@ func workloadFor(appName, scale string) (func() (workload.App, error), *calibrat
 }
 
 func run(o options) error {
+	if o.scenarioPath != "" {
+		return runScenario(o)
+	}
 	if o.replayPath != "" {
 		return runReplay(o)
 	}

@@ -1,0 +1,57 @@
+// Example legacyfleet exercises the deprecated single-group fleet API
+// — powerdial.FleetConfig through powerdial.NewFleet — exactly as
+// pre-scenario callers wrote it. It exists to guard the migration
+// path: CI builds and runs it against the one-group compatibility
+// shim, so the old surface (construction, StartInstance, Step with an
+// explicit generator, Report) keeps compiling and behaving until the
+// shim is retired. New code should compose a FleetScenario instead
+// (see examples/scenario and the README migration guide).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	powerdial "repro"
+)
+
+func main() {
+	app := powerdial.NewSyntheticApp(powerdial.SyntheticOptions{})
+	prof, err := powerdial.Calibrate(app, powerdial.CalibrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The old single-factory construction surface, verbatim.
+	sup, err := powerdial.NewFleet(powerdial.FleetConfig{
+		Machines:        2,
+		CoresPerMachine: 2,
+		NewApp:          func() (powerdial.App, error) { return powerdial.NewSyntheticApp(powerdial.SyntheticOptions{}), nil },
+		Profile:         prof,
+		Budget:          400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sup.StartInstance(-1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	gen := powerdial.NewConstantLoad(7, 6)
+	for r := 0; r < 10; r++ {
+		if _, err := sup.Step(gen); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep := sup.Report()
+	fmt.Printf("legacy shim: %d requests on %d instances, mean power %.1f W, p95 %.2f s\n",
+		rep.Completions, len(sup.Instances()), rep.MeanPower, rep.P95Latency)
+
+	// The shim is a one-group scenario under the hood: the old API's
+	// fleet reports as a single "default" workload group.
+	if len(rep.PerGroup) != 1 || rep.PerGroup[0].Group != "default" {
+		log.Fatalf("shim did not map to one default group: %+v", rep.PerGroup)
+	}
+	fmt.Println("shim maps to one scenario group: default")
+}

@@ -1,0 +1,99 @@
+// Example scenario runs a heterogeneous fleet: two named workload
+// groups — a fast, latency-sensitive synthetic service and the default
+// slower synthetic batch workload — share two machines and one power
+// budget, each with its own heart-rate target and arrival stream
+// (powerdial.FleetScenario / NewFleetScenario). The same mix is then
+// re-run with contention pressure between the groups to show the
+// contention-aware interference model degrading co-located throughput
+// relative to the uniform-share reference, and the per-group sojourn
+// times are cross-checked against the composed M/G/1 oracle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	powerdial "repro"
+	"repro/internal/fleet"
+)
+
+func main() {
+	fastOpts := fleet.SyntheticOptions{BaseCost: 3e6} // half-cost: 0.125 s per 10-iter request
+	newFast := func() (powerdial.App, error) { return fleet.NewSynthetic(fastOpts), nil }
+	newSlow := func() (powerdial.App, error) { return fleet.NewSynthetic(fleet.SyntheticOptions{}), nil }
+	fastProbe, _ := newFast()
+	slowProbe, _ := newSlow()
+	fastProf, err := powerdial.Calibrate(fastProbe, powerdial.CalibrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slowProf, err := powerdial.Calibrate(slowProbe, powerdial.CalibrateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(itf powerdial.FleetInterference, pressure float64) powerdial.FleetReport {
+		sup, err := powerdial.NewFleetScenario(powerdial.FleetScenario{
+			Machines:        2,
+			CoresPerMachine: 2,
+			Budget:          420,
+			ControlDisabled: true, // open-loop: keep service deterministic for the oracle check
+			SplitDispatch:   true,
+			Interference:    itf,
+			Groups: []powerdial.FleetWorkloadGroup{
+				{Name: "serve", NewApp: newFast, Profile: fastProf, Instances: 2,
+					Pressure: pressure,
+					Load:     powerdial.NewConstantLoad(21, 2.4).WithRequestIters(10)},
+				{Name: "batch", NewApp: newSlow, Profile: slowProf, Instances: 2,
+					Pressure: pressure,
+					Load:     powerdial.NewConstantLoad(33, 1.2).WithRequestIters(10)},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sup.Run(nil, 400); err != nil {
+			log.Fatal(err)
+		}
+		return sup.Report()
+	}
+
+	fmt.Println("two workload groups (serve: 0.125 s requests, batch: 0.25 s requests)")
+	fmt.Println("sharing 2 machines x 2 cores under one 420 W budget")
+
+	fmt.Println("\n--- uniform-share interference (the oracle-validated reference) ---")
+	uniform := run(powerdial.FleetUniformShare{}, 0)
+	printPerGroup(uniform)
+
+	// Composed per-group M/G/1 oracle: each group's arrivals split
+	// uniformly over its own 2 instances.
+	oracle, err := powerdial.NewClusterOracle(2, 2, slowProf, powerdial.DefaultPowerModel(), powerdial.DVFSFrequencies()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := powerdial.PredictClusterMix(oracle, []powerdial.ClusterGroupStation{
+		{Name: "serve", Instances: 2, Lambda: 2.4, Service: 10 * 3e6 / 2.4e8},
+		{Name: "batch", Instances: 2, Lambda: 1.2, Service: 10 * 6e6 / 2.4e8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("composed M/G/1 oracle:")
+	for i, gp := range pred.Groups {
+		fmt.Printf("  %-6s predicted sojourn %.3f s, measured %.3f s\n",
+			gp.Name, gp.MeanSojourn, uniform.PerGroup[i].MeanLatency)
+	}
+
+	fmt.Println("\n--- contention-aware interference (pressure 0.5 between groups) ---")
+	contended := run(nil, 0.5) // nil = the PressureShare default over group pressures
+	printPerGroup(contended)
+	fmt.Printf("\ncross-group contention stretched mean latency %.3f s -> %.3f s (serve group)\n",
+		uniform.PerGroup[0].MeanLatency, contended.PerGroup[0].MeanLatency)
+}
+
+func printPerGroup(rep powerdial.FleetReport) {
+	fmt.Printf("%-6s | %6s | %8s | %8s\n", "group", "done", "mean s", "p95 s")
+	for _, gr := range rep.PerGroup {
+		fmt.Printf("%-6s | %6d | %8.3f | %8.3f\n", gr.Group, gr.Completions, gr.MeanLatency, gr.P95Latency)
+	}
+}

@@ -29,6 +29,8 @@ func TestExamplesRun(t *testing.T) {
 		{"consolidation", "autoscaler consolidated"},
 		{"searchserver", "identified control variables"},
 		{"fleet", "oracle"},
+		{"scenario", "composed M/G/1 oracle"},
+		{"legacyfleet", "shim maps to one scenario group"},
 	}
 	for _, ex := range examples {
 		ex := ex

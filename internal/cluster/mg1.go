@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the event-time queueing oracle from M/D/1 to M/G/1
+// via the full Pollaczek–Khinchine form, and composes per-group
+// stations into a cluster-level prediction for heterogeneous scenarios
+// (internal/fleet.Scenario). An M/D/1 station is the degenerate M/G/1
+// with zero service variance; once work items mix stream lengths or
+// applications, the service distribution of a station is a mixture of
+// the per-class deterministic times and the mean wait needs the second
+// moment — exactly what the full P–K formula supplies. The forms here
+// are pinned against a Lindley-recursion simulation (mg1_test.go), the
+// same way the M/D/1 waiting-time CDF was.
+
+// MG1 is an M/G/1 queueing station: Poisson arrivals at Lambda requests
+// per second into a single server whose service time has the given
+// first two moments (any distribution — only the moments enter the
+// Pollaczek–Khinchine mean-value forms).
+type MG1 struct {
+	// Lambda is the arrival rate in requests per second.
+	Lambda float64
+	// MeanService is E[S] in seconds.
+	MeanService float64
+	// ServiceM2 is the second moment E[S²] in seconds². For a
+	// deterministic service time S it is S² (use DeterministicMG1);
+	// for a mixture of deterministic classes it is Σ pᵢ·Sᵢ² (MixMG1).
+	ServiceM2 float64
+}
+
+// DeterministicMG1 is the M/D/1 special case expressed as M/G/1:
+// E[S²] = S², recovering exactly MD1's Pollaczek–Khinchine mean wait.
+func DeterministicMG1(lambda, service float64) MG1 {
+	return MG1{Lambda: lambda, MeanService: service, ServiceM2: service * service}
+}
+
+// ServiceClass is one deterministic work-item class of a mixed stream:
+// requests arriving at Lambda per second, each needing Service seconds.
+type ServiceClass struct {
+	Lambda  float64
+	Service float64
+}
+
+// MixMG1 composes deterministic classes into the M/G/1 station serving
+// their superposition: the merged arrival process is Poisson in the
+// summed rate, and a request belongs to class i with probability
+// λᵢ/λ, so the service distribution is the discrete mixture with
+// E[S] = Σ pᵢSᵢ and E[S²] = Σ pᵢSᵢ².
+func MixMG1(classes ...ServiceClass) MG1 {
+	var q MG1
+	for _, c := range classes {
+		if c.Lambda <= 0 {
+			continue
+		}
+		q.Lambda += c.Lambda
+	}
+	if q.Lambda <= 0 {
+		return q
+	}
+	for _, c := range classes {
+		if c.Lambda <= 0 {
+			continue
+		}
+		p := c.Lambda / q.Lambda
+		q.MeanService += p * c.Service
+		q.ServiceM2 += p * c.Service * c.Service
+	}
+	return q
+}
+
+// Rho returns the offered load (server utilization) λ·E[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.MeanService }
+
+// Stable reports whether the queue has a steady state (ρ < 1).
+func (q MG1) Stable() bool { return q.Rho() < 1 }
+
+// SCV returns the squared coefficient of variation of the service time,
+// Var[S]/E[S]² — 0 for deterministic service, 1 for exponential.
+func (q MG1) SCV() float64 {
+	if q.MeanService <= 0 {
+		return 0
+	}
+	v := q.ServiceM2 - q.MeanService*q.MeanService
+	if v < 0 {
+		v = 0 // moment roundoff
+	}
+	return v / (q.MeanService * q.MeanService)
+}
+
+// MeanWait returns the mean queueing delay before service begins — the
+// full Pollaczek–Khinchine form Wq = λ·E[S²] / (2·(1−ρ)). It is +Inf
+// for an unstable queue.
+func (q MG1) MeanWait() float64 {
+	rho := q.Rho()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return q.Lambda * q.ServiceM2 / (2 * (1 - rho))
+}
+
+// MeanSojourn returns the mean time in system (wait plus service).
+func (q MG1) MeanSojourn() float64 { return q.MeanWait() + q.MeanService }
+
+// MeanQueue returns the mean number of requests waiting (Little's law,
+// Lq = λ·Wq).
+func (q MG1) MeanQueue() float64 { return q.Lambda * q.MeanWait() }
+
+// GroupStation describes one workload group's offered load for the
+// composed mix oracle (PredictMix): Instances stations, each fed a
+// λ/Instances share of the group's total arrival stream — the
+// independent-split premise of fleet.Scenario's SplitDispatch.
+type GroupStation struct {
+	// Name labels the group in the prediction.
+	Name string
+	// Instances is the group's accepting instance count (>= 1).
+	Instances int
+	// Lambda is the group's total arrival rate in requests per second.
+	Lambda float64
+	// Service is the deterministic per-request service time in seconds
+	// (busy seconds at the oracle's frequency).
+	Service float64
+	// ServiceM2 optionally overrides the second moment E[S²] for a
+	// group whose own work items mix lengths; 0 means deterministic
+	// (Service²).
+	ServiceM2 float64
+}
+
+// GroupPrediction is one group's slice of a composed mix prediction.
+type GroupPrediction struct {
+	Name string
+	// Queue is the group's per-instance M/G/1 station.
+	Queue MG1
+	// Rho is per-instance utilization.
+	Rho float64
+	// MeanWait / MeanSojourn are the group's per-request queueing delay
+	// and total latency in seconds.
+	MeanWait    float64
+	MeanSojourn float64
+	// Stable reports whether the group's stations have a steady state.
+	Stable bool
+}
+
+// MixPrediction is the oracle's event-time steady state for a
+// heterogeneous scenario: per-group M/G/1 queueing composed with the
+// cluster's aggregate utilization and partial-utilization power.
+type MixPrediction struct {
+	Groups []GroupPrediction
+	// Util is per-machine utilization in [0, 1] with instances balanced
+	// across machines.
+	Util float64
+	// PowerWatts is total cluster power (idle machines included).
+	PowerWatts float64
+	// Stable reports whether every group's stations are stable and the
+	// load fits the cores.
+	Stable bool
+}
+
+// PredictMix composes per-group M/G/1 stations into the cluster-level
+// steady state: each group's arrival stream splits evenly over its own
+// instances (SplitDispatch within the group keeps each split Poisson),
+// every instance keeps one core busy for its ρ fraction of time, and
+// machines share the instance population evenly. It is the ground
+// truth a heterogeneous scenario under SplitDispatch and uniform-share
+// interference is validated against; like PredictQueueing it requires
+// the load to fit the cores without knob actuation (the regime where
+// service times stay deterministic per class).
+func (o *Oracle) PredictMix(groups []GroupStation) (MixPrediction, error) {
+	if len(groups) == 0 {
+		return MixPrediction{}, fmt.Errorf("cluster: PredictMix requires at least one group")
+	}
+	pred := MixPrediction{Stable: true}
+	instances := 0
+	var busy float64 // summed per-instance rho = busy core-equivalents
+	for _, gs := range groups {
+		if gs.Instances < 1 {
+			return MixPrediction{}, fmt.Errorf("cluster: group %q instances %d < 1", gs.Name, gs.Instances)
+		}
+		if gs.Lambda < 0 || gs.Service <= 0 {
+			return MixPrediction{}, fmt.Errorf("cluster: group %q needs lambda >= 0 and service > 0 (lambda=%v service=%v)", gs.Name, gs.Lambda, gs.Service)
+		}
+		m2 := gs.ServiceM2
+		if m2 == 0 {
+			m2 = gs.Service * gs.Service
+		}
+		q := MG1{Lambda: gs.Lambda / float64(gs.Instances), MeanService: gs.Service, ServiceM2: m2}
+		gp := GroupPrediction{
+			Name:        gs.Name,
+			Queue:       q,
+			Rho:         q.Rho(),
+			MeanWait:    q.MeanWait(),
+			MeanSojourn: q.MeanSojourn(),
+			Stable:      q.Stable(),
+		}
+		if !gp.Stable {
+			pred.Stable = false
+		}
+		instances += gs.Instances
+		busy += float64(gs.Instances) * gp.Rho
+		pred.Groups = append(pred.Groups, gp)
+	}
+	util := busy / float64(o.sys.cfg.Machines) / float64(o.sys.cfg.CoresPerMachine)
+	if util > 1 {
+		util = 1
+		pred.Stable = false
+	}
+	if instances > o.sys.Capacity() {
+		// More residents than cores multiplexes every share below 1 and
+		// stretches service times — outside this oracle's regime.
+		pred.Stable = false
+	}
+	pred.Util = util
+	pred.PowerWatts = float64(o.sys.cfg.Machines) * o.sys.cfg.Power.Power(o.sys.cfg.Frequency, util)
+	return pred, nil
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// simulateMixedWaits runs the Lindley recursion W_{n+1} = max(0, W_n +
+// S_n − A_n) for a station serving a mixture of deterministic service
+// classes: each arrival draws its class with probability λᵢ/λ, the
+// merged inter-arrival gaps are exponential in the summed rate. It
+// returns the stationary mean wait after warmup.
+func simulateMixedWaits(classes []ServiceClass, n, warmup int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var lambda float64
+	for _, c := range classes {
+		lambda += c.Lambda
+	}
+	draw := func() float64 {
+		u := rng.Float64() * lambda
+		for _, c := range classes {
+			if u < c.Lambda {
+				return c.Service
+			}
+			u -= c.Lambda
+		}
+		return classes[len(classes)-1].Service
+	}
+	w, sum := 0.0, 0.0
+	for i := 0; i < n+warmup; i++ {
+		if i >= warmup {
+			sum += w
+		}
+		gap := rng.ExpFloat64() / lambda
+		w += draw() - gap
+		if w < 0 {
+			w = 0
+		}
+	}
+	return sum / float64(n)
+}
+
+// TestMG1MatchesMD1 pins the degenerate case: with zero service
+// variance the full Pollaczek–Khinchine form must reproduce the M/D/1
+// closed forms exactly.
+func TestMG1MatchesMD1(t *testing.T) {
+	md1 := MD1{Lambda: 0.8, Service: 1}
+	mg1 := DeterministicMG1(0.8, 1)
+	if got, want := mg1.MeanWait(), md1.MeanWait(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("deterministic MG1 mean wait = %v, MD1 says %v", got, want)
+	}
+	if got, want := mg1.MeanSojourn(), md1.MeanSojourn(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("deterministic MG1 mean sojourn = %v, MD1 says %v", got, want)
+	}
+	if got, want := mg1.MeanQueue(), md1.MeanQueue(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("deterministic MG1 mean queue = %v, MD1 says %v", got, want)
+	}
+	if scv := mg1.SCV(); scv != 0 {
+		t.Errorf("deterministic service SCV = %v, want 0", scv)
+	}
+}
+
+// TestMG1MixtureMatchesLindley is the satellite acceptance test: the
+// full Pollaczek–Khinchine mean wait for a mixture of deterministic
+// per-class service times must match a seeded Lindley-recursion
+// simulation of the same mixed stream — the same way the M/D/1
+// waiting-time CDF was pinned.
+func TestMG1MixtureMatchesLindley(t *testing.T) {
+	cases := []struct {
+		name    string
+		classes []ServiceClass
+	}{
+		{"fast-slow", []ServiceClass{{Lambda: 0.9, Service: 0.25}, {Lambda: 0.3, Service: 1.5}}},
+		{"three-way", []ServiceClass{{Lambda: 0.5, Service: 0.2}, {Lambda: 0.4, Service: 0.6}, {Lambda: 0.1, Service: 2.0}}},
+		{"near-saturation", []ServiceClass{{Lambda: 1.2, Service: 0.5}, {Lambda: 0.2, Service: 1.2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := MixMG1(tc.classes...)
+			if !q.Stable() {
+				t.Fatalf("mixture unstable (rho %.3f); test case is broken", q.Rho())
+			}
+			want := q.MeanWait()
+			got := simulateMixedWaits(tc.classes, 800000, 10000, 7)
+			if math.Abs(got-want)/want > 0.03 {
+				t.Errorf("P-K mean wait = %.4f s, Lindley simulation says %.4f s (rho %.3f, SCV %.3f)",
+					want, got, q.Rho(), q.SCV())
+			}
+			// The mixture's variance raises the wait above the
+			// deterministic station at the same mean: Wq scales by
+			// (1 + SCV)/2 > 1/2·2 = 1 exactly when SCV > 0.
+			det := DeterministicMG1(q.Lambda, q.MeanService)
+			if q.SCV() > 0 && q.MeanWait() <= det.MeanWait() {
+				t.Errorf("mixed wait %.4f not above deterministic wait %.4f despite SCV %.3f",
+					q.MeanWait(), det.MeanWait(), q.SCV())
+			}
+		})
+	}
+}
+
+// TestMG1EdgeCases covers instability and empty mixtures.
+func TestMG1EdgeCases(t *testing.T) {
+	if w := (MG1{Lambda: 2, MeanService: 1, ServiceM2: 1}).MeanWait(); !math.IsInf(w, 1) {
+		t.Errorf("unstable MG1 mean wait = %v, want +Inf", w)
+	}
+	if q := MixMG1(); q.Lambda != 0 || q.MeanService != 0 {
+		t.Errorf("empty mixture = %+v, want zero station", q)
+	}
+	if q := MixMG1(ServiceClass{Lambda: 0, Service: 5}); q.Lambda != 0 {
+		t.Errorf("zero-rate class contributed: %+v", q)
+	}
+}
+
+// TestPredictMixComposesGroups checks the composed per-group oracle:
+// group queueing matches each group's own M/G/1 station, utilization
+// and power aggregate across groups, and capacity overflow is flagged.
+func TestPredictMixComposesGroups(t *testing.T) {
+	o, err := NewOracle(2, 2, nil, platform.DefaultPowerModel(), platform.Frequencies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []GroupStation{
+		{Name: "fast", Instances: 2, Lambda: 2.4, Service: 0.25},
+		{Name: "slow", Instances: 2, Lambda: 1.2, Service: 0.5},
+	}
+	pred, err := o.PredictMix(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Stable {
+		t.Fatalf("mix should be stable: %+v", pred)
+	}
+	for i, gs := range groups {
+		gp := pred.Groups[i]
+		want := DeterministicMG1(gs.Lambda/float64(gs.Instances), gs.Service)
+		if math.Abs(gp.MeanSojourn-want.MeanSojourn()) > 1e-12 {
+			t.Errorf("group %s sojourn %v, station says %v", gs.Name, gp.MeanSojourn, want.MeanSojourn())
+		}
+		if math.Abs(gp.Rho-want.Rho()) > 1e-12 {
+			t.Errorf("group %s rho %v, want %v", gs.Name, gp.Rho, want.Rho())
+		}
+	}
+	// Util: (2·0.3 + 2·0.3) busy cores over 4 = 0.15 per core... per
+	// machine: each machine holds 2 instances at rho 0.3 over 2 cores.
+	wantUtil := (2*0.3 + 2*0.3) / 4
+	if math.Abs(pred.Util-wantUtil) > 1e-12 {
+		t.Errorf("mix util %v, want %v", pred.Util, wantUtil)
+	}
+	model := platform.DefaultPowerModel()
+	wantPower := 2 * model.Power(platform.Frequencies[0], wantUtil)
+	if math.Abs(pred.PowerWatts-wantPower) > 1e-9 {
+		t.Errorf("mix power %v, want %v", pred.PowerWatts, wantPower)
+	}
+
+	// Unstable group flagged.
+	bad, err := o.PredictMix([]GroupStation{{Name: "hot", Instances: 1, Lambda: 5, Service: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Stable {
+		t.Error("rho 2.5 group reported stable")
+	}
+	// Over capacity flagged even when each station is stable.
+	over, err := o.PredictMix([]GroupStation{{Name: "many", Instances: 5, Lambda: 0.5, Service: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Stable {
+		t.Error("5 instances on 4 cores reported stable (shares < 1 stretch service)")
+	}
+	if _, err := o.PredictMix(nil); err == nil {
+		t.Error("want error for empty group list")
+	}
+}

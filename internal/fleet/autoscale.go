@@ -22,10 +22,14 @@ type SLO struct {
 }
 
 // ScaleObservation is one closed reporting quantum as an autoscaler
-// sees it.
+// sees it. All counts and latencies are scoped to the workload group
+// the policy is attached to — for the single-group Config shim that is
+// the whole fleet, exactly as before.
 type ScaleObservation struct {
 	// Round is the closed round's index.
 	Round int
+	// Group is the observed workload group's name.
+	Group string
 	// Now is the quantum's end — the virtual instant the decision is
 	// made at.
 	Now time.Time
@@ -274,38 +278,92 @@ func (h *HysteresisScaler) clampToPlan(desired int, obs ScaleObservation) int {
 	return h.clamp(desired)
 }
 
-// Autoscale attaches an autoscaling policy to the supervisor: after
-// every reporting quantum the policy sees that round's observations and
-// the supervisor schedules the placement events that move the
+// scalerEntry is one group's attached autoscaling policy.
+type scalerEntry struct {
+	policy Autoscaler
+	delay  time.Duration
+}
+
+// Autoscale attaches an autoscaling policy to the first workload group
+// (the whole fleet under the single-group Config shim): after every
+// reporting quantum the policy sees that round's observations and the
+// supervisor schedules the placement events that move the group's
 // accepting-instance count toward the desired one, landing delay into
 // the following quantum — on the event timeline that is an arbitrary
 // mid-quantum instant, with re-arbitration and backlog re-dispatch the
-// moment each event lands. A nil policy detaches autoscaling.
+// moment each event lands. A nil policy detaches autoscaling. Other
+// groups attach their own policies with AutoscaleGroup — each group
+// scales independently against its own SLO while every group draws on
+// the one shared power budget.
 func (s *Supervisor) Autoscale(policy Autoscaler, delay time.Duration) error {
+	return s.AutoscaleGroup(0, policy, delay)
+}
+
+// AutoscaleGroup attaches an autoscaling policy to the given workload
+// group (an index into the scenario's declaration order), with
+// Autoscale's semantics scoped to that group's instances, queues, and
+// latency percentiles.
+func (s *Supervisor) AutoscaleGroup(group int, policy Autoscaler, delay time.Duration) error {
+	if group < 0 || group >= len(s.groups) {
+		return fmt.Errorf("fleet: group %d out of range [0,%d]", group, len(s.groups)-1)
+	}
 	if delay < 0 {
 		return fmt.Errorf("fleet: negative autoscale delay %v", delay)
 	}
-	s.scaler = policy
-	s.scaleDelay = delay
+	s.scalers[group] = scalerEntry{policy: policy, delay: delay}
 	return nil
 }
 
-// ScaleMoves returns how many placement actions the attached autoscaler
-// has issued so far.
+// anyScaler reports whether any group has an autoscaling policy.
+func (s *Supervisor) anyScaler() bool {
+	for _, e := range s.scalers {
+		if e.policy != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ScaleMoves returns how many placement actions the attached
+// autoscalers have issued so far, across all groups.
 func (s *Supervisor) ScaleMoves() int { return s.scaleMoves }
 
-// DesiredInstances returns the autoscaler's most recent desired
-// accepting-instance count (0 before the first decision).
-func (s *Supervisor) DesiredInstances() int { return s.lastDesired }
+// DesiredInstances returns the autoscalers' most recent desired
+// accepting-instance count summed over groups (0 before the first
+// decision; groups without a policy contribute 0).
+func (s *Supervisor) DesiredInstances() int {
+	total := 0
+	for _, d := range s.lastDesired {
+		total += d
+	}
+	return total
+}
 
-// applyAutoscale feeds one closed round to the attached policy and
-// schedules the resulting placement events.
+// applyAutoscale feeds one closed round to each group's attached policy
+// and schedules the resulting placement events, groups in declaration
+// order.
 func (s *Supervisor) applyAutoscale(rs RoundStats) error {
-	accepting := s.acceptingInstances()
+	for gi := range s.groups {
+		entry := s.scalers[gi]
+		if entry.policy == nil {
+			continue
+		}
+		if err := s.applyGroupAutoscale(rs, gi, entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyGroupAutoscale runs one group's policy over the closed round's
+// per-group statistics.
+func (s *Supervisor) applyGroupAutoscale(rs RoundStats, gi int, entry scalerEntry) error {
+	g := s.groups[gi]
+	accepting := s.acceptingOf(gi)
 	active := len(accepting)
 	draining := 0
 	for _, inst := range s.insts {
-		if !inst.retired && inst.draining {
+		if inst.grp == g && !inst.retired && inst.draining {
 			draining++
 		}
 	}
@@ -313,6 +371,9 @@ func (s *Supervisor) applyAutoscale(rs RoundStats) error {
 	// of a quantum or more cannot double-provision.
 	outbound := make(map[*Instance]bool)
 	for _, p := range s.places {
+		if p.inst.grp != g {
+			continue
+		}
 		switch p.op {
 		case placeStart:
 			if !p.inst.retired {
@@ -325,26 +386,28 @@ func (s *Supervisor) applyAutoscale(rs RoundStats) error {
 			}
 		}
 	}
+	grs := rs.Groups[gi]
 	obs := ScaleObservation{
 		Round:       rs.Round,
+		Group:       g.name,
 		Now:         s.Now(),
 		Active:      active,
 		Draining:    draining,
-		QueueDepth:  rs.QueueDepth,
-		Arrivals:    rs.Arrivals,
-		Completions: rs.Completions,
-		LatencyP95:  rs.LatencyP95,
-		LatencyP99:  rs.LatencyP99,
+		QueueDepth:  grs.QueueDepth,
+		Arrivals:    grs.Arrivals,
+		Completions: grs.Completions,
+		LatencyP95:  grs.LatencyP95,
+		LatencyP99:  grs.LatencyP99,
 	}
-	desired := s.scaler.Scale(obs)
+	desired := entry.policy.Scale(obs)
 	if desired < 0 {
 		desired = 0
 	}
-	s.lastDesired = desired
-	s.record(TraceEvent{At: s.Now(), Kind: TraceScale, Instance: -1, Host: -1, State: -1, Value: float64(desired)})
-	at := s.Now().Add(s.scaleDelay)
+	s.lastDesired[gi] = desired
+	s.record(TraceEvent{At: s.Now(), Kind: TraceScale, Instance: -1, Host: -1, State: -1, Value: float64(desired), Group: g.name})
+	at := s.Now().Add(entry.delay)
 	for i := active; i < desired; i++ {
-		if _, err := s.StartAt(at, -1); err != nil {
+		if _, err := s.StartAtIn(at, gi, -1); err != nil {
 			return err
 		}
 		s.scaleMoves++

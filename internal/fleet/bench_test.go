@@ -131,6 +131,55 @@ func BenchmarkFleetScale(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetScenarioMix is the heterogeneous two-group benchmark:
+// a fast open-loop service group and a slower saturating batch group
+// share 8 hosts under a binding budget with contention-aware
+// interference — per-group dispatch, pressure-vector share
+// computation, and per-group round accounting all on the hot path.
+// One op is one steady-state round; the workers=1/4 variants ride the
+// CI bench matrix into BENCH_fleet.json alongside BenchmarkFleetScale,
+// so the heterogeneous leg's trajectory is tracked per commit.
+func BenchmarkFleetScenarioMix(b *testing.B) {
+	slowProf := benchProfile(b)
+	fastProf, err := calibrate.Run(NewSynthetic(SyntheticOptions{BaseCost: 3e6}), calibrate.Options{Set: workload.Training})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sup, err := NewScenario(Scenario{
+				Machines:        8,
+				CoresPerMachine: 1,
+				Budget:          8 * 190,
+				Workers:         workers,
+				Groups: []WorkloadGroup{
+					{Name: "serve", Instances: 6, Pressure: 0.3,
+						NewApp:  func() (workload.App, error) { return NewSynthetic(SyntheticOptions{BaseCost: 3e6}), nil },
+						Profile: fastProf,
+						Load:    NewConstantLoad(21, 24).WithRequestIters(10)},
+					{Name: "batch", Instances: 4, Pressure: 0.1,
+						NewApp:  func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+						Profile: slowProf,
+						Load:    NewSaturatingLoad(2)},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sup.Run(nil, 2); err != nil { // warm to steady state
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sup.Step(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEventQueue isolates the scheduler's heap: push/pop of a
 // round's worth of interleaved events.
 func BenchmarkEventQueue(b *testing.B) {

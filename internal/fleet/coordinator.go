@@ -61,12 +61,19 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 		globals = append(globals, ev)
 	}
 	wake := func(inst *Instance, t time.Time) { inst.host.shard.activate(inst, t) }
-	arrivals, accepting := s.seedRound(gen, start, end, emit, wake)
+	arrivals, acc := s.seedRound(gen, start, end, emit, wake)
 	sort.SliceStable(globals, func(i, j int) bool {
 		if !globals[i].at.Equal(globals[j].at) {
 			return globals[i].at.Before(globals[j].at)
 		}
 		return globals[i].kind < globals[j].kind
+	})
+	// Each group's arrivals are emitted time-sorted but group-major;
+	// the pre-route loop below consumes them strictly by instant, so
+	// interleave the groups' streams (stable: simultaneous arrivals
+	// keep emission order, which is the single-heap seq order).
+	sort.SliceStable(splitArrivals, func(i, j int) bool {
+		return splitArrivals[i].at.Before(splitArrivals[j].at)
 	})
 
 	// The window loop: run shards to the next barrier, apply the
@@ -80,18 +87,22 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 		// SplitDispatch fast path: draw this window's arrival targets
 		// (in arrival order, so the seeded RNG sequence matches the
 		// single-heap engine draw for draw) and hand each arrival to
-		// its target's shard as a local event.
+		// its target's shard as a local event. The draw is over the
+		// arrival's own group's accepting set — dispatch stays within
+		// the group.
 		for ai < len(splitArrivals) && splitArrivals[ai].at.Before(barrier) {
 			ev := splitArrivals[ai]
 			ai++
-			if len(accepting) == 0 {
-				// Nothing accepts: the request queues fleet-wide, like
-				// the single-heap dispatch returning nil (no RNG draw).
-				s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
+			grpAcc := acc[ev.req.Group]
+			if len(grpAcc) == 0 {
+				// Nothing in the group accepts: the request queues
+				// fleet-wide, like the single-heap dispatch returning
+				// nil (no RNG draw).
+				s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1, Group: s.groups[ev.req.Group].name})
 				s.pending = append(s.pending, ev.req)
 				continue
 			}
-			ev.inst = accepting[s.splitRng.Intn(len(accepting))]
+			ev.inst = grpAcc[s.splitRng.Intn(len(grpAcc))]
 			ev.inst.host.shard.push(ev)
 		}
 		if err := s.runWindow(barrier); err != nil {
@@ -122,27 +133,19 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 					from.shard.moveEvents(g.place.inst, s.hosts[g.place.host].shard)
 				}
 				// Placement changed the fleet: re-divide the budget at
-				// the landing instant, refresh the accepting set, and
-				// offer undispatched backlog to it.
+				// the landing instant, refresh the per-group accepting
+				// sets, and offer undispatched backlog to them.
 				s.arbitrate(g.at)
-				accepting = s.acceptingInstances()
-				var still []*Request
-				for _, req := range s.pending {
-					if tgt := s.dispatch(accepting, req); tgt != nil {
-						tgt.host.shard.activate(tgt, g.at)
-					} else {
-						still = append(still, req)
-					}
-				}
-				s.pending = still
+				acc = s.acceptingByGroup()
+				s.redispatchPending(acc, wake, g.at)
 			case evTick:
 				s.arbitrate(g.at)
 			case evArrival:
 				// Join-shortest-queue needs global queue depths, so the
 				// arrival is itself a barrier: every shard has advanced
 				// to this instant and the depths are exact.
-				s.record(TraceEvent{At: g.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
-				if tgt := s.dispatch(accepting, g.req); tgt != nil {
+				s.record(TraceEvent{At: g.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1, Group: s.groups[g.req.Group].name})
+				if tgt := s.dispatch(acc[g.req.Group], g.req); tgt != nil {
 					tgt.host.shard.activate(tgt, g.at)
 				} else {
 					s.pending = append(s.pending, g.req)

@@ -164,7 +164,7 @@ func (s *Supervisor) retireAt(inst *Instance, t time.Time) {
 	h.applySharesAt(t)
 	inst.host = nil
 	inst.retired = true
-	s.record(TraceEvent{At: t, Kind: TraceRetire, Instance: inst.id, Host: h.index, State: -1})
+	s.record(TraceEvent{At: t, Kind: TraceRetire, Instance: inst.id, Host: h.index, State: -1, Group: inst.grp.name})
 }
 
 // serve is one service continuation for an instance: catch its lagging
@@ -196,10 +196,10 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 			if inst.selfFeed {
 				// Self-feed mints run on the event loop (or its shard),
 				// so (unlike quantum mode) they can be traced.
-				inst.queue = append(inst.queue, &Request{ID: -1, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: inst.clk.Now()})
+				inst.queue = append(inst.queue, &Request{ID: -1, Group: inst.grp.index, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: inst.clk.Now()})
 				inst.feedIdx++
 				inst.minted++
-				sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
+				sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1, Group: inst.grp.name})
 			} else {
 				if inst.draining {
 					// Retirement changes the host's demand and re-divides
@@ -231,7 +231,7 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 			return fmt.Errorf("fleet: request on instance %d completed without advancing virtual time (zero-cost stream?)", inst.id)
 		}
 		lat := inst.finishRequest()
-		sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat})
+		sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat, Group: inst.grp.name})
 	}
 	sink.activate(inst, inst.clk.Now())
 	return nil
@@ -243,19 +243,21 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 // (past-due ones clamp to the round start; due* returns them in
 // virtual-time order so the latest-scheduled change wins a tie), and
 // open-loop arrival instants — are handed to emit in the single-heap
-// push order (ticks, caps, places, arrivals; caps at the same instant
-// still sort ahead of the tick by kind, so a cap always lands before
-// the arbitration that must honor it). Offered load is delivered the
-// shared way: saturating generators top queues up at the boundary and
-// mark instances self-feeding, open-loop generators first re-offer the
-// undispatched backlog, then mint this round's arrivals. Finally every
-// instance holding (or self-feeding) work is woken via wake; instances
-// mid-beat from the previous round already hold a continuation and are
-// skipped by the scheduled flag. The returned accepting set is what
-// arrivals dispatch against until the first placement landing refreshes
-// it (a mid-round retirement only reaches draining instances, which
-// already left the set).
-func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*event), wake func(*Instance, time.Time)) (arrivals int, accepting []*Instance) {
+// push order (ticks, caps, places, then each group's arrivals in
+// declaration order; caps at the same instant still sort ahead of the
+// tick by kind, so a cap always lands before the arbitration that must
+// honor it). Offered load is delivered the shared way, one stream per
+// group: first the undispatched backlog is re-offered, each request
+// within its own group; then saturating generators top their group's
+// queues up at the boundary and mark the instances self-feeding, and
+// open-loop generators mint this round's arrival instants. Finally
+// every instance holding (or self-feeding) work is woken via wake;
+// instances mid-beat from the previous round already hold a
+// continuation and are skipped by the scheduled flag. The returned
+// per-group accepting sets are what arrivals dispatch against until
+// the first placement landing refreshes them (a mid-round retirement
+// only reaches draining instances, which already left the sets).
+func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*event), wake func(*Instance, time.Time)) (arrivals int, acc [][]*Instance) {
 	for t := start; t.Before(end); t = t.Add(s.cfg.ArbiterInterval) {
 		emit(&event{at: t, kind: evTick})
 	}
@@ -277,31 +279,64 @@ func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*ev
 	for _, inst := range s.insts {
 		inst.selfFeed = false
 	}
-	accepting = s.acceptingInstances()
-	if gen != nil {
-		s.ensureBaselines(gen.reqIters)
-		if depth, ok := gen.Saturating(); ok {
-			for _, inst := range accepting {
-				inst.selfFeed = true
-				inst.reqIters = gen.reqIters
-				for inst.QueueDepth() < depth {
-					inst.queue = append(inst.queue, gen.next(start))
+	acc = s.acceptingByGroup()
+	anyGen := false
+	for gi := range s.groups {
+		if s.groupGen(gi, gen) != nil {
+			anyGen = true
+		}
+	}
+	if anyGen {
+		// Backlog re-offers only for groups fed open-loop this round —
+		// a saturating group's queues are topped up to their depth, not
+		// stuffed with parked backlog (the Config shim's longstanding
+		// behavior). Placement landings still re-offer unconditionally.
+		open := make([]bool, len(s.groups))
+		for gi, g := range s.groups {
+			if ggen := s.groupGen(gi, gen); ggen != nil {
+				s.ensureBaselines(g, ggen.reqIters)
+				_, sat := ggen.Saturating()
+				open[gi] = !sat
+			}
+		}
+		var still []*Request
+		for _, req := range s.pending {
+			if !open[req.Group] {
+				still = append(still, req)
+				continue
+			}
+			s.ensureBaselines(s.groups[req.Group], req.Iters)
+			if tgt := s.dispatch(acc[req.Group], req); tgt == nil {
+				still = append(still, req)
+			}
+		}
+		s.pending = still
+		for gi, g := range s.groups {
+			ggen := s.groupGen(gi, gen)
+			if ggen == nil {
+				continue
+			}
+			if depth, ok := ggen.Saturating(); ok {
+				for _, inst := range acc[gi] {
+					inst.selfFeed = true
+					inst.reqIters = ggen.reqIters
+					for inst.QueueDepth() < depth {
+						req := ggen.next(start)
+						req.Group = gi
+						inst.queue = append(inst.queue, req)
+						arrivals++
+						g.roundArrivals++
+						s.record(TraceEvent{At: start, Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1, Group: g.name})
+					}
+				}
+			} else {
+				for _, at := range ggen.eventTimes(s.round, start, s.cfg.Quantum) {
+					req := ggen.next(at)
+					req.Group = gi
+					emit(&event{at: at, kind: evArrival, req: req})
 					arrivals++
-					s.record(TraceEvent{At: start, Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
+					g.roundArrivals++
 				}
-			}
-		} else {
-			var still []*Request
-			for _, req := range s.pending {
-				s.ensureBaselines(req.Iters)
-				if tgt := s.dispatch(accepting, req); tgt == nil {
-					still = append(still, req)
-				}
-			}
-			s.pending = still
-			for _, at := range gen.eventTimes(s.round, start, s.cfg.Quantum) {
-				emit(&event{at: at, kind: evArrival, req: gen.next(at)})
-				arrivals++
 			}
 		}
 	}
@@ -310,7 +345,7 @@ func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*ev
 			wake(inst, start)
 		}
 	}
-	return arrivals, accepting
+	return arrivals, acc
 }
 
 // stepEvent advances the fleet by one reporting quantum on the event
@@ -321,7 +356,7 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 	s.retireDone()
 	start := s.Now()
 	end := start.Add(s.cfg.Quantum)
-	arrivals, accepting := s.seedRound(gen, start, end, func(ev *event) { s.push(ev) }, s.activate)
+	arrivals, acc := s.seedRound(gen, start, end, func(ev *event) { s.push(ev) }, s.activate)
 
 	for len(s.eq) > 0 && s.eq[0].at.Before(end) {
 		ev := s.pop()
@@ -336,19 +371,12 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 			}
 			// Placement changed the fleet: re-divide the budget at the
 			// landing instant (before the next periodic tick), refresh
-			// the accepting set, and offer any undispatched backlog to
-			// it — a start landing mid-quantum serves from that instant.
+			// the per-group accepting sets, and offer any undispatched
+			// backlog to them — a start landing mid-quantum serves from
+			// that instant.
 			s.arbitrate(ev.at)
-			accepting = s.acceptingInstances()
-			var still []*Request
-			for _, req := range s.pending {
-				if tgt := s.dispatch(accepting, req); tgt != nil {
-					s.activate(tgt, ev.at)
-				} else {
-					still = append(still, req)
-				}
-			}
-			s.pending = still
+			acc = s.acceptingByGroup()
+			s.redispatchPending(acc, s.activate, ev.at)
 		case evTick:
 			s.arbitrate(ev.at)
 		case evRetire:
@@ -361,8 +389,8 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 				s.arbitrate(ev.at)
 			}
 		case evArrival:
-			s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
-			if tgt := s.dispatch(accepting, ev.req); tgt != nil {
+			s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1, Group: s.groups[ev.req.Group].name})
+			if tgt := s.dispatch(acc[ev.req.Group], ev.req); tgt != nil {
 				s.activate(tgt, ev.at)
 			} else {
 				s.pending = append(s.pending, ev.req)

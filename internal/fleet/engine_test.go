@@ -45,7 +45,7 @@ func TestEventFleetMatchesMD1(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	oracle, err := cluster.NewOracle(1, 1, sup.cfg.Profile, sup.cfg.Power, platform.Frequencies[0])
+	oracle, err := cluster.NewOracle(1, 1, sup.groups[0].profile, sup.cfg.Power, platform.Frequencies[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestQuantumCompatMatchesOracle(t *testing.T) {
 	if err := sup.Run(NewSaturatingLoad(2), rounds); err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := cluster.NewOracle(machines, cores, sup.cfg.Profile, sup.cfg.Power, platform.Frequencies[0])
+	oracle, err := cluster.NewOracle(machines, cores, sup.groups[0].profile, sup.cfg.Power, platform.Frequencies[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,12 +53,25 @@
 // for A/B comparison against the event timeline and as the concurrency
 // showcase; new work should use the default event timeline.
 //
-// Machine sharing follows the oracle's arithmetic: a machine with C
-// cores and I resident instances time-multiplexes each instance onto
-// C/I of a core when I > C (expressed through the platform layer as
-// co-located interference on the instance's single-core machine view),
-// so each instance must command knob speedup I/C to hold its target —
-// exactly the per-instance demand of the analytic model.
+// The fleet is composed from a Scenario of named WorkloadGroups
+// (NewScenario): heterogeneous applications — each group with its own
+// app factory, calibrated profile, heart-rate target, arrival stream,
+// SLO, and contention pressure — sharing the machines and one power
+// budget, with dispatch, reporting, and autoscaling scoped per group.
+// The original single-factory Config survives as a deprecated-but-
+// working one-group shim over that path (New).
+//
+// Machine sharing is a pluggable Interference model over each host's
+// per-group resident counts. The uniform-share reference follows the
+// oracle's arithmetic: a machine with C cores and I resident instances
+// time-multiplexes each instance onto C/I of a core when I > C
+// (expressed through the platform layer as co-located interference on
+// the instance's single-core machine view), so each instance must
+// command knob speedup I/C to hold its target — exactly the
+// per-instance demand of the analytic model. The contention-aware
+// default (PressureShare) additionally degrades effective frequency
+// from cross-group pressure, so heterogeneous co-residents contend for
+// shared resources instead of merely time-multiplexing.
 package fleet
 
 import (
@@ -92,7 +105,16 @@ const (
 	TimelineQuantum
 )
 
-// Config assembles a fleet.
+// Config assembles a single-group fleet: one app factory, one profile,
+// one target for every instance.
+//
+// Config is the one-group compatibility shim over the Scenario
+// construction surface and is kept deprecated-but-working: New wraps it
+// into a Scenario with a single group named "default" under the
+// uniform-share interference model, so existing callers behave exactly
+// as before. New code should compose a Scenario of named WorkloadGroups
+// (NewScenario), which adds per-group app factories, targets, arrival
+// streams, SLOs, and contention-aware co-residency.
 type Config struct {
 	// Machines is the simulated machine count (required, >= 1).
 	Machines int
@@ -168,11 +190,13 @@ type Config struct {
 
 // Host is one simulated machine of the fleet.
 type Host struct {
+	sup       *Supervisor
 	index     int
 	cores     int
 	state     int // DVFS state index assigned by the arbiter
 	residents []*Instance
 	energy    float64 // joules accumulated
+	counts    []int   // scratch per-group resident counts (interference input)
 
 	// Event-timeline power accounting: energy integrates over segments
 	// of constant DVFS state instead of whole quanta.
@@ -204,25 +228,51 @@ func (h *Host) Residents() []*Instance {
 // Energy returns the joules the host has consumed so far.
 func (h *Host) Energy() float64 { return h.energy }
 
-// share is the fraction of a core each resident receives.
-func (h *Host) share() float64 {
-	if len(h.residents) <= h.cores {
-		return 1
+// GroupResidents returns the host's resident count per workload group
+// (groups with no resident are omitted).
+func (h *Host) GroupResidents() map[string]int {
+	out := make(map[string]int)
+	for _, inst := range h.residents {
+		out[inst.grp.name]++
 	}
-	return float64(h.cores) / float64(len(h.residents))
+	return out
 }
 
-// applySharesAt pushes the host's frequency cap and multiplexing share
-// to every resident's machine view through the platform layer. The cap
-// is scheduled to land at virtual time at: residents whose clocks have
-// already reached at (every actively serving instance) see it at their
-// next beat, and a lagging idle instance's catch-up idle is split at
-// the landing time.
-func (h *Host) applySharesAt(at time.Time) {
-	interference := 1 - h.share()
+// groupCounts refreshes the host's scratch per-group resident counts —
+// the pressure vector the interference model sees.
+func (h *Host) groupCounts() []int {
+	if cap(h.counts) < len(h.sup.groups) {
+		h.counts = make([]int, len(h.sup.groups))
+	}
+	h.counts = h.counts[:len(h.sup.groups)]
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
 	for _, inst := range h.residents {
+		h.counts[inst.grp.index]++
+	}
+	return h.counts
+}
+
+// applySharesAt pushes the host's frequency cap and effective
+// co-residency share to every resident's machine view through the
+// platform layer. The share comes from the fleet's Interference model
+// over the host's per-group resident counts (for the uniform-share
+// reference model that is min(1, C/I), the oracle's arithmetic); the
+// view sees 1 − share as platform interference. The cap is scheduled
+// to land at virtual time at: residents whose clocks have already
+// reached at (every actively serving instance) see it at their next
+// beat, and a lagging idle instance's catch-up idle is split at the
+// landing time.
+func (h *Host) applySharesAt(at time.Time) {
+	counts := h.groupCounts()
+	for _, inst := range h.residents {
+		share := h.sup.itf.Share(h.cores, counts, inst.grp.index)
+		if share > 1 {
+			share = 1
+		}
 		_ = inst.view.SetStateAt(h.state, at)
-		inst.view.SetInterference(interference)
+		inst.view.SetInterference(1 - share)
 	}
 }
 
@@ -243,6 +293,7 @@ func (h *Host) removeResident(inst *Instance) {
 // supervisor does (the WaitGroup barrier orders the two).
 type Instance struct {
 	id      int
+	grp     *group
 	app     workload.App
 	rt      *core.Runtime
 	view    *platform.Machine
@@ -281,6 +332,14 @@ type Instance struct {
 
 // ID returns the instance's fleet-unique id.
 func (inst *Instance) ID() int { return inst.id }
+
+// Group returns the name of the workload group the instance belongs to
+// ("default" for fleets built from the single-group Config shim).
+func (inst *Instance) Group() string { return inst.grp.name }
+
+// GroupIndex returns the instance's group position in the scenario's
+// declaration order.
+func (inst *Instance) GroupIndex() int { return inst.grp.index }
 
 // HostIndex returns the index of the machine the instance runs on, or -1
 // after retirement.
@@ -373,7 +432,7 @@ func (inst *Instance) runRound(deadline time.Time) {
 					// feeds itself the next request in place (request
 					// streams much shorter than a quantum would
 					// otherwise leave it idle until the next boundary).
-					inst.queue = append(inst.queue, &Request{ID: -1, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: now})
+					inst.queue = append(inst.queue, &Request{ID: -1, Group: inst.grp.index, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: now})
 					inst.feedIdx++
 					inst.minted++
 					continue
@@ -479,16 +538,13 @@ func (s *Supervisor) dueCaps(cutoff time.Time) []capChange {
 // timeline the supervisor runs the single-threaded event loop, in
 // quantum mode it fans work out to instance goroutines each quantum.
 type Supervisor struct {
-	cfg         Config
-	arb         *Arbiter
-	hosts       []*Host
-	insts       []*Instance
-	pending     []*Request
-	target      heartbeats.Target
-	probe       workload.App
-	prodStreams []workload.Stream
-	baseOuts    []workload.Output // baseline outputs per production stream
-	baseSliced  map[int][]workload.Output
+	cfg     Scenario
+	groups  []*group
+	itf     Interference
+	arb     *Arbiter
+	hosts   []*Host
+	insts   []*Instance
+	pending []*Request
 
 	round     int
 	nextInst  int
@@ -506,122 +562,100 @@ type Supervisor struct {
 	places []placeChange
 	trace  []TraceEvent
 
-	// Autoscaling state (Autoscale).
-	scaler      Autoscaler
-	scaleDelay  time.Duration
-	scaleMoves  int // placement actions the autoscaler has issued
-	lastDesired int // the autoscaler's most recent desired count
+	// Autoscaling state, one optional policy per group (Autoscale,
+	// AutoscaleGroup).
+	scalers     []scalerEntry
+	scaleMoves  int   // placement actions autoscalers have issued, fleet-wide
+	lastDesired []int // each group's most recent desired count
 
 	// splitRng realizes the uniform pick of SplitDispatch; a fixed seed
 	// keeps runs bit-identical.
 	splitRng *rand.Rand
 }
 
-// New builds a fleet supervisor with empty machines; add instances with
-// StartInstance.
+// newSplitRng seeds the SplitDispatch RNG; the fixed seed keeps runs
+// bit-identical.
+func newSplitRng() *rand.Rand { return rand.New(rand.NewSource(314159)) }
+
+// epochTime is the fleet's virtual epoch.
+func epochTime() time.Time { return time.Unix(0, 0) }
+
+// defaultWorkers is the event engine's default shard pool size.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// New builds a fleet supervisor from the single-group Config shim, with
+// empty machines; add instances with StartInstance. New code should
+// compose a Scenario of named workload groups instead (NewScenario) —
+// this path wraps cfg into a one-group scenario (group "default",
+// uniform-share interference) and behaves exactly as it always did.
 func New(cfg Config) (*Supervisor, error) {
-	if cfg.Machines < 1 {
-		return nil, fmt.Errorf("fleet: Machines %d < 1", cfg.Machines)
-	}
-	if cfg.NewApp == nil || cfg.Profile == nil {
+	if cfg.Machines >= 1 && (cfg.NewApp == nil || cfg.Profile == nil) {
 		return nil, fmt.Errorf("fleet: Config requires NewApp and Profile")
 	}
-	if cfg.CoresPerMachine == 0 {
-		cfg.CoresPerMachine = 8
-	}
-	if cfg.CoresPerMachine < 1 {
-		return nil, fmt.Errorf("fleet: CoresPerMachine %d < 1", cfg.CoresPerMachine)
-	}
-	if cfg.Power == (platform.PowerModel{}) {
-		cfg.Power = platform.DefaultPowerModel()
-	}
-	if cfg.Quantum <= 0 {
-		cfg.Quantum = time.Second
-	}
-	if cfg.ArbiterInterval <= 0 || cfg.ArbiterInterval > cfg.Quantum {
-		cfg.ArbiterInterval = cfg.Quantum
-	}
-	if cfg.MigrationDowntime == 0 {
-		cfg.MigrationDowntime = 100 * time.Millisecond
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	s := &Supervisor{
-		cfg:        cfg,
-		arb:        NewArbiter(cfg.Power, cfg.Budget),
-		baseSliced: make(map[int][]workload.Output),
-		splitRng:   rand.New(rand.NewSource(314159)),
-	}
-	epoch := time.Unix(0, 0)
-	for i := 0; i < cfg.Machines; i++ {
-		h := &Host{index: i, cores: cfg.CoresPerMachine, segStart: epoch}
-		if cfg.Timeline == TimelineEvent && cfg.Workers > 1 {
-			h.shard = &shard{sup: s, host: h}
-		}
-		s.hosts = append(s.hosts, h)
-	}
-	probe, err := cfg.NewApp()
-	if err != nil {
-		return nil, err
-	}
-	s.probe = probe
-	s.target = cfg.Target
-	if !s.target.Valid() {
-		costPerBeat, err := core.BaselineCostPerBeat(probe, workload.Training)
-		if err != nil {
-			return nil, err
-		}
-		b := platform.Frequencies[0] * platform.SpeedPerGHz / costPerBeat
-		s.target = heartbeats.Target{Min: b, Max: b}
-	}
-	// Baseline outputs of the production streams, shared by every
-	// instance (app copies are deterministic, so stream contents match):
-	// the reference realized request QoS is measured against.
-	s.prodStreams = probe.Streams(workload.Production)
-	if len(s.prodStreams) == 0 {
-		return nil, fmt.Errorf("fleet: %s has no production streams", probe.Name())
-	}
-	for _, st := range s.prodStreams {
-		_, out := workload.MeasureStream(probe, st, cfg.Profile.Baseline)
-		s.baseOuts = append(s.baseOuts, out)
-	}
-	return s, nil
+	return NewScenario(Scenario{
+		Machines:        cfg.Machines,
+		CoresPerMachine: cfg.CoresPerMachine,
+		Groups: []WorkloadGroup{{
+			Name:    "default",
+			NewApp:  cfg.NewApp,
+			Profile: cfg.Profile,
+			Target:  cfg.Target,
+			Policy:  cfg.Policy,
+		}},
+		Interference:      UniformShare{},
+		Power:             cfg.Power,
+		Budget:            cfg.Budget,
+		Quantum:           cfg.Quantum,
+		QuantumBeats:      cfg.QuantumBeats,
+		MigrationDowntime: cfg.MigrationDowntime,
+		Timeline:          cfg.Timeline,
+		Workers:           cfg.Workers,
+		ArbiterInterval:   cfg.ArbiterInterval,
+		ControlDisabled:   cfg.ControlDisabled,
+		SplitDispatch:     cfg.SplitDispatch,
+		RecordTrace:       cfg.RecordTrace,
+	})
 }
 
 // ensureBaselines computes (once) the baseline-setting outputs of
 // per-iteration work items covering the first iters iterations of each
-// production stream. It runs in supervisor context before instances can
-// look the entries up, so the shared map is read-only during a round.
-func (s *Supervisor) ensureBaselines(iters int) {
+// of the group's production streams. It runs in supervisor context
+// before instances can look the entries up, so the shared map is
+// read-only during a round.
+func (s *Supervisor) ensureBaselines(g *group, iters int) {
 	if iters <= 0 {
 		return
 	}
-	if _, ok := s.baseSliced[iters]; ok {
+	if _, ok := g.baseSliced[iters]; ok {
 		return
 	}
-	outs := make([]workload.Output, len(s.prodStreams))
-	for i, st := range s.prodStreams {
+	outs := make([]workload.Output, len(g.prodStreams))
+	for i, st := range g.prodStreams {
 		if iters < st.Len() {
-			_, out := workload.MeasureStream(s.probe, limitStream{Stream: st, n: iters}, s.cfg.Profile.Baseline)
+			_, out := workload.MeasureStream(g.probe, limitStream{Stream: st, n: iters}, g.profile.Baseline)
 			outs[i] = out
 		} else {
-			outs[i] = s.baseOuts[i]
+			outs[i] = g.baseOuts[i]
 		}
 	}
-	s.baseSliced[iters] = outs
+	g.baseSliced[iters] = outs
 }
 
 // Now returns the fleet's virtual time (the current quantum boundary).
 func (s *Supervisor) Now() time.Time {
-	return time.Unix(0, 0).Add(time.Duration(s.round) * s.cfg.Quantum)
+	return epochTime().Add(time.Duration(s.round) * s.cfg.Quantum)
 }
 
 // Round returns the number of completed quanta.
 func (s *Supervisor) Round() int { return s.round }
 
-// Target returns the per-instance heart-rate goal.
-func (s *Supervisor) Target() heartbeats.Target { return s.target }
+// Target returns the per-instance heart-rate goal of the first workload
+// group (the whole fleet's goal under the single-group Config shim).
+func (s *Supervisor) Target() heartbeats.Target { return s.groups[0].target }
+
+// TargetOf returns the per-instance heart-rate goal of the given group
+// (an index into the scenario's declaration order).
+func (s *Supervisor) TargetOf(group int) heartbeats.Target { return s.groups[group].target }
 
 // Hosts returns the fleet's machines.
 func (s *Supervisor) Hosts() []*Host {
@@ -666,11 +700,11 @@ func (s *Supervisor) SetBudgetAt(at time.Time, watts float64) {
 // Budget returns the current cluster-wide cap.
 func (s *Supervisor) Budget() float64 { return s.arb.Budget() }
 
-// newInstance builds an unplaced instance whose virtual clock starts at
-// the given instant. The caller places it (landStart) or schedules its
-// placement (StartAt).
-func (s *Supervisor) newInstance(at time.Time) (*Instance, error) {
-	app, err := s.cfg.NewApp()
+// newInstance builds an unplaced instance of the given group whose
+// virtual clock starts at the given instant. The caller places it
+// (landStart) or schedules its placement (StartAt).
+func (s *Supervisor) newInstance(g *group, at time.Time) (*Instance, error) {
+	app, err := g.newApp()
 	if err != nil {
 		return nil, err
 	}
@@ -679,12 +713,12 @@ func (s *Supervisor) newInstance(at time.Time) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &core.System{App: app, Profile: s.cfg.Profile}
+	sys := &core.System{App: app, Profile: g.profile}
 	rt, err := core.NewRuntime(core.RuntimeConfig{
 		System:       sys,
 		Machine:      view,
-		Target:       s.target,
-		Policy:       s.cfg.Policy,
+		Target:       g.target,
+		Policy:       g.policy,
 		QuantumBeats: s.cfg.QuantumBeats,
 		Disabled:     s.cfg.ControlDisabled,
 	})
@@ -697,13 +731,14 @@ func (s *Supervisor) newInstance(at time.Time) (*Instance, error) {
 	}
 	inst := &Instance{
 		id:         s.nextInst,
+		grp:        g,
 		app:        app,
 		rt:         rt,
 		view:       view,
 		clk:        clk,
 		streams:    streams,
-		baseOuts:   s.baseOuts,
-		baseSliced: s.baseSliced,
+		baseOuts:   g.baseOuts,
+		baseSliced: g.baseSliced,
 		pending:    true,
 	}
 	s.nextInst++
@@ -742,17 +777,28 @@ func (s *Supervisor) landStart(inst *Instance, host int, at time.Time) {
 	inst.pending = false
 	inst.accepting = true
 	s.hosts[host].residents = append(s.hosts[host].residents, inst)
-	s.record(TraceEvent{At: at, Kind: TraceStart, Instance: inst.id, Host: host, State: -1})
+	s.record(TraceEvent{At: at, Kind: TraceStart, Instance: inst.id, Host: host, State: -1, Group: inst.grp.name})
 }
 
-// StartInstance creates a controlled application instance on the given
-// machine (host < 0 places it on the machine with the fewest residents).
-// The instance begins serving at the next quantum.
+// StartInstance creates a controlled application instance of the first
+// workload group on the given machine (host < 0 places it on the
+// machine with the fewest residents). The instance begins serving at
+// the next quantum.
 func (s *Supervisor) StartInstance(host int) (*Instance, error) {
+	return s.StartInstanceIn(0, host)
+}
+
+// StartInstanceIn creates an instance of the given workload group (an
+// index into the scenario's declaration order) on the given machine
+// (host < 0 = fewest residents).
+func (s *Supervisor) StartInstanceIn(group, host int) (*Instance, error) {
+	if group < 0 || group >= len(s.groups) {
+		return nil, fmt.Errorf("fleet: group %d out of range [0,%d]", group, len(s.groups)-1)
+	}
 	if host >= len(s.hosts) {
 		return nil, fmt.Errorf("fleet: host %d out of range [0,%d]", host, len(s.hosts)-1)
 	}
-	inst, err := s.newInstance(s.Now())
+	inst, err := s.newInstance(s.groups[group], s.Now())
 	if err != nil {
 		return nil, err
 	}
@@ -770,12 +816,23 @@ func (s *Supervisor) StartInstance(host int) (*Instance, error) {
 // instance begins self-feeding at the next round seed. The returned
 // instance is constructed eagerly (so the call reports errors
 // synchronously and determinism is preserved) but stays unplaced, off
-// every machine, until the event lands.
+// every machine, until the event lands. The instance belongs to the
+// first workload group; StartAtIn selects another.
 func (s *Supervisor) StartAt(at time.Time, host int) (*Instance, error) {
+	return s.StartAtIn(at, 0, host)
+}
+
+// StartAtIn schedules a new instance of the given workload group (an
+// index into the scenario's declaration order) to join the given
+// machine at virtual time at, with StartAt's landing semantics.
+func (s *Supervisor) StartAtIn(at time.Time, group, host int) (*Instance, error) {
+	if group < 0 || group >= len(s.groups) {
+		return nil, fmt.Errorf("fleet: group %d out of range [0,%d]", group, len(s.groups)-1)
+	}
 	if host >= len(s.hosts) {
 		return nil, fmt.Errorf("fleet: host %d out of range [0,%d]", host, len(s.hosts)-1)
 	}
-	inst, err := s.newInstance(at)
+	inst, err := s.newInstance(s.groups[group], at)
 	if err != nil {
 		return nil, err
 	}
@@ -887,7 +944,7 @@ func (s *Supervisor) landPlace(at time.Time, p placeChange) bool {
 		}
 		inst.accepting = false
 		inst.draining = true
-		s.record(TraceEvent{At: at, Kind: TraceDrain, Instance: inst.id, Host: inst.HostIndex(), State: -1})
+		s.record(TraceEvent{At: at, Kind: TraceDrain, Instance: inst.id, Host: inst.HostIndex(), State: -1, Group: inst.grp.name})
 		if s.eventMode() && inst.sess == nil && len(inst.queue) == 0 {
 			// Already idle: the retirement lands at the same instant.
 			s.retireAt(inst, at)
@@ -917,7 +974,7 @@ func (s *Supervisor) landPlace(at time.Time, p placeChange) bool {
 		inst.host = to
 		to.residents = append(to.residents, inst)
 		inst.pausedUntil = at.Add(s.cfg.MigrationDowntime)
-		s.record(TraceEvent{At: at, Kind: TraceMigrate, Instance: inst.id, Host: p.host, State: -1})
+		s.record(TraceEvent{At: at, Kind: TraceMigrate, Instance: inst.id, Host: p.host, State: -1, Group: inst.grp.name})
 		return true
 	}
 	return false
@@ -957,7 +1014,7 @@ func (s *Supervisor) retireStopped(inst *Instance, at time.Time, creditInstance 
 	}
 	inst.pending = false
 	inst.retired = true
-	s.record(TraceEvent{At: at, Kind: TraceRetire, Instance: inst.id, Host: hostIdx, State: -1})
+	s.record(TraceEvent{At: at, Kind: TraceRetire, Instance: inst.id, Host: hostIdx, State: -1, Group: inst.grp.name})
 }
 
 // eventMode reports whether the event timeline drives the fleet.
@@ -986,12 +1043,13 @@ func (s *Supervisor) retireDone() {
 			}
 			inst.pending = false
 			inst.retired = true
-			s.record(TraceEvent{At: s.Now(), Kind: TraceRetire, Instance: inst.id, Host: host, State: -1})
+			s.record(TraceEvent{At: s.Now(), Kind: TraceRetire, Instance: inst.id, Host: host, State: -1, Group: inst.grp.name})
 		}
 	}
 }
 
-// accepting returns the instances eligible for new requests, by id.
+// accepting returns the instances eligible for new requests, by id,
+// across every group.
 func (s *Supervisor) acceptingInstances() []*Instance {
 	var out []*Instance
 	for _, inst := range s.insts {
@@ -1000,6 +1058,50 @@ func (s *Supervisor) acceptingInstances() []*Instance {
 		}
 	}
 	return out
+}
+
+// acceptingOf returns the given group's instances eligible for new
+// requests, by id — the dispatch domain of that group's arrivals.
+func (s *Supervisor) acceptingOf(group int) []*Instance {
+	var out []*Instance
+	for _, inst := range s.insts {
+		if !inst.retired && inst.accepting && inst.grp.index == group {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// acceptingByGroup returns every group's accepting set, indexed by
+// group — recomputed whenever a placement landing can change
+// eligibility.
+func (s *Supervisor) acceptingByGroup() [][]*Instance {
+	out := make([][]*Instance, len(s.groups))
+	for _, inst := range s.insts {
+		if !inst.retired && inst.accepting {
+			gi := inst.grp.index
+			out[gi] = append(out[gi], inst)
+		}
+	}
+	return out
+}
+
+// redispatchPending re-offers the undispatched backlog to the current
+// accepting sets, each request within its own group, invoking wake for
+// each successful dispatch. Shared by both event engines' placement
+// landings and the round seed.
+func (s *Supervisor) redispatchPending(acc [][]*Instance, wake func(*Instance, time.Time), at time.Time) {
+	var still []*Request
+	for _, req := range s.pending {
+		if tgt := s.dispatch(acc[req.Group], req); tgt != nil {
+			if wake != nil {
+				wake(tgt, at)
+			}
+		} else {
+			still = append(still, req)
+		}
+	}
+	s.pending = still
 }
 
 // dispatch assigns a request to an accepting instance — the shallowest
@@ -1087,12 +1189,23 @@ func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
 	if err != nil {
 		return rs, err
 	}
-	if s.scaler != nil {
+	if s.anyScaler() {
 		if err := s.applyAutoscale(rs); err != nil {
 			return rs, err
 		}
 	}
 	return rs, nil
+}
+
+// groupGen resolves the generator feeding the given group this round:
+// a non-nil Step argument overrides the first group's configured
+// stream (the single-group compatibility path); every other group is
+// fed by its own WorkloadGroup.Load.
+func (s *Supervisor) groupGen(gi int, gen *LoadGen) *LoadGen {
+	if gi == 0 && gen != nil {
+		return gen
+	}
+	return s.groups[gi].gen
 }
 
 // stepQuantum is the legacy bulk-synchronous round: arbitration, load
@@ -1120,39 +1233,70 @@ func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
 	//    caps and push them (plus multiplexing shares) to every resident.
 	s.arbitrate(now)
 
-	// 2. Deliver this quantum's offered load.
+	// 2. Deliver this quantum's offered load, each group its own
+	//    stream, dispatched within the group.
 	arrivals := 0
 	for _, inst := range s.insts {
 		inst.selfFeed = false
 	}
-	if gen != nil {
-		s.ensureBaselines(gen.reqIters)
-		accepting := s.acceptingInstances()
-		if depth, ok := gen.Saturating(); ok {
-			for _, inst := range accepting {
-				inst.selfFeed = true
-				inst.reqIters = gen.reqIters
-				for inst.QueueDepth() < depth {
-					inst.queue = append(inst.queue, gen.next(now))
+	anyGen := false
+	for gi := range s.groups {
+		if s.groupGen(gi, gen) != nil {
+			anyGen = true
+		}
+	}
+	if anyGen {
+		acc := s.acceptingByGroup()
+		// Backlog re-offers only for groups fed open-loop this round
+		// (the same policy as seedRound, shared shim behavior).
+		open := make([]bool, len(s.groups))
+		for gi, g := range s.groups {
+			if ggen := s.groupGen(gi, gen); ggen != nil {
+				s.ensureBaselines(g, ggen.reqIters)
+				_, sat := ggen.Saturating()
+				open[gi] = !sat
+			}
+		}
+		var still []*Request
+		for _, req := range s.pending {
+			if !open[req.Group] {
+				still = append(still, req)
+				continue
+			}
+			s.ensureBaselines(s.groups[req.Group], req.Iters)
+			if s.dispatch(acc[req.Group], req) == nil {
+				still = append(still, req)
+			}
+		}
+		s.pending = still
+		for gi, g := range s.groups {
+			ggen := s.groupGen(gi, gen)
+			if ggen == nil {
+				continue
+			}
+			if depth, ok := ggen.Saturating(); ok {
+				for _, inst := range acc[gi] {
+					inst.selfFeed = true
+					inst.reqIters = ggen.reqIters
+					for inst.QueueDepth() < depth {
+						req := ggen.next(now)
+						req.Group = gi
+						inst.queue = append(inst.queue, req)
+						arrivals++
+						g.roundArrivals++
+						s.record(TraceEvent{At: now, Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1, Group: g.name})
+					}
+				}
+			} else {
+				for i := ggen.Arrivals(s.round); i > 0; i-- {
+					req := ggen.next(now)
+					req.Group = gi
 					arrivals++
-					s.record(TraceEvent{At: now, Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1})
-				}
-			}
-		} else {
-			var still []*Request
-			for _, req := range s.pending {
-				s.ensureBaselines(req.Iters)
-				if s.dispatch(accepting, req) == nil {
-					still = append(still, req)
-				}
-			}
-			s.pending = still
-			for i := gen.Arrivals(s.round); i > 0; i-- {
-				req := gen.next(now)
-				arrivals++
-				s.record(TraceEvent{At: now, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
-				if s.dispatch(accepting, req) == nil {
-					s.pending = append(s.pending, req)
+					g.roundArrivals++
+					s.record(TraceEvent{At: now, Kind: TraceArrival, Instance: -1, Host: -1, State: -1, Group: g.name})
+					if s.dispatch(acc[gi], req) == nil {
+						s.pending = append(s.pending, req)
+					}
 				}
 			}
 		}
@@ -1186,7 +1330,7 @@ func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
 	if s.cfg.RecordTrace {
 		for _, inst := range active {
 			for _, lat := range inst.latencies {
-				s.record(TraceEvent{At: deadline, Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat})
+				s.record(TraceEvent{At: deadline, Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat, Group: inst.grp.name})
 			}
 		}
 	}

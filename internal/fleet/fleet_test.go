@@ -95,7 +95,7 @@ func TestFleetMatchesOracleOverloaded(t *testing.T) {
 	}
 
 	// (2) Fleet aggregates agree with the closed-form oracle.
-	oracle, err := cluster.NewOracle(machines, cores, sup.cfg.Profile, sup.cfg.Power, platform.Frequencies[0])
+	oracle, err := cluster.NewOracle(machines, cores, sup.groups[0].profile, sup.cfg.Power, platform.Frequencies[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestFleetMatchesOracleUnderloaded(t *testing.T) {
 	if err := sup.Run(NewSaturatingLoad(2), rounds); err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := cluster.NewOracle(machines, cores, sup.cfg.Profile, sup.cfg.Power, platform.Frequencies[0])
+	oracle, err := cluster.NewOracle(machines, cores, sup.groups[0].profile, sup.cfg.Power, platform.Frequencies[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,11 @@ import (
 // queueing delay at beat granularity.
 type Request struct {
 	ID int
+	// Group is the index of the workload group the request belongs to:
+	// requests dispatch only within their group (0 for fleets built
+	// from the single-group Config shim). The supervisor stamps it when
+	// the request enters the fleet.
+	Group int
 	// StreamIdx selects which production stream of the serving instance's
 	// application realizes the request (cycled modulo the stream count).
 	StreamIdx int

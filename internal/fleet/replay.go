@@ -81,6 +81,21 @@ type ReplayPoint struct {
 	Scaled      bool
 	Blackout    bool
 	SLOViolated bool
+	// Groups attributes the quantum to workload groups, in scenario
+	// declaration order (one entry mirroring the totals for a
+	// single-group fleet). WriteReplayCSV appends per-group columns
+	// when the scenario has more than one group.
+	Groups []GroupReplayPoint
+}
+
+// GroupReplayPoint is one workload group's slice of a replay quantum.
+type GroupReplayPoint struct {
+	Group       string
+	Accepting   int
+	Arrivals    int
+	Completions int
+	P95         float64
+	QueueDepth  int
 }
 
 // ReplayResult is a finished replay.
@@ -173,6 +188,16 @@ func Replay(sup *Supervisor, cfg ReplayConfig) (*ReplayResult, error) {
 			QueueDepth:  rs.QueueDepth,
 			Scaled:      sup.ScaleMoves() > moves,
 		}
+		for _, gs := range rs.Groups {
+			pt.Groups = append(pt.Groups, GroupReplayPoint{
+				Group:       gs.Group,
+				Accepting:   gs.Accepting,
+				Arrivals:    gs.Arrivals,
+				Completions: gs.Completions,
+				P95:         gs.LatencyP95,
+				QueueDepth:  gs.QueueDepth,
+			})
+		}
 		starveDepth := slo.QueuePerInstance * float64(max(pt.Accepting, 1))
 		pt.SLOViolated = rs.LatencyP95 > slo.P95 ||
 			(rs.Completions == 0 && float64(rs.QueueDepth) > starveDepth)
@@ -244,11 +269,28 @@ func Replay(sup *Supervisor, cfg ReplayConfig) (*ReplayResult, error) {
 //	scaled       — 1 when the autoscaler acted at this quantum's close
 //	blackout     — 1 inside a settle window following an action
 //	slo_violated — 1 when p95_s exceeded the SLO
+//
+// For a heterogeneous scenario (more than one workload group) five
+// per-group columns are appended for each group, in declaration order:
+// g_<name>_accepting, g_<name>_arrivals, g_<name>_completions,
+// g_<name>_p95_s, g_<name>_queue. A single-group replay keeps the
+// original fifteen-column schema byte for byte.
 func WriteReplayCSV(w io.Writer, points []ReplayPoint) error {
 	cw := csv.NewWriter(w)
 	header := []string{"round", "t_seconds", "rate", "arrivals", "completions",
 		"instances", "accepting", "desired", "budget_w", "power_w", "p95_s",
 		"queue", "scaled", "blackout", "slo_violated"}
+	groupCols := len(points) > 0 && len(points[0].Groups) > 1
+	if groupCols {
+		for _, g := range points[0].Groups {
+			header = append(header,
+				"g_"+g.Group+"_accepting",
+				"g_"+g.Group+"_arrivals",
+				"g_"+g.Group+"_completions",
+				"g_"+g.Group+"_p95_s",
+				"g_"+g.Group+"_queue")
+		}
+	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -275,6 +317,16 @@ func WriteReplayCSV(w io.Writer, points []ReplayPoint) error {
 			b(pt.Scaled),
 			b(pt.Blackout),
 			b(pt.SLOViolated),
+		}
+		if groupCols {
+			for _, g := range pt.Groups {
+				rec = append(rec,
+					strconv.Itoa(g.Accepting),
+					strconv.Itoa(g.Arrivals),
+					strconv.Itoa(g.Completions),
+					strconv.FormatFloat(g.P95, 'f', 6, 64),
+					strconv.Itoa(g.QueueDepth))
+			}
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

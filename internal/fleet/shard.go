@@ -182,7 +182,7 @@ func (sh *shard) handle(ev *event) {
 		// drew the target at the window start; the request joins its
 		// queue at the arrival instant, exactly like the single-heap
 		// engine's dispatch at that event.
-		sh.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1})
+		sh.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1, Group: sh.sup.groups[ev.req.Group].name})
 		ev.inst.queue = append(ev.inst.queue, ev.req)
 		sh.activate(ev.inst, ev.at)
 	default:

@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"reflect"
-	"sort"
 	"testing"
 	"time"
 
@@ -31,24 +30,9 @@ type instState struct {
 	Completed int
 }
 
-func traceSortKey(a, b TraceEvent) bool {
-	if !a.At.Equal(b.At) {
-		return a.At.Before(b.At)
-	}
-	if a.Kind != b.Kind {
-		return a.Kind < b.Kind
-	}
-	if a.Instance != b.Instance {
-		return a.Instance < b.Instance
-	}
-	if a.Host != b.Host {
-		return a.Host < b.Host
-	}
-	if a.State != b.State {
-		return a.State < b.State
-	}
-	return a.Value < b.Value
-}
+// Traces are canonicalized with the exported SortTrace — the same
+// ordering WriteTraceCSV applies, so what the tests compare is exactly
+// what users diff.
 
 // runDiffScenario drives one seeded scenario at the given worker count
 // and snapshots its observable state. The scenario covers every
@@ -105,7 +89,7 @@ func runDiffScenario(t *testing.T, machines, instances, workers int, split bool,
 	for _, inst := range sup.Instances() {
 		res.insts = append(res.insts, instState{Host: inst.HostIndex(), Retired: inst.Retired(), Completed: len(inst.allLats)})
 	}
-	sort.SliceStable(res.trace, func(i, j int) bool { return traceSortKey(res.trace[i], res.trace[j]) })
+	SortTrace(res.trace)
 	return res
 }
 
@@ -204,7 +188,7 @@ func TestShardedEngineBitIdenticalSaturated(t *testing.T) {
 			res.energy = append(res.energy, h.Energy())
 			res.states = append(res.states, h.State())
 		}
-		sort.SliceStable(res.trace, func(i, j int) bool { return traceSortKey(res.trace[i], res.trace[j]) })
+		SortTrace(res.trace)
 		return res
 	}
 	assertDiffEqual(t, "spike-subquantum-ticks", run(1), run(4), 1, 4)

@@ -12,6 +12,35 @@ type HostStats struct {
 	Residents  int
 }
 
+// GroupRoundStats is one workload group's slice of a reporting quantum
+// — the per-group attribution of RoundStats, in scenario declaration
+// order (a single-group fleet reports one entry mirroring the totals).
+type GroupRoundStats struct {
+	// Group is the workload group's name.
+	Group string
+	// Accepting counts the group's instances accepting new work at the
+	// quantum end.
+	Accepting int
+	// Arrivals and Completions are the group's request counts this
+	// quantum.
+	Arrivals    int
+	Completions int
+	// QueueDepth is the group's queued + in-flight + undispatched
+	// requests at the quantum end.
+	QueueDepth int
+	// MeanNormPerf is the mean normalized performance over the group's
+	// measuring instances.
+	MeanNormPerf float64
+	// RequestLoss is the mean realized QoS loss of the group's requests
+	// completed this quantum.
+	RequestLoss float64
+	// LatencyP50/P95/P99 are the group's request-latency percentiles in
+	// seconds this quantum (0 when none completed).
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+}
+
 // RoundStats reports one control quantum of the fleet.
 type RoundStats struct {
 	Round        int
@@ -35,15 +64,35 @@ type RoundStats struct {
 	LatencyP50 float64
 	LatencyP95 float64
 	LatencyP99 float64
+	// Groups attributes the quantum to workload groups, in scenario
+	// declaration order.
+	Groups []GroupRoundStats
 }
 
 // InstanceLatency is one instance's request-latency summary over a run.
 type InstanceLatency struct {
-	ID          int
+	ID int
+	// Group is the instance's workload group name.
+	Group       string
 	Completions int
 	P50         float64 // seconds
 	P95         float64 // seconds
 	P99         float64 // seconds
+}
+
+// GroupReport is one workload group's summary over a fleet run.
+type GroupReport struct {
+	// Group is the workload group's name.
+	Group       string
+	Completions int
+	Aborted     int
+	MeanLatency float64 // seconds
+	P50Latency  float64 // seconds
+	P95Latency  float64 // seconds
+	P99Latency  float64 // seconds
+	// MeanRequestLoss is the group's realized QoS loss averaged over
+	// its completed requests.
+	MeanRequestLoss float64
 }
 
 // Report summarizes a fleet run.
@@ -60,6 +109,9 @@ type Report struct {
 	// PerInstance summarizes request latency per instance (every
 	// instance ever started, in id order).
 	PerInstance []InstanceLatency
+	// PerGroup summarizes each workload group, in scenario declaration
+	// order (one entry mirroring the totals for a single-group fleet).
+	PerGroup []GroupReport
 	// MeanRequestLoss is the realized QoS loss averaged over every
 	// completed request.
 	MeanRequestLoss float64
@@ -83,42 +135,104 @@ func percentile(sorted []float64, p int) float64 {
 }
 
 // drainRoundCounters moves the per-round instance counters (requests,
-// losses, latencies, beats) into the round's stats and the run totals.
-// Both timelines share it, so quantum-mode and event-mode rounds report
-// through the same bookkeeping.
+// losses, latencies, beats) into the round's stats — totals and the
+// per-group attribution — and the run totals. Both timelines share it,
+// so quantum-mode and event-mode rounds report through the same
+// bookkeeping.
 func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
+	type agg struct {
+		arrivals, completions, queue, perfN, accepting int
+		perfSum, planLossSum, reqLossSum               float64
+		lats                                           []float64
+	}
+	aggs := make([]agg, len(s.groups))
+	// Open-loop and boundary arrivals were counted per group as they
+	// were minted; self-feed mints drain from the instances below.
+	for gi, g := range s.groups {
+		aggs[gi].arrivals = g.roundArrivals
+		g.roundArrivals = 0
+	}
 	for _, inst := range s.insts {
 		rs.Arrivals += inst.minted
+		aggs[inst.grp.index].arrivals += inst.minted
 		inst.minted = 0
 	}
-	var perfSum, planLossSum, reqLossSum float64
-	var perfN int
 	var roundLats []float64
 	for _, inst := range s.insts {
 		// Beat deltas count for retired instances too: an instance
 		// retiring mid-round (event timeline) still served beats this
 		// round. Performance and queue depth only aggregate over the
 		// instances still placed.
+		a := &aggs[inst.grp.index]
+		g := inst.grp
 		snap := inst.rt.Snapshot()
 		rs.Beats += snap.Beats - inst.prevBeats
 		inst.prevBeats = snap.Beats
 		if !inst.retired {
-			rs.QueueDepth += inst.QueueDepth()
+			if inst.accepting {
+				a.accepting++
+			}
+			depth := inst.QueueDepth()
+			rs.QueueDepth += depth
+			a.queue += depth
 			if snap.NormPerf > 0 {
-				perfSum += snap.NormPerf
-				planLossSum += snap.PlanLoss
-				perfN++
+				a.perfSum += snap.NormPerf
+				a.planLossSum += snap.PlanLoss
+				a.perfN++
 			}
 		}
 		rs.Completions += inst.completed
-		reqLossSum += inst.lossSum
+		a.completions += inst.completed
+		a.reqLossSum += inst.lossSum
 		s.completed += inst.completed
 		s.aborted += inst.aborted
 		s.lossSum += inst.lossSum
 		s.lossN += inst.completed
+		g.completed += inst.completed
+		g.aborted += inst.aborted
+		g.lossSum += inst.lossSum
+		g.lossN += inst.completed
 		inst.completed, inst.aborted, inst.lossSum = 0, 0, 0
+		a.lats = append(a.lats, inst.latencies...)
 		roundLats = append(roundLats, inst.latencies...)
 		inst.latencies = nil
+	}
+	// Backlog no instance accepts yet still counts as queued work, for
+	// the fleet and for the group it belongs to.
+	for _, req := range s.pending {
+		aggs[req.Group].queue++
+	}
+	rs.QueueDepth += len(s.pending)
+
+	var perfSum, planLossSum, reqLossSum float64
+	var perfN int
+	rs.Groups = make([]GroupRoundStats, len(s.groups))
+	for gi, g := range s.groups {
+		a := &aggs[gi]
+		perfSum += a.perfSum
+		planLossSum += a.planLossSum
+		perfN += a.perfN
+		reqLossSum += a.reqLossSum
+		gs := GroupRoundStats{
+			Group:       g.name,
+			Accepting:   a.accepting,
+			Arrivals:    a.arrivals,
+			Completions: a.completions,
+			QueueDepth:  a.queue,
+		}
+		if a.perfN > 0 {
+			gs.MeanNormPerf = a.perfSum / float64(a.perfN)
+		}
+		if a.completions > 0 {
+			gs.RequestLoss = a.reqLossSum / float64(a.completions)
+		}
+		if len(a.lats) > 0 {
+			sort.Float64s(a.lats)
+			gs.LatencyP50 = percentile(a.lats, 50)
+			gs.LatencyP95 = percentile(a.lats, 95)
+			gs.LatencyP99 = percentile(a.lats, 99)
+		}
+		rs.Groups[gi] = gs
 	}
 	if perfN > 0 {
 		rs.MeanNormPerf = perfSum / float64(perfN)
@@ -133,8 +247,6 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		rs.LatencyP95 = percentile(roundLats, 95)
 		rs.LatencyP99 = percentile(roundLats, 99)
 	}
-	// Backlog no instance accepts yet still counts as queued work.
-	rs.QueueDepth += len(s.pending)
 }
 
 // Report summarizes the run so far.
@@ -167,7 +279,7 @@ func (s *Supervisor) Report() Report {
 		rep.P99Latency = percentile(sorted, 99)
 	}
 	for _, inst := range s.insts {
-		il := InstanceLatency{ID: inst.id, Completions: len(inst.allLats)}
+		il := InstanceLatency{ID: inst.id, Group: inst.grp.name, Completions: len(inst.allLats)}
 		if len(inst.allLats) > 0 {
 			sorted := append([]float64(nil), inst.allLats...)
 			sort.Float64s(sorted)
@@ -176,6 +288,29 @@ func (s *Supervisor) Report() Report {
 			il.P99 = percentile(sorted, 99)
 		}
 		rep.PerInstance = append(rep.PerInstance, il)
+	}
+	latsBy := make([][]float64, len(s.groups))
+	for _, inst := range s.insts {
+		latsBy[inst.grp.index] = append(latsBy[inst.grp.index], inst.allLats...)
+	}
+	for gi, g := range s.groups {
+		gr := GroupReport{Group: g.name, Completions: g.completed, Aborted: g.aborted}
+		if g.lossN > 0 {
+			gr.MeanRequestLoss = g.lossSum / float64(g.lossN)
+		}
+		lats := latsBy[gi]
+		if len(lats) > 0 {
+			sort.Float64s(lats)
+			var sum float64
+			for _, l := range lats {
+				sum += l
+			}
+			gr.MeanLatency = sum / float64(len(lats))
+			gr.P50Latency = percentile(lats, 50)
+			gr.P95Latency = percentile(lats, 95)
+			gr.P99Latency = percentile(lats, 99)
+		}
+		rep.PerGroup = append(rep.PerGroup, gr)
 	}
 	return rep
 }

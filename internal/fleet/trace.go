@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -42,9 +43,12 @@ const (
 
 // TraceEvent is one entry of the event-time trace: what happened, at
 // which virtual instant, scoped to an instance and/or host where that
-// applies (-1 otherwise). Collected when Config.RecordTrace is set;
-// exported so Fig. 8-style spiky runs can be plotted from the exact
-// event times instead of quantum-rounded aggregates.
+// applies (-1 otherwise). Instance- and request-scoped events carry the
+// name of the workload group they belong to (Group; empty for
+// fleet-global events like caps, arbiter ticks, and round closes).
+// Collected when Config.RecordTrace is set; exported so Fig. 8-style
+// spiky runs can be plotted from the exact event times instead of
+// quantum-rounded aggregates.
 type TraceEvent struct {
 	At       time.Time
 	Kind     TraceKind
@@ -52,6 +56,59 @@ type TraceEvent struct {
 	Host     int
 	State    int
 	Value    float64
+	Group    string
+}
+
+// traceKindRank is SortTrace's canonical kind order: the order
+// simultaneous events land in on the event timeline (caps before
+// placements before arbitration before retirements before arrivals
+// before completions), with reporting kinds (scale, round) last.
+var traceKindRank = map[TraceKind]int{
+	TraceCap:      0,
+	TraceStart:    1,
+	TraceDrain:    2,
+	TraceMigrate:  3,
+	TraceArbiter:  4,
+	TraceState:    5,
+	TraceRetire:   6,
+	TraceArrival:  7,
+	TraceComplete: 8,
+	TraceScale:    9,
+	TraceRound:    10,
+}
+
+// SortTrace sorts trace events into the canonical deterministic order:
+// (instant, kind, host, instance, state, value, group), with the kind
+// order matching the event timeline's landing order at equal instants
+// and ties beyond that keeping their recorded sequence (the sort is
+// stable — fully tied events are interchangeable, so the order is
+// engine-independent). Both engines emit the same trace as a multiset
+// but interleave simultaneous events of different hosts in
+// engine-specific order; canonical sorting is what makes traces — and
+// their CSVs — diff cleanly across engines and Workers values.
+func SortTrace(events []TraceEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if ra, rb := traceKindRank[a.Kind], traceKindRank[b.Kind]; ra != rb {
+			return ra < rb
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.Instance != b.Instance {
+			return a.Instance < b.Instance
+		}
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Group < b.Group
+	})
 }
 
 // record appends a trace event when tracing is enabled.
@@ -69,8 +126,10 @@ func (s *Supervisor) Trace() []TraceEvent {
 	return out
 }
 
-// WriteTraceCSV writes trace events as CSV with a header row. Columns
-// (see docs/TRACE_FORMAT.md for the full schema):
+// WriteTraceCSV writes trace events as CSV with a header row, in the
+// canonical SortTrace order (the input slice is not modified) — so the
+// CSV of a run is byte-identical across engines and Workers values.
+// Columns (see docs/TRACE_FORMAT.md for the full schema):
 //
 //	t_seconds — virtual seconds since the run epoch (fixed 6 decimals)
 //	kind      — the TraceKind string (arrival, complete, cap, arbiter,
@@ -81,13 +140,18 @@ func (s *Supervisor) Trace() []TraceEvent {
 //	value     — kind-specific value: latency seconds (complete), watts
 //	            (cap, arbiter, round), GHz (state), desired instance
 //	            count (scale); 0 when unused
+//	group     — workload-group name for instance- and request-scoped
+//	            events, empty for fleet-global ones
 func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
+	sorted := make([]TraceEvent, len(events))
+	copy(sorted, events)
+	SortTrace(sorted)
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"t_seconds", "kind", "instance", "host", "state", "value"}); err != nil {
+	if err := cw.Write([]string{"t_seconds", "kind", "instance", "host", "state", "value", "group"}); err != nil {
 		return err
 	}
 	epoch := time.Unix(0, 0)
-	for _, ev := range events {
+	for _, ev := range sorted {
 		rec := []string{
 			strconv.FormatFloat(ev.At.Sub(epoch).Seconds(), 'f', 6, 64),
 			string(ev.Kind),
@@ -95,6 +159,7 @@ func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
 			strconv.Itoa(ev.Host),
 			strconv.Itoa(ev.State),
 			strconv.FormatFloat(ev.Value, 'g', -1, 64),
+			ev.Group,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -161,9 +161,22 @@ type (
 	// event-time surface, including the exact waiting-time distribution
 	// (WaitCDF) and its quantiles.
 	MD1 = cluster.MD1
+	// MG1 is the general-service station: the full Pollaczek–Khinchine
+	// mean-value forms from the first two service moments (M/D/1 is the
+	// zero-variance special case, DeterministicMG1).
+	MG1 = cluster.MG1
+	// ServiceClass is one deterministic work-item class of a mixed
+	// stream, composed into an MG1 station by MixMG1.
+	ServiceClass = cluster.ServiceClass
 	// QueueingPrediction is the oracle's event-time steady state for an
 	// open-loop offered load.
 	QueueingPrediction = cluster.QueueingPrediction
+	// ClusterGroupStation describes one workload group's offered load
+	// for the composed mix oracle (PredictClusterMix).
+	ClusterGroupStation = cluster.GroupStation
+	// ClusterMixPrediction is the composed per-group M/G/1 steady state
+	// of a heterogeneous scenario.
+	ClusterMixPrediction = cluster.MixPrediction
 )
 
 // Fleet types (see internal/fleet): the supervisor that runs many
@@ -171,7 +184,27 @@ type (
 // budget, on a deterministic discrete-event timeline (or the legacy
 // bulk-synchronous quantum loop).
 type (
-	// FleetConfig assembles a fleet.
+	// FleetScenario composes a fleet from named, heterogeneous workload
+	// groups sharing machines and one power budget — the primary
+	// construction surface (NewFleetScenario).
+	FleetScenario = fleet.Scenario
+	// FleetWorkloadGroup is one named class of application instances in
+	// a scenario: its own app factory, profile, target, arrival stream,
+	// SLO, and contention pressure.
+	FleetWorkloadGroup = fleet.WorkloadGroup
+	// FleetInterference models machine co-residency for a scenario.
+	FleetInterference = fleet.Interference
+	// FleetUniformShare is the oracle-validated reference interference
+	// model: pure time-multiplexing, blind to group identity.
+	FleetUniformShare = fleet.UniformShare
+	// FleetPressureShare is the contention-aware interference model:
+	// cross-group pressure degrades effective frequency.
+	FleetPressureShare = fleet.PressureShare
+	// FleetConfig assembles a single-group fleet. It is the deprecated
+	// one-group compatibility shim over FleetScenario — kept working
+	// (NewFleet wraps it into a scenario with one group, "default",
+	// under uniform-share interference), but new code should compose a
+	// FleetScenario of named workload groups instead.
 	FleetConfig = fleet.Config
 	// Fleet is the fleet supervisor.
 	Fleet = fleet.Supervisor
@@ -183,10 +216,14 @@ type (
 	FleetHost = fleet.Host
 	// FleetRoundStats reports one control quantum.
 	FleetRoundStats = fleet.RoundStats
+	// FleetGroupRoundStats is one workload group's slice of a quantum.
+	FleetGroupRoundStats = fleet.GroupRoundStats
 	// FleetInstanceLatency is one instance's latency percentiles.
 	FleetInstanceLatency = fleet.InstanceLatency
 	// FleetReport summarizes a fleet run.
 	FleetReport = fleet.Report
+	// FleetGroupReport is one workload group's run summary.
+	FleetGroupReport = fleet.GroupReport
 	// LoadGen is an arrival process feeding a fleet: open-loop Poisson
 	// shapes (constant, ramp, spike, recorded trace) or closed-loop
 	// saturation.
@@ -217,6 +254,9 @@ type (
 	// FleetReplayPoint is one reporting quantum of a replay (one CSV
 	// row).
 	FleetReplayPoint = fleet.ReplayPoint
+	// FleetGroupReplayPoint is one workload group's slice of a replay
+	// quantum.
+	FleetGroupReplayPoint = fleet.GroupReplayPoint
 	// FleetReplayResult is a finished replay.
 	FleetReplayResult = fleet.ReplayResult
 )
@@ -273,13 +313,29 @@ func NewClusterOracle(machines, coresPerMachine int, profile *Profile, power Pow
 	return cluster.NewOracle(machines, coresPerMachine, profile, power, freqGHz)
 }
 
-// NewFleet builds a fleet supervisor (event-driven by default).
+// NewFleet builds a fleet supervisor (event-driven by default) from the
+// deprecated single-group FleetConfig shim; new code should use
+// NewFleetScenario.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
-// WriteFleetTraceCSV writes a fleet event-time trace as CSV.
+// NewFleetScenario builds a fleet supervisor from a scenario of named
+// heterogeneous workload groups — each with its own app factory,
+// profile, heart-rate target, arrival stream, SLO, and contention
+// pressure — sharing machines and one power budget. Drive it with
+// Fleet.Run(nil, rounds): every group's own load generator feeds its
+// instances.
+func NewFleetScenario(sc FleetScenario) (*Fleet, error) { return fleet.NewScenario(sc) }
+
+// WriteFleetTraceCSV writes a fleet event-time trace as CSV, in the
+// canonical SortFleetTrace order.
 func WriteFleetTraceCSV(w io.Writer, events []FleetTraceEvent) error {
 	return fleet.WriteTraceCSV(w, events)
 }
+
+// SortFleetTrace sorts trace events into the canonical deterministic
+// (instant, kind, host, ...) order, making traces diff cleanly across
+// engines and Workers values.
+func SortFleetTrace(events []FleetTraceEvent) { fleet.SortTrace(events) }
 
 // NewSyntheticApp builds the analytically exact synthetic workload used
 // by fleet tests and demos.
@@ -317,6 +373,24 @@ func Fig8Rates(rounds int, peak float64, seed int64) []float64 {
 // against.
 func PlanMD1Instances(lambda, service, p, target float64, max int) (int, bool) {
 	return cluster.PlanInstances(lambda, service, p, target, max)
+}
+
+// DeterministicMG1 expresses an M/D/1 station as the zero-variance
+// M/G/1 special case.
+func DeterministicMG1(lambda, service float64) MG1 {
+	return cluster.DeterministicMG1(lambda, service)
+}
+
+// MixMG1 composes deterministic work-item classes into the M/G/1
+// station serving their superposition — the full Pollaczek–Khinchine
+// form over the mixture's first two service moments.
+func MixMG1(classes ...ServiceClass) MG1 { return cluster.MixMG1(classes...) }
+
+// PredictClusterMix composes per-group M/G/1 stations into the
+// cluster-level steady state a heterogeneous scenario is validated
+// against (per-group sojourn, aggregate utilization and power).
+func PredictClusterMix(oracle *ClusterOracle, groups []ClusterGroupStation) (ClusterMixPrediction, error) {
+	return oracle.PredictMix(groups)
 }
 
 // NewConstantLoad produces Poisson arrivals at a fixed mean rate.
