@@ -16,6 +16,8 @@
 //	fleet -replay replay.csv -rounds 90    # Fig. 8 autoscaler replay
 //	fleet -replay replay.csv -rates recorded.csv -slo-p95 1.5
 //	fleet -scenario mix.json               # heterogeneous workload groups
+//	fleet -faults chaos.json -resilience r.csv   # chaos: seeded crashes, rack
+//	                                             # outages, throttles, sags
 package main
 
 import (
@@ -55,6 +57,8 @@ func main() {
 	replayPath := flag.String("replay", "", "run the Fig. 8 autoscaler replay and write its per-quantum CSV here")
 	scenarioPath := flag.String("scenario", "", "run a heterogeneous scenario from this JSON spec (named workload groups with per-group apps, loads, SLOs, and contention pressure)")
 	ratesPath := flag.String("rates", "", "recorded arrival trace for -replay (one mean-arrivals-per-quantum per line; default: synthetic Fig. 8 shape at peak -rate)")
+	faultsPath := flag.String("faults", "", "inject faults from this JSON spec (seeded crash/rack-outage/throttle/straggler/sag rates, or an explicit schedule)")
+	resiliencePath := flag.String("resilience", "", "write the per-fault resilience CSV here (requires -faults)")
 	sloP95 := flag.Float64("slo-p95", 1.2, "p95 request-latency SLO in seconds the replay autoscaler provisions for")
 	scaleMin := flag.Int("scale-min", 1, "replay autoscaler lower instance bound")
 	scaleMax := flag.Int("scale-max", 0, "replay autoscaler upper instance bound (0 = total cluster cores)")
@@ -74,6 +78,7 @@ func main() {
 		timeline: *timeline, workers: *workers, feedforward: *feedforward,
 		latency: *latency, tracePath: *tracePath,
 		replayPath: *replayPath, ratesPath: *ratesPath, scenarioPath: *scenarioPath,
+		faultsPath: *faultsPath, resiliencePath: *resiliencePath,
 		sloP95: *sloP95, scaleMin: *scaleMin, scaleMax: *scaleMax,
 		instancesSet: instancesSet,
 	}); err != nil {
@@ -85,6 +90,7 @@ func main() {
 type options struct {
 	app, scale, load, timeline, tracePath string
 	replayPath, ratesPath, scenarioPath   string
+	faultsPath, resiliencePath            string
 	machines, cores, instances, rounds    int
 	dropAt, reqIters, workers             int
 	scaleMin, scaleMax                    int
@@ -172,6 +178,10 @@ func run(o options) error {
 			return err
 		}
 	}
+	faulted, err := applyFaults(sup, o)
+	if err != nil {
+		return err
+	}
 
 	var gen *fleet.LoadGen
 	switch o.load {
@@ -198,8 +208,12 @@ func run(o options) error {
 		sup.SetBudgetAt(at, o.dropTo)
 	}
 
-	fmt.Printf("fleet: %d instances of %s on %d machines x %d cores, budget %s, %s load, %s timeline\n",
-		o.instances, o.app, o.machines, o.cores, watts(o.budget), o.load, o.timeline)
+	chaos := ""
+	if faulted {
+		chaos = fmt.Sprintf(", faults from %s", o.faultsPath)
+	}
+	fmt.Printf("fleet: %d instances of %s on %d machines x %d cores, budget %s, %s load, %s timeline%s\n",
+		o.instances, o.app, o.machines, o.cores, watts(o.budget), o.load, o.timeline, chaos)
 	fmt.Printf("target heart rate: %.1f beats/sec per instance\n\n", sup.Target().Goal())
 	fmt.Printf("%5s | %7s | %7s | %-14s | %5s | %6s | %5s | %4s | %-17s\n",
 		"round", "budget", "power W", "GHz per host", "perf", "loss %", "queue", "done", "p50/p95/p99 s")
@@ -227,6 +241,9 @@ func run(o options) error {
 		rep.Completions, rep.Aborted, rep.MeanPower, rep.TotalEnergyJ)
 	fmt.Printf("latency: mean %.2f s, p50 %.2f s, p95 %.2f s, p99 %.2f s; mean request QoS loss %.2f%%\n",
 		rep.MeanLatency, rep.P50Latency, rep.P95Latency, rep.P99Latency, rep.MeanRequestLoss*100)
+	if err := reportResilience(rep.Resilience, o); err != nil {
+		return err
+	}
 
 	if o.latency {
 		fmt.Printf("\n%8s | %6s | %7s | %7s | %7s\n", "instance", "done", "p50 s", "p95 s", "p99 s")
@@ -327,6 +344,10 @@ func runReplay(o options) error {
 			return err
 		}
 	}
+	faulted, err := applyFaults(sup, o)
+	if err != nil {
+		return err
+	}
 	// Service time per request follows from the per-instance target
 	// heart rate; the M/D/1 cross-check below and the optional
 	// feed-forward planner share it.
@@ -368,8 +389,12 @@ func runReplay(o options) error {
 		sup.SetBudgetAt(at, o.dropTo)
 	}
 
-	fmt.Printf("replay: %s on %d machines x %d cores, budget %s, %d-round trace, p95 SLO %.2f s, instances [%d,%d], %d iters/request\n",
-		o.app, o.machines, o.cores, watts(o.budget), len(rates), o.sloP95, o.scaleMin, o.scaleMax, o.reqIters)
+	chaos := ""
+	if faulted {
+		chaos = fmt.Sprintf(", faults from %s", o.faultsPath)
+	}
+	fmt.Printf("replay: %s on %d machines x %d cores, budget %s, %d-round trace, p95 SLO %.2f s, instances [%d,%d], %d iters/request%s\n",
+		o.app, o.machines, o.cores, watts(o.budget), len(rates), o.sloP95, o.scaleMin, o.scaleMax, o.reqIters, chaos)
 	res, err := fleet.Replay(sup, fleet.ReplayConfig{
 		Rates:    rates,
 		Seed:     o.seed,
@@ -402,6 +427,9 @@ func runReplay(o options) error {
 		res.MinInstances, res.MaxInstances, res.MeanPower, res.Completions)
 	fmt.Printf("SLO: %d violations outside blackout windows (%d blackout rounds of %d)\n",
 		res.Violations, res.BlackoutRounds, len(res.Points))
+	if err := reportResilience(sup.Report().Resilience, o); err != nil {
+		return err
+	}
 
 	// Cross-check the autoscaler's provisioning against the M/D/1
 	// planner at the trace's trough and peak rates.

@@ -211,9 +211,17 @@ func runScenario(o options) error {
 			return err
 		}
 	}
+	faulted, err := applyFaults(sup, o)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("scenario: %d groups on %d machines x %d cores, budget %s\n",
-		len(sc.Groups), spec.Machines, spec.Cores, watts(budget))
+	chaos := ""
+	if faulted {
+		chaos = fmt.Sprintf(", faults from %s", o.faultsPath)
+	}
+	fmt.Printf("scenario: %d groups on %d machines x %d cores, budget %s%s\n",
+		len(sc.Groups), spec.Machines, spec.Cores, watts(budget), chaos)
 	for gi, wg := range sc.Groups {
 		auto := ""
 		if spec.Groups[gi].SLOP95 > 0 {
@@ -248,6 +256,9 @@ func runScenario(o options) error {
 	for _, gr := range rep.PerGroup {
 		fmt.Printf("%-10s | %6d | %7.3f | %7.3f | %7.3f | %7.2f\n",
 			gr.Group, gr.Completions, gr.MeanLatency, gr.P95Latency, gr.P99Latency, gr.MeanRequestLoss*100)
+	}
+	if err := reportResilience(rep.Resilience, o); err != nil {
+		return err
 	}
 
 	if o.tracePath != "" {

@@ -48,6 +48,10 @@ type hostDemand struct {
 	// (mean of max(0, 1 − normalized performance)); larger = served
 	// first when leftover headroom is granted.
 	deficit float64
+	// down marks a crashed host (fault.go): it projects zero power at
+	// every state and is never granted headroom, so its budget share
+	// flows to the survivors for the outage.
+	down bool
 }
 
 // assign returns one DVFS state index per host. Every host starts at
@@ -76,6 +80,9 @@ func (a *Arbiter) assign(demands []hostDemand) []int {
 	a.rot++
 	lowest := len(platform.Frequencies) - 1
 	projected := func(i, state int) float64 {
+		if demands[i].down {
+			return 0
+		}
 		return a.model.Power(platform.Frequencies[state], demands[i].util)
 	}
 	total := 0.0
@@ -90,6 +97,9 @@ func (a *Arbiter) assign(demands []hostDemand) []int {
 		}
 		if wsum > 0 {
 			for i := range states {
+				if demands[i].down {
+					continue // a zero-cost upgrade would be meaningless
+				}
 				extra := available * demands[i].weight / wsum
 				spent := 0.0
 				for states[i] > 0 {
@@ -123,7 +133,7 @@ func (a *Arbiter) assign(demands []hostDemand) []int {
 	for granted := true; granted; {
 		granted = false
 		for _, i := range order {
-			if states[i] == 0 {
+			if states[i] == 0 || demands[i].down {
 				continue
 			}
 			delta := projected(i, states[i]-1) - projected(i, states[i])

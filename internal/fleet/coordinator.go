@@ -2,8 +2,9 @@ package fleet
 
 // This file is the coordinator half of the sharded parallel event
 // engine. The round is cut into windows bounded by the global events
-// that couple hosts — arbiter ticks, cap landings, placement landings,
-// and join-shortest-queue arrivals (which need global queue depths).
+// that couple hosts — arbiter ticks, cap landings, fault landings and
+// recoveries, placement landings, and join-shortest-queue arrivals
+// (which need global queue depths).
 // Between consecutive barriers no host can influence another, so every
 // shard advances through the window independently on a bounded worker
 // pool (Config.Workers); at each barrier the coordinator flushes shard
@@ -113,7 +114,7 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 			break
 		}
 		// Apply every global event landing at this barrier instant, in
-		// the shared kind order (cap < place < tick < arrival).
+		// the shared kind order (cap < fault < place < tick < arrival).
 		for gi < len(globals) && globals[gi].at.Equal(barrier) {
 			g := globals[gi]
 			gi++
@@ -122,6 +123,15 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 				s.arb.SetBudget(g.watts)
 				s.record(TraceEvent{At: g.at, Kind: TraceCap, Instance: -1, Host: -1, State: -1, Value: g.watts})
 				s.arbitrate(g.at)
+			case evFault:
+				// Fault landings and recoveries are barriers: every shard
+				// has advanced to this instant, so displacing a crashed
+				// host's work (and re-offering it to the survivors) sees
+				// exact queue state — the same order stepEvent realizes.
+				s.landFault(g.at, g.fault)
+				s.arbitrate(g.at)
+				acc = s.acceptingByGroup()
+				s.redispatchPending(acc, wake, g.at)
 			case evPlace:
 				from := g.place.inst.host
 				if !s.landPlace(g.at, g.place) {

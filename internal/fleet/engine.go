@@ -8,21 +8,26 @@ import (
 	"repro/internal/platform"
 )
 
-// evKind orders simultaneous events: cap changes land first, placement
-// changes land next (so the arbiter tick they both precede sees the new
-// budget and the new placement), drain retirements land after the tick
-// (freeing their budget share before new work is delivered), arrivals
-// are delivered before service continuations at the same instant, and
+// evKind orders simultaneous events: cap changes land first, fault
+// landings and recoveries next (so a crash at the same instant as a
+// placement sees the old placement gone from its host only after the
+// fault displaced the work, and the arbiter tick both precede sees the
+// new budget, the fault state, and the new placement), placement
+// changes after faults, drain retirements after the tick (freeing
+// their budget share before new work is delivered), arrivals are
+// delivered before service continuations at the same instant, and
 // everything is FIFO within a kind (seq). The kind order is the
 // canonical tie-break both engines share: the sharded engine merges
 // per-shard queues by (instant, kind, host index, per-shard seq), and
 // every same-instant same-kind pair commutes (serves touch disjoint
-// instances, retirements re-arbitrate idempotently), so the single-heap
-// and sharded engines produce bit-identical results.
+// instances, retirements re-arbitrate idempotently, simultaneous
+// faults land in stable schedule order on both engines), so the
+// single-heap and sharded engines produce bit-identical results.
 type evKind int8
 
 const (
 	evCap evKind = iota
+	evFault
 	evPlace
 	evTick
 	evRetire
@@ -39,6 +44,7 @@ type event struct {
 	req   *Request    // evArrival
 	watts float64     // evCap
 	place placeChange // evPlace
+	fault faultChange // evFault
 }
 
 // eventLess is the deterministic (at, kind, seq) order shared by the
@@ -146,6 +152,11 @@ func (s *Supervisor) closeSegment(h *Host, t time.Time) {
 		util = 1
 	}
 	power := s.cfg.Power.Power(platform.Frequencies[h.state], util)
+	if h.down {
+		// A crashed host draws nothing: segments are cut at the crash
+		// and recovery landings, so down segments are exactly the outage.
+		power = 0
+	}
 	e := power * dt.Seconds()
 	h.energy += e
 	h.roundEnergy += e
@@ -178,6 +189,13 @@ func (s *Supervisor) retireAt(inst *Instance, t time.Time) {
 func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error {
 	inst.scheduled = false
 	if inst.retired {
+		return nil
+	}
+	if h := inst.host; h != nil && h.down {
+		// The host crashed underneath the instance: it serves nothing
+		// until the outage ends; look again at the recovery instant (the
+		// idle gap books at catch-up, like the migration blackout).
+		sink.activate(inst, h.downUntil)
 		return nil
 	}
 	if inst.pausedUntil.After(now) {
@@ -275,6 +293,21 @@ func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*ev
 		}
 		emit(&event{at: at, kind: evPlace, place: p})
 	}
+	if s.faultOpts != nil {
+		// The fault model emits once per round; landings and recoveries
+		// both pre-schedule (a fault's duration is known at emission), so
+		// neither engine ever has to insert a barrier mid-window.
+		for _, fe := range s.faultOpts.Model.Events(s.round, start, s.cfg.Quantum, len(s.hosts)) {
+			s.scheduleFault(fe)
+		}
+		for _, f := range s.dueFaults(end) {
+			at := f.at
+			if at.Before(start) {
+				at = start
+			}
+			emit(&event{at: at, kind: evFault, fault: f})
+		}
+	}
 
 	for _, inst := range s.insts {
 		inst.selfFeed = false
@@ -365,6 +398,15 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 			s.arb.SetBudget(ev.watts)
 			s.record(TraceEvent{At: ev.at, Kind: TraceCap, Instance: -1, Host: -1, State: -1, Value: ev.watts})
 			s.arbitrate(ev.at)
+		case evFault:
+			// A fault landing or recovery changed the fleet (a host died
+			// or rejoined, a clamp moved, the budget sagged): re-divide
+			// the budget at this instant, refresh the accepting sets, and
+			// offer displaced or parked backlog to the survivors.
+			s.landFault(ev.at, ev.fault)
+			s.arbitrate(ev.at)
+			acc = s.acceptingByGroup()
+			s.redispatchPending(acc, s.activate, ev.at)
 		case evPlace:
 			if !s.landPlace(ev.at, ev.place) {
 				break

@@ -204,6 +204,15 @@ type Host struct {
 	roundEnergy float64
 	roundBusy   time.Duration
 
+	// Fault state (fault.go): a crashed host serves nothing, draws no
+	// power, and leaves the dispatch domain until downUntil; a throttled
+	// host's DVFS state is clamped at or below throttleState until
+	// throttleUntil regardless of the arbiter's grant.
+	down          bool
+	downUntil     time.Time
+	throttleState int
+	throttleUntil time.Time
+
 	// shard is the host's event queue on the sharded engine (nil when
 	// the single-heap engine or quantum mode drives the fleet).
 	shard *shard
@@ -227,6 +236,9 @@ func (h *Host) Residents() []*Instance {
 
 // Energy returns the joules the host has consumed so far.
 func (h *Host) Energy() float64 { return h.energy }
+
+// Down reports whether the host is inside a crash-fault outage.
+func (h *Host) Down() bool { return h.down }
 
 // GroupResidents returns the host's resident count per workload group
 // (groups with no resident are omitted).
@@ -270,6 +282,12 @@ func (h *Host) applySharesAt(at time.Time) {
 		share := h.sup.itf.Share(h.cores, counts, inst.grp.index)
 		if share > 1 {
 			share = 1
+		}
+		if at.Before(inst.slowUntil) && inst.slowFactor > 1 {
+			// Straggler fault: the instance's effective share divides by
+			// the slowdown factor for the fault window. Time-gated, so
+			// the recovery's re-arbitration restores the clean share.
+			share /= inst.slowFactor
 		}
 		_ = inst.view.SetStateAt(h.state, at)
 		inst.view.SetInterference(1 - share)
@@ -328,6 +346,11 @@ type Instance struct {
 	prevBusy  time.Duration
 	prevBeats int
 	err       error
+
+	// Straggler-fault state (fault.go): the instance's effective share
+	// divides by slowFactor until slowUntil.
+	slowFactor float64
+	slowUntil  time.Time
 }
 
 // ID returns the instance's fleet-unique id.
@@ -571,6 +594,21 @@ type Supervisor struct {
 	// splitRng realizes the uniform pick of SplitDispatch; a fixed seed
 	// keeps runs bit-identical.
 	splitRng *rand.Rand
+
+	// Fault & degradation state (fault.go): the wired model, the pending
+	// landing/recovery schedule, the landed records, and the per-round
+	// counters RoundStats reports.
+	faultOpts         *FaultOptions
+	faults            []faultChange
+	nextFault         int
+	faultRecs         []FaultRecord
+	recByID           map[int]int // fault id -> faultRecs index
+	faultActiveUntil  time.Time
+	roundFaults       int
+	roundRedispatched int
+	roundDropped      int
+	redispatched      int
+	dropped           int
 }
 
 // newSplitRng seeds the SplitDispatch RNG; the fixed seed keeps runs
@@ -746,18 +784,32 @@ func (s *Supervisor) newInstance(g *group, at time.Time) (*Instance, error) {
 	return inst, nil
 }
 
-// resolveHost maps host < 0 to the machine with the fewest residents.
+// resolveHost maps host < 0 to the live machine with the fewest
+// residents (crashed hosts are skipped unless every host is down —
+// then the fewest-residents host takes it and the instance waits out
+// the outage).
 func (s *Supervisor) resolveHost(host int) int {
 	if host >= 0 {
 		return host
 	}
-	host = 0
+	best := -1
 	for i, h := range s.hosts {
-		if len(h.residents) < len(s.hosts[host].residents) {
-			host = i
+		if h.down {
+			continue
+		}
+		if best < 0 || len(h.residents) < len(s.hosts[best].residents) {
+			best = i
 		}
 	}
-	return host
+	if best < 0 {
+		best = 0
+		for i, h := range s.hosts {
+			if len(h.residents) < len(s.hosts[best].residents) {
+				best = i
+			}
+		}
+	}
+	return best
 }
 
 // landStart places a pending instance on a machine at virtual time at.
@@ -1048,12 +1100,19 @@ func (s *Supervisor) retireDone() {
 	}
 }
 
+// eligible reports whether the instance can take new work: accepting,
+// not retired, and placed on a live host — a crashed host's residents
+// leave the dispatch domain until recovery (fault.go).
+func (inst *Instance) eligible() bool {
+	return !inst.retired && inst.accepting && (inst.host == nil || !inst.host.down)
+}
+
 // accepting returns the instances eligible for new requests, by id,
 // across every group.
 func (s *Supervisor) acceptingInstances() []*Instance {
 	var out []*Instance
 	for _, inst := range s.insts {
-		if !inst.retired && inst.accepting {
+		if inst.eligible() {
 			out = append(out, inst)
 		}
 	}
@@ -1065,7 +1124,7 @@ func (s *Supervisor) acceptingInstances() []*Instance {
 func (s *Supervisor) acceptingOf(group int) []*Instance {
 	var out []*Instance
 	for _, inst := range s.insts {
-		if !inst.retired && inst.accepting && inst.grp.index == group {
+		if inst.eligible() && inst.grp.index == group {
 			out = append(out, inst)
 		}
 	}
@@ -1073,12 +1132,12 @@ func (s *Supervisor) acceptingOf(group int) []*Instance {
 }
 
 // acceptingByGroup returns every group's accepting set, indexed by
-// group — recomputed whenever a placement landing can change
+// group — recomputed whenever a placement or fault landing can change
 // eligibility.
 func (s *Supervisor) acceptingByGroup() [][]*Instance {
 	out := make([][]*Instance, len(s.groups))
 	for _, inst := range s.insts {
-		if !inst.retired && inst.accepting {
+		if inst.eligible() {
 			gi := inst.grp.index
 			out[gi] = append(out[gi], inst)
 		}
@@ -1131,6 +1190,12 @@ func (s *Supervisor) dispatch(accepting []*Instance, req *Request) *Instance {
 func (s *Supervisor) demands() []hostDemand {
 	demands := make([]hostDemand, len(s.hosts))
 	for i, h := range s.hosts {
+		if h.down {
+			// A crashed host draws nothing and wants nothing: its budget
+			// share flows to the survivors until recovery.
+			demands[i].down = true
+			continue
+		}
 		if len(h.residents) > 0 {
 			demands[i].util = 1
 			demand := len(h.residents)
@@ -1159,6 +1224,14 @@ func (s *Supervisor) demands() []hostDemand {
 func (s *Supervisor) arbitrate(t time.Time) {
 	states := s.arb.assign(s.demands())
 	for i, h := range s.hosts {
+		if t.Before(h.throttleUntil) && states[i] < h.throttleState {
+			// Thermal throttle: the host cannot exceed its clamp state
+			// regardless of the arbiter's grant. The clamped-away watts
+			// are not re-water-filled — thermal headroom lost is lost.
+			// Time-gated, so the recovery's re-arbitration restores the
+			// grant exactly.
+			states[i] = h.throttleState
+		}
 		if h.state != states[i] {
 			if s.eventMode() {
 				s.closeSegment(h, t)

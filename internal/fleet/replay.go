@@ -86,6 +86,23 @@ type ReplayPoint struct {
 	// single-group fleet). WriteReplayCSV appends per-group columns
 	// when the scenario has more than one group.
 	Groups []GroupReplayPoint
+	// Fault carries the quantum's fault-window accounting when a fault
+	// model is wired (nil otherwise — WriteReplayCSV appends the fault
+	// columns only when present, so unfaulted replays keep their schema
+	// byte for byte).
+	Fault *ReplayFaultPoint
+}
+
+// ReplayFaultPoint is one replay quantum's fault-window slice.
+type ReplayFaultPoint struct {
+	// Landed counts fault landings this quantum; Active reports whether
+	// any fault window overlapped it.
+	Landed int
+	Active bool
+	// Redispatched and Dropped count the requests crashes displaced this
+	// quantum.
+	Redispatched int
+	Dropped      int
 }
 
 // GroupReplayPoint is one workload group's slice of a replay quantum.
@@ -188,6 +205,14 @@ func Replay(sup *Supervisor, cfg ReplayConfig) (*ReplayResult, error) {
 			QueueDepth:  rs.QueueDepth,
 			Scaled:      sup.ScaleMoves() > moves,
 		}
+		if sup.faultOpts != nil {
+			pt.Fault = &ReplayFaultPoint{
+				Landed:       rs.FaultsLanded,
+				Active:       rs.FaultActive,
+				Redispatched: rs.FaultRedispatched,
+				Dropped:      rs.FaultDropped,
+			}
+		}
 		for _, gs := range rs.Groups {
 			pt.Groups = append(pt.Groups, GroupReplayPoint{
 				Group:       gs.Group,
@@ -275,6 +300,11 @@ func Replay(sup *Supervisor, cfg ReplayConfig) (*ReplayResult, error) {
 // g_<name>_accepting, g_<name>_arrivals, g_<name>_completions,
 // g_<name>_p95_s, g_<name>_queue. A single-group replay keeps the
 // original fifteen-column schema byte for byte.
+//
+// When the replayed fleet carries a fault model (ReplayPoint.Fault set),
+// four fault columns are appended after any group columns:
+// faults_landed, fault_active, redispatched, dropped. An unfaulted
+// replay emits none of them, keeping its schema byte for byte.
 func WriteReplayCSV(w io.Writer, points []ReplayPoint) error {
 	cw := csv.NewWriter(w)
 	header := []string{"round", "t_seconds", "rate", "arrivals", "completions",
@@ -290,6 +320,10 @@ func WriteReplayCSV(w io.Writer, points []ReplayPoint) error {
 				"g_"+g.Group+"_p95_s",
 				"g_"+g.Group+"_queue")
 		}
+	}
+	faultCols := len(points) > 0 && points[0].Fault != nil
+	if faultCols {
+		header = append(header, "faults_landed", "fault_active", "redispatched", "dropped")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -327,6 +361,17 @@ func WriteReplayCSV(w io.Writer, points []ReplayPoint) error {
 					strconv.FormatFloat(g.P95, 'f', 6, 64),
 					strconv.Itoa(g.QueueDepth))
 			}
+		}
+		if faultCols {
+			fp := pt.Fault
+			if fp == nil {
+				fp = &ReplayFaultPoint{}
+			}
+			rec = append(rec,
+				strconv.Itoa(fp.Landed),
+				b(fp.Active),
+				strconv.Itoa(fp.Redispatched),
+				strconv.Itoa(fp.Dropped))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

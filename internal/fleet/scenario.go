@@ -114,6 +114,11 @@ type Scenario struct {
 	SplitDispatch bool
 	// RecordTrace collects the event-time trace (Supervisor.Trace).
 	RecordTrace bool
+	// Faults wires a fault & degradation model into the fleet: seeded
+	// crash/rack-outage/throttle/straggler/sag events landing on the
+	// event timeline, with Report.Resilience accounting (fault.go).
+	// Event-timeline only; nil injects nothing.
+	Faults *FaultOptions
 }
 
 // group is the supervisor's resolved per-group state: the workload
@@ -248,6 +253,11 @@ func NewScenario(sc Scenario) (*Supervisor, error) {
 			if _, err := s.StartInstanceIn(gi, -1); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if sc.Faults != nil {
+		if err := s.SetFaults(*sc.Faults); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil

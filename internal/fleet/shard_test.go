@@ -194,6 +194,109 @@ func TestShardedEngineBitIdenticalSaturated(t *testing.T) {
 	assertDiffEqual(t, "spike-subquantum-ticks", run(1), run(4), 1, 4)
 }
 
+// runFaultDiffScenario drives the fault-laden two-group scenario at the
+// given worker count: a host crash, a correlated two-host rack outage,
+// a thermal throttle overlapping a scheduled cap change, a straggler, a
+// mid-window power-supply sag, and a cross-group migration — with
+// redispatch on, so crash landings re-offer displaced work across
+// shards at the landing barrier.
+func runFaultDiffScenario(t *testing.T, workers int) diffResult {
+	t.Helper()
+	sup, err := NewScenario(Scenario{
+		Machines:        8,
+		CoresPerMachine: 1,
+		Budget:          8 * 190, // binding: full load wants 210 W/host
+		Workers:         workers,
+		RecordTrace:     true,
+		Groups: []WorkloadGroup{
+			{
+				Name: "fast", NewApp: newFastApp, Profile: fastSyntheticProfile(t),
+				Instances: 5, Pressure: 0.3,
+				Load: NewConstantLoad(21, 24).WithRequestIters(10),
+			},
+			{
+				Name: "slow", NewApp: newSlowApp, Profile: syntheticProfile(t),
+				Instances: 3, Pressure: 0.1,
+				Load: NewSpikeLoad(9, 4, 16, 6, 2).WithRequestIters(10),
+			},
+		},
+		Faults: &FaultOptions{Redispatch: true, Model: FaultSchedule{
+			{At: time.Unix(1, 0).Add(700 * time.Millisecond), Kind: FaultStraggler, Host: 2, Instance: -1, Duration: 3 * time.Second, Factor: 2.5},
+			{At: time.Unix(2, 0).Add(300 * time.Millisecond), Kind: FaultCrash, Host: 1, Duration: 1500 * time.Millisecond, Instance: -1},
+			{At: time.Unix(3, 0).Add(100 * time.Millisecond), Kind: FaultCrash, Host: 3, Rack: "rack-b", Duration: 1200 * time.Millisecond, Instance: -1},
+			{At: time.Unix(3, 0).Add(100 * time.Millisecond), Kind: FaultCrash, Host: 5, Rack: "rack-b", Duration: 1200 * time.Millisecond, Instance: -1},
+			{At: time.Unix(3, 0).Add(400 * time.Millisecond), Kind: FaultThrottle, Host: 0, Duration: 2500 * time.Millisecond, State: 5, Instance: -1},
+			{At: time.Unix(5, 0).Add(550 * time.Millisecond), Kind: FaultSag, Duration: 1800 * time.Millisecond, Factor: 0.6, Instance: -1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mid-window cap change inside the throttle window, and a
+	// cross-group migration across the rack outage's recovery.
+	sup.SetBudgetAt(time.Unix(4, 0).Add(330*time.Millisecond), 8*175)
+	var fast, slow *Instance
+	for _, inst := range sup.Instances() {
+		switch {
+		case fast == nil && inst.GroupIndex() == 0:
+			fast = inst
+		case slow == nil && inst.GroupIndex() == 1:
+			slow = inst
+		}
+	}
+	if fast == nil || slow == nil || fast.HostIndex() == slow.HostIndex() {
+		t.Fatalf("scenario placement did not separate groups: fast %v slow %v", fast, slow)
+	}
+	if err := sup.MigrateAt(time.Unix(4, 0).Add(650*time.Millisecond), fast, slow.HostIndex()); err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 0; r < 10; r++ {
+		if _, err := sup.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res := diffResult{rounds: sup.rounds, report: sup.Report(), trace: sup.Trace()}
+	for _, h := range sup.Hosts() {
+		res.energy = append(res.energy, h.Energy())
+		res.states = append(res.states, h.State())
+	}
+	for _, inst := range sup.Instances() {
+		res.insts = append(res.insts, instState{Host: inst.HostIndex(), Retired: inst.Retired(), Completed: len(inst.allLats)})
+	}
+	SortTrace(res.trace)
+	return res
+}
+
+// TestFaultScenarioBitIdenticalAcrossWorkers is the fault subsystem's
+// differential acceptance test: the fault-laden scenario — every fault
+// kind, a correlated rack outage, displaced work redispatched across
+// shards, a cap change inside a throttle window — must be bit-identical
+// between the single-heap engine and the sharded engine at Workers=2
+// and Workers=4, including Report.Resilience (compared inside the
+// report) and the canonically sorted trace.
+func TestFaultScenarioBitIdenticalAcrossWorkers(t *testing.T) {
+	ref := runFaultDiffScenario(t, 1)
+	for _, workers := range []int{2, 4} {
+		got := runFaultDiffScenario(t, workers)
+		assertDiffEqual(t, "faults-8-host", ref, got, 1, workers)
+	}
+	ril := ref.report.Resilience
+	if ril == nil {
+		t.Fatal("fault scenario reported no Resilience")
+	}
+	if ril.Crashes != 3 || ril.Throttles != 1 || ril.Stragglers != 1 || ril.Sags != 1 {
+		t.Fatalf("landed %d/%d/%d/%d crash/throttle/straggler/sag, want 3/1/1/1", ril.Crashes, ril.Throttles, ril.Stragglers, ril.Sags)
+	}
+	if ril.Redispatched == 0 {
+		t.Fatal("no crash displaced work; the differential proves nothing")
+	}
+	if ref.report.Completions == 0 {
+		t.Fatal("scenario completed no requests; the differential proves nothing")
+	}
+}
+
 // TestShardedEngineAutoscaledReplay holds the sharded engine to the
 // single-heap reference on the full Fig. 8 replay — the autoscaler
 // issuing mid-quantum starts and drains round after round, the

@@ -1,6 +1,9 @@
 package fleet
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // HostStats is one machine's state over one quantum.
 type HostStats struct {
@@ -67,6 +70,15 @@ type RoundStats struct {
 	// Groups attributes the quantum to workload groups, in scenario
 	// declaration order.
 	Groups []GroupRoundStats
+	// FaultsLanded counts fault landings this quantum; FaultRedispatched
+	// and FaultDropped count the requests crashes displaced this quantum
+	// (re-offered within their group vs dropped); FaultActive reports
+	// whether any fault window overlapped the quantum. All zero unless a
+	// fault model is wired (fault.go).
+	FaultsLanded      int
+	FaultRedispatched int
+	FaultDropped      int
+	FaultActive       bool
 }
 
 // InstanceLatency is one instance's request-latency summary over a run.
@@ -115,6 +127,11 @@ type Report struct {
 	// MeanRequestLoss is the realized QoS loss averaged over every
 	// completed request.
 	MeanRequestLoss float64
+	// Resilience summarizes the run's landed faults — recovery time to
+	// the pre-fault p95, violations per fault window, displaced-request
+	// counts. Nil unless a fault model is wired (fault.go), so unfaulted
+	// reports are byte-identical to pre-fault builds.
+	Resilience *Resilience
 }
 
 // percentile returns the nearest-rank p-th percentile of a sorted,
@@ -169,7 +186,7 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		rs.Beats += snap.Beats - inst.prevBeats
 		inst.prevBeats = snap.Beats
 		if !inst.retired {
-			if inst.accepting {
+			if inst.eligible() {
 				a.accepting++
 			}
 			depth := inst.QueueDepth()
@@ -247,6 +264,12 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		rs.LatencyP95 = percentile(roundLats, 95)
 		rs.LatencyP99 = percentile(roundLats, 99)
 	}
+	rs.FaultsLanded = s.roundFaults
+	rs.FaultRedispatched = s.roundRedispatched
+	rs.FaultDropped = s.roundDropped
+	s.roundFaults, s.roundRedispatched, s.roundDropped = 0, 0, 0
+	roundStart := epochTime().Add(time.Duration(s.round) * s.cfg.Quantum)
+	rs.FaultActive = rs.FaultsLanded > 0 || s.faultActiveUntil.After(roundStart)
 }
 
 // Report summarizes the run so far.
@@ -256,6 +279,9 @@ func (s *Supervisor) Report() Report {
 		TotalEnergyJ: s.energy,
 		Completions:  s.completed,
 		Aborted:      s.aborted,
+	}
+	if s.faultOpts != nil {
+		rep.Resilience = s.resilience()
 	}
 	if s.lossN > 0 {
 		rep.MeanRequestLoss = s.lossSum / float64(s.lossN)

@@ -20,6 +20,18 @@ const (
 	TraceComplete TraceKind = "complete"
 	// TraceCap is a cluster-budget change landing (Value = watts).
 	TraceCap TraceKind = "cap"
+	// TraceFault is a fault landing: a host crash (host-scoped, Value =
+	// outage seconds, Group = rack label when correlated), a straggler
+	// (instance-scoped, Value = slowdown factor), or a power-supply sag
+	// (host -1, Value = sagged budget in watts). Throttles have their
+	// own kind.
+	TraceFault TraceKind = "fault"
+	// TraceThrottle is a thermal-throttle landing (Value = the clamp
+	// frequency in GHz, State = the clamp's DVFS state index).
+	TraceThrottle TraceKind = "throttle"
+	// TraceRecover is a fault recovery, scoped like its landing (Value
+	// unused).
+	TraceRecover TraceKind = "recover"
 	// TraceArbiter is an arbiter tick (Value = budget in watts).
 	TraceArbiter TraceKind = "arbiter"
 	// TraceState is a host DVFS state transition (Value = GHz).
@@ -60,21 +72,25 @@ type TraceEvent struct {
 }
 
 // traceKindRank is SortTrace's canonical kind order: the order
-// simultaneous events land in on the event timeline (caps before
-// placements before arbitration before retirements before arrivals
-// before completions), with reporting kinds (scale, round) last.
+// simultaneous events land in on the event timeline (caps before fault
+// landings and recoveries, faults before placements, placements before
+// arbitration before retirements before arrivals before completions),
+// with reporting kinds (scale, round) last.
 var traceKindRank = map[TraceKind]int{
 	TraceCap:      0,
-	TraceStart:    1,
-	TraceDrain:    2,
-	TraceMigrate:  3,
-	TraceArbiter:  4,
-	TraceState:    5,
-	TraceRetire:   6,
-	TraceArrival:  7,
-	TraceComplete: 8,
-	TraceScale:    9,
-	TraceRound:    10,
+	TraceFault:    1,
+	TraceThrottle: 2,
+	TraceRecover:  3,
+	TraceStart:    4,
+	TraceDrain:    5,
+	TraceMigrate:  6,
+	TraceArbiter:  7,
+	TraceState:    8,
+	TraceRetire:   9,
+	TraceArrival:  10,
+	TraceComplete: 11,
+	TraceScale:    12,
+	TraceRound:    13,
 }
 
 // SortTrace sorts trace events into the canonical deterministic order:
@@ -132,16 +148,20 @@ func (s *Supervisor) Trace() []TraceEvent {
 // Columns (see docs/TRACE_FORMAT.md for the full schema):
 //
 //	t_seconds — virtual seconds since the run epoch (fixed 6 decimals)
-//	kind      — the TraceKind string (arrival, complete, cap, arbiter,
-//	            state, start, drain, retire, migrate, scale, round)
+//	kind      — the TraceKind string (arrival, complete, cap, fault,
+//	            throttle, recover, arbiter, state, start, drain, retire,
+//	            migrate, scale, round)
 //	instance  — instance id the event is scoped to, -1 if none
 //	host      — host index the event is scoped to, -1 if none
-//	state     — DVFS state index for state events, -1 otherwise
+//	state     — DVFS state index for state and throttle events, -1
+//	            otherwise
 //	value     — kind-specific value: latency seconds (complete), watts
-//	            (cap, arbiter, round), GHz (state), desired instance
-//	            count (scale); 0 when unused
+//	            (cap, arbiter, round, sag fault), GHz (state, throttle),
+//	            desired instance count (scale), outage seconds (crash
+//	            fault), slowdown factor (straggler fault); 0 when unused
 //	group     — workload-group name for instance- and request-scoped
-//	            events, empty for fleet-global ones
+//	            events, the rack label for rack-correlated crash faults
+//	            and their recoveries, empty for fleet-global ones
 func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
 	sorted := make([]TraceEvent, len(events))
 	copy(sorted, events)

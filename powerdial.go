@@ -259,6 +259,26 @@ type (
 	FleetGroupReplayPoint = fleet.GroupReplayPoint
 	// FleetReplayResult is a finished replay.
 	FleetReplayResult = fleet.ReplayResult
+	// FleetFaultKind labels one class of injected fault.
+	FleetFaultKind = fleet.FaultKind
+	// FleetFaultEvent is one scheduled fault on the event timeline.
+	FleetFaultEvent = fleet.FaultEvent
+	// FleetFaultModel is the pluggable fault source for chaos runs.
+	FleetFaultModel = fleet.FaultModel
+	// FleetFaultOptions wires a fault model into a fleet.
+	FleetFaultOptions = fleet.FaultOptions
+	// FleetFaultSchedule is a fixed, fully explicit fault model.
+	FleetFaultSchedule = fleet.FaultSchedule
+	// FleetFaultConfig parameterizes the seeded stochastic fault model.
+	FleetFaultConfig = fleet.FaultConfig
+	// FleetSeededFaults is the seeded stochastic fault model.
+	FleetSeededFaults = fleet.SeededFaults
+	// FleetFaultRecord is one landed fault's resilience accounting.
+	FleetFaultRecord = fleet.FaultRecord
+	// FleetResilience summarizes a faulted run's recovery behavior.
+	FleetResilience = fleet.Resilience
+	// FleetReplayFaultPoint is one replay quantum's fault counters.
+	FleetReplayFaultPoint = fleet.ReplayFaultPoint
 )
 
 // Fleet timeline selectors.
@@ -267,6 +287,18 @@ const (
 	FleetTimelineEvent = fleet.TimelineEvent
 	// FleetTimelineQuantum is the legacy bulk-synchronous loop.
 	FleetTimelineQuantum = fleet.TimelineQuantum
+)
+
+// Fault classes injectable by a fleet fault model.
+const (
+	// FleetFaultCrash takes a host (or a whole rack) offline.
+	FleetFaultCrash = fleet.FaultCrash
+	// FleetFaultThrottle clamps a host's DVFS below the arbiter grant.
+	FleetFaultThrottle = fleet.FaultThrottle
+	// FleetFaultStraggler slows one instance's service share.
+	FleetFaultStraggler = fleet.FaultStraggler
+	// FleetFaultSag scales the global power budget mid-window.
+	FleetFaultSag = fleet.FaultSag
 )
 
 // Influence-tracing types (see internal/influence).
@@ -365,6 +397,19 @@ func WriteFleetReplayCSV(w io.Writer, points []FleetReplayPoint) error {
 // as an arrival-rate series.
 func Fig8Rates(rounds int, peak float64, seed int64) []float64 {
 	return fleet.Fig8Rates(rounds, peak, seed)
+}
+
+// NewFleetSeededFaults builds the seeded stochastic fault model: per
+// round it draws Poisson counts per fault class and exponential
+// durations, all from one seed, so chaos runs replay exactly.
+func NewFleetSeededFaults(cfg FleetFaultConfig) *FleetSeededFaults {
+	return fleet.NewSeededFaults(cfg)
+}
+
+// WriteFleetResilienceCSV writes a faulted run's per-fault recovery
+// accounting as CSV (docs/TRACE_FORMAT.md).
+func WriteFleetResilienceCSV(w io.Writer, res *FleetResilience) error {
+	return fleet.WriteResilienceCSV(w, res)
 }
 
 // PlanMD1Instances returns the smallest instance count that keeps every
