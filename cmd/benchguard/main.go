@@ -1,0 +1,100 @@
+// Command benchguard compares one benchmark leg between a committed
+// baseline record and a fresh run, and exits non-zero when a metric
+// regresses past the allowed ratio. CI uses it to fail a PR whose
+// 128-host fleet leg allocates >10% more per op than the committed
+// BENCH_fleet.json baseline — keeping the zero-alloc hot path honest
+// without flaky wall-clock thresholds.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_fleet.json -current fresh.txt \
+//	  -bench 'BenchmarkFleetScale/hosts=128/workers=4' \
+//	  [-metric allocs|ns|bytes] [-max-regress 0.10]
+//
+// Both inputs may be raw `go test -bench` text or test2json streams;
+// repeated -count runs are averaged before comparing. The -bench
+// pattern must match exactly one benchmark in each file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_fleet.json", "committed baseline record")
+	current := flag.String("current", "", "fresh benchmark record to check")
+	bench := flag.String("bench", "", "benchmark name pattern (full regexp match, -cpu suffix stripped)")
+	metric := flag.String("metric", "allocs", "metric to guard: allocs, ns, or bytes")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional increase over baseline")
+	flag.Parse()
+
+	if err := run(*baseline, *current, *bench, *metric, *maxRegress); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, currentPath, bench, metric string, maxRegress float64) error {
+	if currentPath == "" || bench == "" {
+		return fmt.Errorf("-current and -bench are required")
+	}
+	base, err := load(baselinePath, bench)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	cur, err := load(currentPath, bench)
+	if err != nil {
+		return fmt.Errorf("current %s: %w", currentPath, err)
+	}
+	baseVal, curVal, unit, err := pick(base, cur, metric)
+	if err != nil {
+		return err
+	}
+	ratio := curVal / baseVal
+	fmt.Printf("benchguard: %s %s: baseline %.1f, current %.1f (%+.1f%%), limit +%.0f%%\n",
+		base.Name, unit, baseVal, curVal, (ratio-1)*100, maxRegress*100)
+	if ratio > 1+maxRegress {
+		return fmt.Errorf("%s regressed: %s %.1f -> %.1f exceeds +%.0f%% budget",
+			base.Name, unit, baseVal, curVal, maxRegress*100)
+	}
+	return nil
+}
+
+func load(path, bench string) (benchparse.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return benchparse.Result{}, err
+	}
+	defer f.Close()
+	results, err := benchparse.Parse(f)
+	if err != nil {
+		return benchparse.Result{}, err
+	}
+	return benchparse.Find(benchparse.Means(results), bench)
+}
+
+// pick selects the guarded metric from both results, rejecting metrics
+// the records don't carry (e.g. allocs/op without -benchmem).
+func pick(base, cur benchparse.Result, metric string) (baseVal, curVal float64, unit string, err error) {
+	switch metric {
+	case "allocs":
+		baseVal, curVal, unit = base.AllocsPerOp, cur.AllocsPerOp, "allocs/op"
+	case "ns":
+		baseVal, curVal, unit = base.NsPerOp, cur.NsPerOp, "ns/op"
+	case "bytes":
+		baseVal, curVal, unit = base.BytesPerOp, cur.BytesPerOp, "B/op"
+	default:
+		return 0, 0, "", fmt.Errorf("unknown -metric %q (want allocs, ns, or bytes)", metric)
+	}
+	if baseVal < 0 || curVal < 0 {
+		return 0, 0, "", fmt.Errorf("metric %s absent from record (run benchmarks with -benchmem)", unit)
+	}
+	if baseVal == 0 {
+		return 0, 0, "", fmt.Errorf("baseline %s is zero; ratio undefined", unit)
+	}
+	return baseVal, curVal, unit, nil
+}

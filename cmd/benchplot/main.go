@@ -1,0 +1,98 @@
+// Command benchplot renders a benchmark record (raw `go test -bench`
+// text or `-json` test2json stream, e.g. the committed BENCH_fleet.json)
+// into a dependency-free SVG figure: one bar panel of ns/op and one of
+// allocs/op per benchmark, with exact values annotated. CI attaches the
+// output as an artifact so scaling trends are visible per run.
+//
+// Usage:
+//
+//	benchplot -in BENCH_fleet.json -out bench.svg [-title "fleet benchmarks"] [-filter regexp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+
+	"repro/internal/benchparse"
+	"repro/internal/plot"
+)
+
+func main() {
+	in := flag.String("in", "", "benchmark record to read (default stdin); raw text or test2json")
+	out := flag.String("out", "bench.svg", "SVG file to write")
+	title := flag.String("title", "benchmark results", "figure title")
+	filter := flag.String("filter", "", "optional regexp; keep only matching benchmark names")
+	flag.Parse()
+
+	if err := run(*in, *out, *title, *filter); err != nil {
+		fmt.Fprintln(os.Stderr, "benchplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, title, filter string) error {
+	var src io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := benchparse.Parse(src)
+	if err != nil {
+		return err
+	}
+	means := benchparse.Means(results)
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+		kept := means[:0]
+		for _, m := range means {
+			if re.MatchString(m.Name) {
+				kept = append(kept, m)
+			}
+		}
+		means = kept
+	}
+	if len(means) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+
+	var labels []string
+	var ns []float64
+	var allocLabels []string
+	var allocs []float64
+	for _, m := range means {
+		label := strings.TrimPrefix(m.Name, "Benchmark")
+		labels = append(labels, label)
+		ns = append(ns, m.NsPerOp)
+		if m.AllocsPerOp >= 0 {
+			allocLabels = append(allocLabels, label)
+			allocs = append(allocs, m.AllocsPerOp)
+		}
+	}
+	panels := []plot.Panel{
+		{Title: "time per op", Unit: " ns/op", Labels: labels, Bars: ns},
+	}
+	if len(allocs) > 0 {
+		panels = append(panels, plot.Panel{Title: "allocations per op", Unit: " allocs/op", Labels: allocLabels, Bars: allocs})
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := plot.WriteSVG(f, title, panels); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

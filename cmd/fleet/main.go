@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	powerdial "repro"
@@ -51,6 +52,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "load generator seed")
 	timeline := flag.String("timeline", "event", "execution engine: event | quantum")
 	workers := flag.Int("workers", 0, "event-engine shard workers: 0 = GOMAXPROCS, 1 = single-heap reference engine, N>1 = sharded engine with an N-worker pool (bit-identical results at any value; -trace row order is engine-specific)")
+	fluid := flag.Int("fluid", 0, "hybrid fluid/discrete engine: instances whose queue reaches this depth leave the event timeline and drain analytically until the backlog falls below half the threshold (0 = pure discrete; event timeline only)")
+	epoch := flag.Bool("epoch", false, "batch join-shortest-queue dispatch per coordinator window instead of per arrival (event timeline; pairs with -fluid for thousand-host runs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	plotPath := flag.String("plot", "", "with -replay: also render the replay timeline as an SVG figure here")
 	feedforward := flag.Bool("feedforward", false, "replay: clamp autoscaler proposals to ±1 of the M/D/1 planner at the smoothed arrival rate (model-informed damping)")
 	latency := flag.Bool("latency", false, "print per-instance p50/p95/p99 request latency")
 	tracePath := flag.String("trace", "", "write the event-time trace to this CSV file")
@@ -70,18 +75,34 @@ func main() {
 		}
 	})
 
-	if err := run(options{
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	err := run(options{
 		app: *appName, scale: *scale,
 		machines: *machines, cores: *cores, instances: *instances, rounds: *rounds,
 		budget: *budget, dropTo: *dropTo, dropAt: *dropAt, dropFrac: *dropFrac,
 		load: *load, rate: *rate, reqIters: *reqIters, seed: *seed,
-		timeline: *timeline, workers: *workers, feedforward: *feedforward,
-		latency: *latency, tracePath: *tracePath,
+		timeline: *timeline, workers: *workers, fluid: *fluid, epoch: *epoch,
+		feedforward: *feedforward,
+		latency:     *latency, tracePath: *tracePath, plotPath: *plotPath,
 		replayPath: *replayPath, ratesPath: *ratesPath, scenarioPath: *scenarioPath,
 		faultsPath: *faultsPath, resiliencePath: *resiliencePath,
 		sloP95: *sloP95, scaleMin: *scaleMin, scaleMax: *scaleMax,
 		instancesSet: instancesSet,
-	}); err != nil {
+	})
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -90,10 +111,11 @@ func main() {
 type options struct {
 	app, scale, load, timeline, tracePath string
 	replayPath, ratesPath, scenarioPath   string
-	faultsPath, resiliencePath            string
+	faultsPath, resiliencePath, plotPath  string
 	machines, cores, instances, rounds    int
-	dropAt, reqIters, workers             int
+	dropAt, reqIters, workers, fluid      int
 	scaleMin, scaleMax                    int
+	epoch                                 bool
 	budget, dropTo, dropFrac, rate        float64
 	sloP95                                float64
 	seed                                  int64
@@ -168,6 +190,8 @@ func run(o options) error {
 		Quantum:         quantum,
 		Timeline:        tl,
 		Workers:         o.workers,
+		EpochDispatch:   o.epoch,
+		Fluid:           o.fluid,
 		RecordTrace:     o.tracePath != "",
 	})
 	if err != nil {
@@ -223,8 +247,14 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		// Per-host frequencies, elided past 8 hosts: a thousand-host row
+		// would bury the fleet counters it sits between.
 		freqs := ""
 		for i, h := range rs.Hosts {
+			if i == 8 {
+				freqs += fmt.Sprintf(" …(%d hosts)", len(rs.Hosts))
+				break
+			}
 			if i > 0 {
 				freqs += " "
 			}
@@ -319,6 +349,8 @@ func runReplay(o options) error {
 		Quantum:         quantum,
 		Timeline:        tl,
 		Workers:         o.workers,
+		EpochDispatch:   o.epoch,
+		Fluid:           o.fluid,
 		RecordTrace:     o.tracePath != "",
 	})
 	if err != nil {
@@ -467,6 +499,21 @@ func runReplay(o options) error {
 		return err
 	}
 	fmt.Printf("wrote %d replay rows to %s\n", len(res.Points), o.replayPath)
+
+	if o.plotPath != "" {
+		f, err := os.Create(o.plotPath)
+		if err != nil {
+			return err
+		}
+		if err := fleet.WriteReplaySVG(f, res.Points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote replay figure to %s\n", o.plotPath)
+	}
 
 	if o.tracePath != "" {
 		f, err := os.Create(o.tracePath)

@@ -32,6 +32,12 @@ type scenarioSpec struct {
 	// SplitDispatch routes arrivals by seeded uniform split within the
 	// group instead of join-shortest-queue.
 	SplitDispatch bool `json:"splitDispatch"`
+	// EpochDispatch batches join-shortest-queue routing per coordinator
+	// window instead of per arrival (mirrors the -epoch flag).
+	EpochDispatch bool `json:"epochDispatch"`
+	// Fluid is the hybrid fluid/discrete engine's queue-depth threshold
+	// (0 = pure discrete; mirrors the -fluid flag).
+	Fluid int `json:"fluid"`
 	// ControlDisabled runs open-loop at baseline settings.
 	ControlDisabled bool `json:"controlDisabled"`
 	// Interference selects the co-residency model: "pressure" (the
@@ -176,12 +182,20 @@ func runScenario(o options) error {
 		Budget:          budget,
 		Workers:         spec.Workers,
 		SplitDispatch:   spec.SplitDispatch,
+		EpochDispatch:   spec.EpochDispatch,
+		Fluid:           spec.Fluid,
 		ControlDisabled: spec.ControlDisabled,
 		Interference:    itf,
 		RecordTrace:     o.tracePath != "",
 	}
 	if o.workers != 0 {
 		sc.Workers = o.workers
+	}
+	if o.epoch {
+		sc.EpochDispatch = true
+	}
+	if o.fluid != 0 {
+		sc.Fluid = o.fluid
 	}
 	for gi, gs := range spec.Groups {
 		wg, err := buildGroup(gi, gs)

@@ -1,0 +1,110 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const rawBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/fleet
+BenchmarkFleetScale/hosts=128/workers=4-8         	      30	   1615180 ns/op	   21504 B/op	     139 allocs/op
+BenchmarkFleetScale/hosts=128/workers=4-8         	      30	   1702331 ns/op	   21600 B/op	     141 allocs/op
+BenchmarkFleetScale/hosts=1024/workers=4-8        	       6	  16028577 ns/op	  180224 B/op	    1127 allocs/op
+BenchmarkNoAllocLine-8                            	 1000000	      1042 ns/op
+PASS
+`
+
+func TestParseRawText(t *testing.T) {
+	res, err := Parse(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("want 4 results, got %d: %+v", len(res), res)
+	}
+	r := res[0]
+	if r.Name != "BenchmarkFleetScale/hosts=128/workers=4" {
+		t.Errorf("name with -cpu suffix not stripped: %q", r.Name)
+	}
+	if r.N != 30 || r.NsPerOp != 1615180 || r.BytesPerOp != 21504 || r.AllocsPerOp != 139 {
+		t.Errorf("bad first result: %+v", r)
+	}
+	if last := res[3]; last.AllocsPerOp != -1 || last.BytesPerOp != -1 {
+		t.Errorf("absent metrics should stay -1: %+v", last)
+	}
+}
+
+func TestParseTestJSON(t *testing.T) {
+	// test2json splits result lines across Output events mid-field;
+	// Parse must reassemble before matching.
+	jsonStream := `{"Action":"run","Package":"repro/internal/fleet","Test":"BenchmarkFleetScale"}
+{"Action":"output","Package":"repro/internal/fleet","Output":"BenchmarkFleetScale/hosts=128/workers=4-8         \t"}
+{"Action":"output","Package":"repro/internal/fleet","Output":"      30\t   1615180 ns/op\t   21504 B/op\t     139 allocs/op\n"}
+{"Action":"output","Package":"repro/internal/fleet","Output":"BenchmarkFleetScaleFluid/hosts=128/workers=4-8 \t      50\t    900000 ns/op\t    9000 B/op\t     174 allocs/op\n"}
+{"Action":"pass","Package":"repro/internal/fleet"}
+`
+	res, err := Parse(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("want 2 results, got %d: %+v", len(res), res)
+	}
+	if res[0].AllocsPerOp != 139 || res[1].Name != "BenchmarkFleetScaleFluid/hosts=128/workers=4" {
+		t.Errorf("bad results: %+v", res)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	res, err := Parse(strings.NewReader(rawBench))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	means := Means(res)
+	if len(means) != 3 {
+		t.Fatalf("want 3 mean rows, got %d", len(means))
+	}
+	m := means[0]
+	if m.Name != "BenchmarkFleetScale/hosts=128/workers=4" {
+		t.Fatalf("first-seen order broken: %q", m.Name)
+	}
+	if want := (1615180.0 + 1702331.0) / 2; m.NsPerOp != want {
+		t.Errorf("ns/op mean = %v, want %v", m.NsPerOp, want)
+	}
+	if m.AllocsPerOp != 140 {
+		t.Errorf("allocs/op mean = %v, want 140", m.AllocsPerOp)
+	}
+	if means[2].AllocsPerOp != -1 {
+		t.Errorf("metric absent in all runs must stay -1: %+v", means[2])
+	}
+}
+
+func TestFind(t *testing.T) {
+	means := Means(mustParse(t, rawBench))
+	r, err := Find(means, `BenchmarkFleetScale/hosts=128/workers=4`)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if r.AllocsPerOp != 140 {
+		t.Errorf("wrong row: %+v", r)
+	}
+	if _, err := Find(means, `BenchmarkFleetScale/.*`); err == nil {
+		t.Error("ambiguous pattern should error")
+	}
+	if _, err := Find(means, `BenchmarkNope`); err == nil {
+		t.Error("unmatched pattern should error")
+	}
+	if _, err := Find(means, `(`); err == nil {
+		t.Error("invalid regexp should error")
+	}
+}
+
+func mustParse(t *testing.T, s string) []Result {
+	t.Helper()
+	res, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return res
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// simulateMixedWaitSamples runs the same Lindley recursion as
+// simulateMixedWaits but returns the sorted stationary wait samples, so
+// the full distribution — not just the mean — can be pinned.
+func simulateMixedWaitSamples(classes []ServiceClass, n, warmup int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var lambda float64
+	for _, c := range classes {
+		lambda += c.Lambda
+	}
+	draw := func() float64 {
+		u := rng.Float64() * lambda
+		for _, c := range classes {
+			if u < c.Lambda {
+				return c.Service
+			}
+			u -= c.Lambda
+		}
+		return classes[len(classes)-1].Service
+	}
+	w := 0.0
+	samples := make([]float64, 0, n)
+	for i := 0; i < n+warmup; i++ {
+		if i >= warmup {
+			samples = append(samples, w)
+		}
+		gap := rng.ExpFloat64() / lambda
+		w += draw() - gap
+		if w < 0 {
+			w = 0
+		}
+	}
+	sort.Float64s(samples)
+	return samples
+}
+
+// empiricalCDF returns the fraction of sorted samples ≤ t.
+func empiricalCDF(sorted []float64, t float64) float64 {
+	return float64(sort.SearchFloat64s(sorted, math.Nextafter(t, math.Inf(1)))) / float64(len(sorted))
+}
+
+// TestWaitDistMatchesMD1CDF pins the degenerate single-class case: the
+// Volterra-grid distribution must reproduce the exact M/D/1 Erlang
+// series across the body and the moderate tail.
+func TestWaitDistMatchesMD1CDF(t *testing.T) {
+	for _, q := range []MD1{
+		{Lambda: 1.2, Service: 0.5},
+		{Lambda: 0.9, Service: 1.0},
+	} {
+		d, err := NewWaitDist(ServiceClass{Lambda: q.Lambda, Service: q.Service})
+		if err != nil {
+			t.Fatalf("NewWaitDist: %v", err)
+		}
+		for _, x := range []float64{0, 0.1, 0.3, 0.7, 1, 1.5, 2, 3, 5, 8} {
+			tt := x * q.Service
+			got, want := d.WaitCDF(tt), q.WaitCDF(tt)
+			if math.Abs(got-want) > 2e-3 {
+				t.Errorf("rho %.2f: WaitCDF(%.2f) = %.5f, MD1 exact says %.5f", q.Rho(), tt, got, want)
+			}
+		}
+		for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+			got, want := d.WaitQuantile(p), q.WaitQuantile(p)
+			if math.Abs(got-want) > 0.02*q.Service+1e-9 {
+				t.Errorf("rho %.2f: WaitQuantile(%v) = %.4f, MD1 exact says %.4f", q.Rho(), p, got, want)
+			}
+		}
+		gotSoj, wantSoj := d.SojournQuantile(0.95), q.SojournQuantile(0.95)
+		if math.Abs(gotSoj-wantSoj) > 0.02*wantSoj {
+			t.Errorf("rho %.2f: SojournQuantile(0.95) = %.4f, MD1 exact says %.4f", q.Rho(), gotSoj, wantSoj)
+		}
+	}
+}
+
+// TestWaitDistMatchesLindley pins the mixture distribution against the
+// seeded Lindley simulation — the same cases the P–K mean is pinned
+// with, now checked at distribution level (CDF points and the p95).
+func TestWaitDistMatchesLindley(t *testing.T) {
+	cases := []struct {
+		name    string
+		classes []ServiceClass
+	}{
+		{"fast-slow", []ServiceClass{{Lambda: 0.9, Service: 0.25}, {Lambda: 0.3, Service: 1.5}}},
+		{"three-way", []ServiceClass{{Lambda: 0.5, Service: 0.2}, {Lambda: 0.4, Service: 0.6}, {Lambda: 0.1, Service: 2.0}}},
+		{"near-saturation", []ServiceClass{{Lambda: 1.2, Service: 0.5}, {Lambda: 0.2, Service: 1.2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := NewWaitDist(tc.classes...)
+			if err != nil {
+				t.Fatalf("NewWaitDist: %v", err)
+			}
+			samples := simulateMixedWaitSamples(tc.classes, 400000, 10000, 11)
+			q := MixMG1(tc.classes...)
+			for _, frac := range []float64{0.25, 0.5, 1, 2, 4} {
+				tt := frac * q.MeanSojourn()
+				got, want := d.WaitCDF(tt), empiricalCDF(samples, tt)
+				if math.Abs(got-want) > 0.01 {
+					t.Errorf("WaitCDF(%.3f) = %.4f, Lindley simulation says %.4f", tt, got, want)
+				}
+			}
+			gotP95 := d.WaitQuantile(0.95)
+			wantP95 := samples[int(0.95*float64(len(samples)))]
+			if wantP95 > 0 && math.Abs(gotP95-wantP95)/wantP95 > 0.04 {
+				t.Errorf("WaitQuantile(0.95) = %.4f, Lindley simulation says %.4f", gotP95, wantP95)
+			}
+		})
+	}
+}
+
+// TestWaitDistMeanMatchesPK integrates the distribution's survival
+// function and compares against the closed-form Pollaczek–Khinchine
+// mean — distribution and moments must be the same station.
+func TestWaitDistMeanMatchesPK(t *testing.T) {
+	classes := []ServiceClass{{Lambda: 0.9, Service: 0.25}, {Lambda: 0.3, Service: 1.5}}
+	d, err := NewWaitDist(classes...)
+	if err != nil {
+		t.Fatalf("NewWaitDist: %v", err)
+	}
+	horizon := d.WaitQuantile(1 - 1e-9)
+	const steps = 200000
+	h := horizon / steps
+	mean := 0.0
+	for i := 0; i < steps; i++ {
+		tt := (float64(i) + 0.5) * h
+		mean += (1 - d.WaitCDF(tt)) * h
+	}
+	want := MixMG1(classes...).MeanWait()
+	if math.Abs(mean-want)/want > 0.01 {
+		t.Errorf("∫(1−CDF) = %.5f, P–K mean wait says %.5f", mean, want)
+	}
+}
+
+// TestWaitDistValidation covers the rejection paths and the planner.
+func TestWaitDistValidation(t *testing.T) {
+	if _, err := NewWaitDist(); err == nil {
+		t.Error("empty class list accepted")
+	}
+	if _, err := NewWaitDist(ServiceClass{Lambda: 0, Service: 1}); err == nil {
+		t.Error("zero offered load accepted")
+	}
+	if _, err := NewWaitDist(ServiceClass{Lambda: 1, Service: -2}); err == nil {
+		t.Error("negative service accepted")
+	}
+	if _, err := NewWaitDist(ServiceClass{Lambda: 2, Service: 1}); err == nil {
+		t.Error("unstable station accepted")
+	}
+	if _, err := NewWaitDist(ServiceClass{Lambda: -1, Service: 1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+
+	// Single class: the mixed planner must agree with the M/D/1 planner.
+	lambda, service := 6.0, 0.5
+	wantN, wantOK := PlanInstances(lambda, service, 0.95, 1.0, 16)
+	gotN, gotOK := PlanInstancesMix([]ServiceClass{{Lambda: lambda, Service: service}}, 0.95, 1.0, 16)
+	if gotN != wantN || gotOK != wantOK {
+		t.Errorf("PlanInstancesMix single class = (%d,%v), PlanInstances says (%d,%v)", gotN, gotOK, wantN, wantOK)
+	}
+	if n, ok := PlanInstancesMix([]ServiceClass{{Lambda: 100, Service: 1}}, 0.95, 0.01, 4); ok || n != 4 {
+		t.Errorf("impossible objective = (%d,%v), want (4,false)", n, ok)
+	}
+}

@@ -250,6 +250,26 @@ func (rt *Runtime) Snapshot() Snapshot {
 	if rt.current != nil {
 		s.Setting = rt.current.Clone()
 	}
+	return rt.finishSnapshot(s)
+}
+
+// StatsSnapshot is Snapshot without the Setting clone — the per-round
+// stats sweep reads one per instance per round, and the defensive copy
+// of the current setting was that path's only allocation. Callers that
+// need the Setting use Snapshot.
+func (rt *Runtime) StatsSnapshot() Snapshot {
+	rt.mu.Lock()
+	return rt.finishSnapshot(Snapshot{
+		Beats:    rt.beats,
+		Gain:     1,
+		Paused:   rt.paused,
+		Draining: rt.draining,
+	})
+}
+
+// finishSnapshot fills the plan- and monitor-derived fields; the caller
+// holds rt.mu, which is released here.
+func (rt *Runtime) finishSnapshot(s Snapshot) Snapshot {
 	if !rt.off {
 		s.Gain = rt.sch.Plan().ExpectedSpeedup()
 		s.PlanLoss = rt.sch.Plan().ExpectedLoss()
@@ -298,16 +318,33 @@ type Session struct {
 
 // NewSession starts a controlled pass over the stream.
 func (rt *Runtime) NewSession(st workload.Stream) *Session {
+	return rt.StartSession(nil, st.NewRun())
+}
+
+// StartSession begins a controlled pass over an already-prepared run,
+// reusing the Session allocation when the caller hands a finished one
+// back (nil allocates). Schedulers that pool rewindable runs
+// (workload.Rewinder) use this to serve steady-state requests without
+// allocating.
+func (rt *Runtime) StartSession(s *Session, run workload.Run) *Session {
 	rt.mu.Lock()
 	startBeats := rt.beats
 	rt.mu.Unlock()
-	return &Session{
+	if s == nil {
+		s = &Session{}
+	}
+	*s = Session{
 		rt:         rt,
-		run:        st.NewRun(),
+		run:        run,
 		start:      rt.mach.Clock().Now(),
 		startBeats: startBeats,
 	}
+	return s
 }
+
+// Body returns the session's underlying run, so a scheduler can pool it
+// for reuse once the session is finished and its output consumed.
+func (s *Session) Body() workload.Run { return s.run }
 
 // Step executes one iteration (one beat) of the session's stream. It
 // returns done=true when the stream is exhausted or the runtime is
@@ -493,7 +530,11 @@ func (rt *Runtime) applySetting(s knobs.Setting) error {
 		return err
 	}
 	rt.mu.Lock()
-	rt.current = s.Clone()
+	// Reuse the current slice's storage: a time-sliced plan flips the
+	// setting nearly every beat, and current never escapes un-cloned
+	// (Snapshot hands out a copy), so this is the one assignment that
+	// would otherwise allocate once per beat fleet-wide.
+	rt.current = append(rt.current[:0], s...)
 	rt.mu.Unlock()
 	return nil
 }

@@ -129,6 +129,69 @@ func BenchmarkFleetScale(b *testing.B) {
 			})
 		}
 	}
+	// The thousand-host leg runs the hybrid configuration (open-loop
+	// load, epoch dispatch, fluid threshold — see BenchmarkFleetScaleFluid
+	// for the 128-host discrete/fluid A/B): a saturated pure-discrete
+	// fleet at this size would be benchmarking the event flood the fluid
+	// engine exists to collapse.
+	b.Run("hosts=1024/workers=4", func(b *testing.B) {
+		benchFluidScale(b, prof, 1024, 4)
+	})
+}
+
+// benchFluidScale drives one hybrid-engine scale leg: one open-loop
+// instance per host at ~0.9 utilization (deep queues), join-shortest-
+// queue routing batched per arbiter window (EpochDispatch — exact JSQ
+// arrivals would make every arrival a global barrier), and the fluid
+// threshold engaged, so backlogged hosts drain analytically instead of
+// event by event. Allocations per round stay sub-linear in hosts
+// because fluid completions never materialize sessions, and wall-clock
+// per round scales with the discrete residue rather than the full
+// event count.
+func benchFluidScale(b *testing.B, prof *calibrate.Profile, hosts, workers int) {
+	sup, err := New(Config{
+		Machines:        hosts,
+		CoresPerMachine: 1,
+		NewApp:          func() (workload.App, error) { return NewSynthetic(SyntheticOptions{}), nil },
+		Profile:         prof,
+		Budget:          float64(hosts) * 210, // non-binding: steady DVFS keeps flows fluid
+		Workers:         workers,
+		ControlDisabled: true,
+		EpochDispatch:   true,
+		Fluid:           4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < hosts; j++ {
+		if _, err := sup.StartInstance(-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// ~0.9 rho per host at the 0.25 s work-item service time.
+	gen := NewConstantLoad(17, 3.6*float64(hosts)).WithRequestIters(10)
+	if err := sup.Run(gen, 2); err != nil { // warm to steady state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sup.Step(gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetScaleFluid is the 128-host hybrid leg — the discrete/
+// fluid A/B against BenchmarkFleetScale/hosts=128 (same host count,
+// open-loop hybrid configuration; see benchFluidScale). CI's
+// bench-smoke step records it into BENCH_fleet.json next to the
+// discrete series.
+func BenchmarkFleetScaleFluid(b *testing.B) {
+	prof := benchProfile(b)
+	b.Run("hosts=128/workers=4", func(b *testing.B) {
+		benchFluidScale(b, prof, 128, 4)
+	})
 }
 
 // BenchmarkFleetScenarioMix is the heterogeneous two-group benchmark:

@@ -53,9 +53,10 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 	// bypass it (they are pre-routed per window below) and instances
 	// wake on their hosts' shards. A stable sort by (at, kind)
 	// reproduces the single-heap ordering for simultaneous events.
-	var globals, splitArrivals []*event
+	preRoute := s.cfg.SplitDispatch || s.cfg.EpochDispatch
+	globals, splitArrivals := s.globalScratch[:0], s.arrScratch[:0]
 	emit := func(ev *event) {
-		if ev.kind == evArrival && s.cfg.SplitDispatch {
+		if ev.kind == evArrival && preRoute {
 			splitArrivals = append(splitArrivals, ev)
 			return
 		}
@@ -85,12 +86,16 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 		if gi < len(globals) {
 			barrier = globals[gi].at
 		}
-		// SplitDispatch fast path: draw this window's arrival targets
-		// (in arrival order, so the seeded RNG sequence matches the
-		// single-heap engine draw for draw) and hand each arrival to
-		// its target's shard as a local event. The draw is over the
-		// arrival's own group's accepting set — dispatch stays within
-		// the group.
+		// Pre-route fast path: hand this window's arrivals to their
+		// target shards as local events, in arrival order. Under
+		// SplitDispatch the target is the seeded uniform draw (so the
+		// RNG sequence matches the single-heap engine draw for draw);
+		// under EpochDispatch it is sequential join-shortest-queue
+		// against the window-start depth snapshot — a (depth, lower id)
+		// min-heap per group, each assignment bumping its target's
+		// snapshot depth. Either way the draw is over the arrival's own
+		// group's accepting set — dispatch stays within the group.
+		var jsq [][]jsqEntry
 		for ai < len(splitArrivals) && splitArrivals[ai].at.Before(barrier) {
 			ev := splitArrivals[ai]
 			ai++
@@ -101,9 +106,20 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 				// nil (no RNG draw).
 				s.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1, Group: s.groups[ev.req.Group].name})
 				s.pending = append(s.pending, ev.req)
+				s.recycleEvent(ev)
 				continue
 			}
-			ev.inst = grpAcc[s.splitRng.Intn(len(grpAcc))]
+			if s.cfg.SplitDispatch {
+				ev.inst = grpAcc[s.splitRng.Intn(len(grpAcc))]
+			} else {
+				if jsq == nil {
+					jsq = make([][]jsqEntry, len(s.groups))
+				}
+				if jsq[ev.req.Group] == nil {
+					jsq[ev.req.Group] = buildJSQ(grpAcc)
+				}
+				ev.inst = jsqAssign(jsq[ev.req.Group])
+			}
 			ev.inst.host.shard.push(ev)
 		}
 		if err := s.runWindow(barrier); err != nil {
@@ -164,21 +180,160 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 		}
 	}
 
+	// Globals were all applied at their barriers and nothing retains the
+	// structs (place/fault payloads are copied by value; arrival requests
+	// live on in queues), so the whole batch recycles, and the collection
+	// slices park as next round's scratch. Shards keep recycled events on
+	// their own lists during the round; sweep the surplus back to the
+	// shared pool here — pre-routed arrival events migrate shared pool →
+	// shard lists every round, and without the return flow the shared
+	// pool would starve while shard lists sit at their caps.
+	for i, g := range globals {
+		s.recycleEvent(g)
+		globals[i] = nil
+	}
+	for i := range splitArrivals {
+		splitArrivals[i] = nil
+	}
+	s.globalScratch, s.arrScratch = globals[:0], splitArrivals[:0]
+	const shardFreeFloor = 8
+	for _, h := range s.hosts {
+		sh := h.shard
+		if n := len(sh.free); n > shardFreeFloor {
+			s.evFree = append(s.evFree, sh.free[shardFreeFloor:]...)
+			for i := shardFreeFloor; i < n; i++ {
+				sh.free[i] = nil
+			}
+			sh.free = sh.free[:shardFreeFloor]
+		}
+	}
+
 	return s.closeEventRound(end, arrivals), nil
 }
 
-// runWindow advances every shard to the barrier. Windows in which a
-// live draining instance could retire (re-arbitrating the cluster at a
-// data-dependent instant) run serially in canonical merge order;
-// everything else fans out over the worker pool.
-func (s *Supervisor) runWindow(barrier time.Time) error {
-	if s.anyDrainingLive() {
-		return s.runSerialWindow(barrier)
+// jsqEntry is one accepting instance in an epoch-dispatch routing heap:
+// its queue depth as of the window start plus the arrivals already
+// assigned to it this window.
+type jsqEntry struct {
+	depth int
+	inst  *Instance
+}
+
+// jsqLess orders the routing heap exactly like the sequential dispatch
+// scan: shallowest queue first, ties to the lower instance id.
+func jsqLess(a, b jsqEntry) bool {
+	if a.depth != b.depth {
+		return a.depth < b.depth
 	}
-	var work []*shard
+	return a.inst.id < b.inst.id
+}
+
+// buildJSQ snapshots a group's accepting set into a routing min-heap
+// (Floyd heapify, O(n)).
+func buildJSQ(acc []*Instance) []jsqEntry {
+	h := make([]jsqEntry, len(acc))
+	for i, inst := range acc {
+		h[i] = jsqEntry{depth: inst.QueueDepth(), inst: inst}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		jsqSiftDown(h, i)
+	}
+	return h
+}
+
+// jsqAssign routes one arrival: the root is the JSQ winner; its snapshot
+// depth grows by the assignment and sifts back down.
+func jsqAssign(h []jsqEntry) *Instance {
+	inst := h[0].inst
+	h[0].depth++
+	jsqSiftDown(h, 0)
+	return inst
+}
+
+func jsqSiftDown(h []jsqEntry, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && jsqLess(h[l], h[least]) {
+			least = l
+		}
+		if r < n && jsqLess(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// crossLess is the cross-shard event tie-break: (instant, kind) only —
+// per-shard seq counters are meaningless between shards, so merges
+// realize the canonical host-index tie-break with an ascending host
+// scan using strict-less replacement.
+func crossLess(a, b *event) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.kind < b.kind
+}
+
+// runWindow advances every shard to the barrier. A retirement — the one
+// global action that can land at a data-dependent instant mid-window —
+// can only originate on a shard hosting a live draining instance, so
+// serialization is confined to exactly those shards: they advance in
+// canonical merge order until the earliest retirement, the rest of the
+// fleet catches up to that instant in parallel, the retirement lands
+// and re-arbitrates, and the cycle repeats. Fleets with no live drains
+// (the common case, and the entire scale benchmark) take the fully
+// parallel path immediately; fleets draining one instance serialize one
+// shard instead of all of them.
+func (s *Supervisor) runWindow(barrier time.Time) error {
+	for {
+		drains := s.drainingShards()
+		if len(drains) == 0 {
+			return s.runParallel(barrier)
+		}
+		tr, inst, err := s.runUntilRetire(drains, barrier)
+		if err != nil {
+			return err
+		}
+		if inst == nil {
+			// No retirement fires before the barrier: the drain shards
+			// are already there; fan the rest out in parallel.
+			return s.runParallel(barrier)
+		}
+		// Bring every other shard exactly to the retirement instant,
+		// land it, re-divide the budget, and continue the window.
+		if err := s.runParallel(tr); err != nil {
+			return err
+		}
+		s.retireAt(inst, tr)
+		s.arbitrate(tr)
+	}
+}
+
+// runParallel fans the shards with work before end out over the worker
+// pool, skipping shards marked excluded (drain shards, serialized by
+// runUntilRetire — a retirement surfacing inside a parallel run would
+// break the coordinator invariant). The work list is ordered
+// longest-processing-time first (pending events plus fluid residents)
+// so a skewed fleet — a few heavy hosts among many light ones — starts
+// its stragglers first instead of discovering them last.
+func (s *Supervisor) runParallel(end time.Time) error {
+	work := s.workScratch[:0]
 	for _, h := range s.hosts {
-		if h.shard.hasWorkBefore(barrier) {
-			work = append(work, h.shard)
+		sh := h.shard
+		if sh.excluded {
+			continue
+		}
+		// Shards with fluid residents but no discrete events still need
+		// the window: their flows render to end (and may re-materialize
+		// into discrete work) inside run.
+		if sh.hasWorkBefore(end) || len(sh.fluidInsts) > 0 {
+			work = append(work, sh)
 		}
 	}
 	workers := s.cfg.Workers
@@ -187,9 +342,14 @@ func (s *Supervisor) runWindow(barrier time.Time) error {
 	}
 	if workers <= 1 {
 		for _, sh := range work {
-			sh.run(barrier)
+			sh.run(end)
 		}
 	} else {
+		sort.SliceStable(work, func(i, j int) bool {
+			wi := len(work[i].eq) + len(work[i].fluidInsts)
+			wj := len(work[j].eq) + len(work[j].fluidInsts)
+			return wi > wj
+		})
 		// A bounded pool pulling shard indices from an atomic cursor:
 		// shards touch disjoint state between barriers, so scheduling
 		// order cannot affect results — only wall-clock time.
@@ -205,41 +365,35 @@ func (s *Supervisor) runWindow(barrier time.Time) error {
 					if i >= int64(len(work)) {
 						return
 					}
-					work[i].run(barrier)
+					work[i].run(end)
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	var err error
 	for _, sh := range work {
-		if sh.err != nil {
-			return sh.err
+		if sh.err != nil && err == nil {
+			err = sh.err
 		}
 	}
-	return nil
+	for i := range work {
+		work[i] = nil
+	}
+	s.workScratch = work[:0]
+	return err
 }
 
-// runSerialWindow processes shard events one at a time in the global
-// (instant, kind, host index, seq) order, handling drain retirements —
-// the global action parallel windows must exclude — inline: the
-// instance leaves at the exact instant its queue empties and the freed
-// budget share is re-arbitrated there, exactly like the single-heap
-// engine's retire event.
-func (s *Supervisor) runSerialWindow(barrier time.Time) error {
-	// Cross-shard ties break on (instant, kind) only: per-shard seq
-	// counters are meaningless between shards, so the ascending host
-	// scan with strict-less replacement realizes the canonical
-	// host-index tie-break.
-	crossLess := func(a, b *event) bool {
-		if !a.at.Equal(b.at) {
-			return a.at.Before(b.at)
-		}
-		return a.kind < b.kind
-	}
+// runUntilRetire advances the drain shards — and only them — in
+// canonical (instant, kind, host index, seq) merge order until the
+// earliest retirement event before the barrier, returning its instant
+// and instance with the event consumed but NOT applied (the caller
+// synchronizes the fleet to that instant first). Returns a nil instance
+// once the drain shards reach the barrier with no retirement.
+func (s *Supervisor) runUntilRetire(drains []*shard, barrier time.Time) (time.Time, *Instance, error) {
 	for {
 		var best *shard
-		for _, h := range s.hosts {
-			sh := h.shard
+		for _, sh := range drains {
 			if !sh.hasWorkBefore(barrier) {
 				continue
 			}
@@ -248,34 +402,57 @@ func (s *Supervisor) runSerialWindow(barrier time.Time) error {
 			}
 		}
 		if best == nil {
-			return nil
+			// Discrete events exhausted: render these shards' fluid
+			// flows to the barrier. A re-materialization schedules new
+			// discrete work inside the window, so resume the merge.
+			mat := false
+			for _, sh := range drains {
+				if sh.drainFluidTo(barrier) {
+					mat = true
+				}
+			}
+			if mat {
+				continue
+			}
+			return time.Time{}, nil, nil
 		}
 		ev := best.popHeap()
 		if ev.kind == evRetire {
-			if !ev.inst.retired {
-				s.retireAt(ev.inst, ev.at)
-				s.arbitrate(ev.at)
+			inst, at := ev.inst, ev.at
+			best.recycle(ev)
+			if inst.retired {
+				// A stop or an earlier retirement raced it; skip.
+				continue
 			}
-			continue
+			return at, inst, nil
 		}
 		best.handle(ev)
+		best.recycle(ev)
 		if best.err != nil {
-			return best.err
+			return time.Time{}, nil, best.err
 		}
 	}
 }
 
-// anyDrainingLive reports whether any placed instance is still draining
-// — the condition under which a retirement (and its re-arbitration)
-// could land mid-window. Draining only begins at barriers or round
-// boundaries, so the check at window start is conservative and exact.
-func (s *Supervisor) anyDrainingLive() bool {
+// drainingShards collects the shards hosting a live draining instance,
+// in host-index order, marking them excluded for runParallel (the
+// previous call's marks are cleared first). Draining only begins at
+// barriers or round boundaries, so the per-phase recomputation is
+// conservative and exact.
+func (s *Supervisor) drainingShards() []*shard {
+	for _, sh := range s.drainScratch {
+		sh.excluded = false
+	}
+	drains := s.drainScratch[:0]
 	for _, inst := range s.insts {
-		if !inst.retired && inst.draining {
-			return true
+		if !inst.retired && inst.draining && inst.host != nil && !inst.host.shard.excluded {
+			inst.host.shard.excluded = true
+			drains = append(drains, inst.host.shard)
 		}
 	}
-	return false
+	sort.Slice(drains, func(i, j int) bool { return drains[i].host.index < drains[j].host.index })
+	s.drainScratch = drains
+	return drains
 }
 
 // flushShardTraces merges each shard's window-local trace buffer into

@@ -74,6 +74,11 @@ type engineSink interface {
 	scheduleRetire(inst *Instance, t time.Time)
 	// record appends a trace event (no-op unless tracing is enabled).
 	record(ev TraceEvent)
+	// registerFluid tracks an instance that just entered fluid mode
+	// (fluid.go), so the engine drains its analytic flow at every
+	// subsequent drain point (global events, window barriers, round
+	// closes) until it re-materializes.
+	registerFluid(inst *Instance)
 }
 
 // eventQueue is a deterministic min-heap over (at, kind, seq).
@@ -92,6 +97,34 @@ func (q *eventQueue) Pop() interface{} {
 	return ev
 }
 
+// newEvent pops a recycled event from the supervisor's free list — the
+// pattern each shard already uses locally — so steady-state rounds
+// reuse one working set of event structs instead of allocating per
+// tick, arrival, and continuation.
+func (s *Supervisor) newEvent() *event {
+	if n := len(s.evFree); n > 0 {
+		ev := s.evFree[n-1]
+		s.evFree[n-1] = nil
+		s.evFree = s.evFree[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// mkEvent is newEvent plus the two fields every event carries.
+func (s *Supervisor) mkEvent(at time.Time, kind evKind) *event {
+	ev := s.newEvent()
+	ev.at, ev.kind = at, kind
+	return ev
+}
+
+// recycleEvent returns a dead event to the free list, zeroed so stale
+// Instance/Request pointers cannot leak through reuse.
+func (s *Supervisor) recycleEvent(ev *event) {
+	*ev = event{}
+	s.evFree = append(s.evFree, ev)
+}
+
 // push enqueues an event, stamping the deterministic FIFO sequence.
 func (s *Supervisor) push(ev *event) {
 	ev.seq = s.seq
@@ -108,17 +141,23 @@ func (s *Supervisor) pop() *event {
 // time t unless one is already queued. Idle instances are re-activated
 // by arrivals; serving instances schedule their own next beat.
 func (s *Supervisor) activate(inst *Instance, t time.Time) {
-	if inst.retired || inst.scheduled {
+	// Fluid instances have no discrete continuations: their backlog
+	// drains analytically until they re-materialize (fluid.go).
+	if inst.retired || inst.scheduled || inst.fluid {
 		return
 	}
 	inst.scheduled = true
-	s.push(&event{at: t, kind: evServe, inst: inst})
+	ev := s.mkEvent(t, evServe)
+	ev.inst = inst
+	s.push(ev)
 }
 
 // scheduleRetire enqueues a drain retirement on the global queue
 // (single-heap engineSink).
 func (s *Supervisor) scheduleRetire(inst *Instance, t time.Time) {
-	s.push(&event{at: t, kind: evRetire, inst: inst})
+	ev := s.mkEvent(t, evRetire)
+	ev.inst = inst
+	s.push(ev)
 }
 
 // closeSegment integrates one host's power over a segment of constant
@@ -214,7 +253,9 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 			if inst.selfFeed {
 				// Self-feed mints run on the event loop (or its shard),
 				// so (unlike quantum mode) they can be traced.
-				inst.queue = append(inst.queue, &Request{ID: -1, Group: inst.grp.index, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: inst.clk.Now()})
+				req := inst.takeRequest()
+				req.ID, req.Group, req.StreamIdx, req.Iters, req.Arrival = -1, inst.grp.index, inst.feedIdx, inst.reqIters, inst.clk.Now()
+				inst.queue = append(inst.queue, req)
 				inst.feedIdx++
 				inst.minted++
 				sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceArrival, Instance: inst.id, Host: -1, State: -1, Group: inst.grp.name})
@@ -228,9 +269,8 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 				return nil // idle until the next dispatch re-activates
 			}
 		}
-		inst.cur = inst.queue[0]
-		inst.queue = inst.queue[1:]
-		inst.sess = inst.rt.NewSession(inst.streamFor(inst.cur))
+		inst.cur = inst.popRequest()
+		inst.startSession(inst.cur)
 		inst.sessStart = inst.clk.Now()
 	}
 	done, err := inst.sess.Step()
@@ -242,6 +282,8 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 			// The runtime is winding down (hard stop): park until the
 			// boundary sweep retires the instance.
 			inst.aborted++
+			inst.endSession(inst.cur)
+			inst.freeRequest(inst.cur)
 			inst.sess, inst.cur = nil, nil
 			return nil
 		}
@@ -250,6 +292,12 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 		}
 		lat := inst.finishRequest()
 		sink.record(TraceEvent{At: inst.clk.Now(), Kind: TraceComplete, Instance: inst.id, Host: inst.HostIndex(), State: -1, Value: lat, Group: inst.grp.name})
+		// A completion is the one instant where the service estimate is
+		// fresh: if the queue is deep enough, leave the event timeline
+		// and let the backlog drain as an analytic flow (fluid.go).
+		if s.maybeEnterFluid(inst, inst.clk.Now(), sink) {
+			return nil
+		}
 	}
 	sink.activate(inst, inst.clk.Now())
 	return nil
@@ -277,21 +325,25 @@ func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error
 // only reaches draining instances, which already left the sets).
 func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*event), wake func(*Instance, time.Time)) (arrivals int, acc [][]*Instance) {
 	for t := start; t.Before(end); t = t.Add(s.cfg.ArbiterInterval) {
-		emit(&event{at: t, kind: evTick})
+		emit(s.mkEvent(t, evTick))
 	}
 	for _, c := range s.dueCaps(end) {
 		at := c.at
 		if at.Before(start) {
 			at = start
 		}
-		emit(&event{at: at, kind: evCap, watts: c.watts})
+		ev := s.mkEvent(at, evCap)
+		ev.watts = c.watts
+		emit(ev)
 	}
 	for _, p := range s.duePlaces(end) {
 		at := p.at
 		if at.Before(start) {
 			at = start
 		}
-		emit(&event{at: at, kind: evPlace, place: p})
+		ev := s.mkEvent(at, evPlace)
+		ev.place = p
+		emit(ev)
 	}
 	if s.faultOpts != nil {
 		// The fault model emits once per round; landings and recoveries
@@ -305,7 +357,9 @@ func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*ev
 			if at.Before(start) {
 				at = start
 			}
-			emit(&event{at: at, kind: evFault, fault: f})
+			ev := s.mkEvent(at, evFault)
+			ev.fault = f
+			emit(ev)
 		}
 	}
 
@@ -354,7 +408,7 @@ func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*ev
 					inst.selfFeed = true
 					inst.reqIters = ggen.reqIters
 					for inst.QueueDepth() < depth {
-						req := ggen.next(start)
+						req := ggen.nextInto(s.takeRequest(), start)
 						req.Group = gi
 						inst.queue = append(inst.queue, req)
 						arrivals++
@@ -364,9 +418,11 @@ func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*ev
 				}
 			} else {
 				for _, at := range ggen.eventTimes(s.round, start, s.cfg.Quantum) {
-					req := ggen.next(at)
+					req := ggen.nextInto(s.takeRequest(), at)
 					req.Group = gi
-					emit(&event{at: at, kind: evArrival, req: req})
+					ev := s.mkEvent(at, evArrival)
+					ev.req = req
+					emit(ev)
 					arrivals++
 					g.roundArrivals++
 				}
@@ -393,6 +449,23 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 
 	for len(s.eq) > 0 && s.eq[0].at.Before(end) {
 		ev := s.pop()
+		if ev.kind != evServe {
+			// Global events (ticks, caps, faults, placements, arrivals,
+			// retirements) observe or mutate fleet-wide state: render
+			// every fluid flow up to this instant first, so queue depths,
+			// utilization, and budget shares are exact when they look.
+			s.drainAllFluid(ev.at)
+			if len(s.eq) > 0 && eventLess(s.eq[0], ev) {
+				// A re-materialized instance scheduled continuations
+				// earlier than this event: put it back — keeping its
+				// sequence stamp, so same-instant FIFO order among its
+				// peers is preserved — and run those beats first, at the
+				// pre-event machine state, exactly as the pure discrete
+				// engine would have.
+				heap.Push(&s.eq, ev)
+				continue
+			}
+		}
 		switch ev.kind {
 		case evCap:
 			s.arb.SetBudget(ev.watts)
@@ -442,7 +515,14 @@ func (s *Supervisor) stepEvent(gen *LoadGen) (RoundStats, error) {
 				return RoundStats{}, err
 			}
 		}
+		// Every handler above is done with the event struct itself (the
+		// carried Request lives on in a queue or the backlog), so it goes
+		// straight back to the free list.
+		s.recycleEvent(ev)
 	}
+	// Render fluid flows to the round boundary so per-round stats and
+	// host energy integrate the full quantum.
+	s.drainAllFluid(end)
 
 	return s.closeEventRound(end, arrivals), nil
 }

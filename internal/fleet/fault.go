@@ -441,8 +441,13 @@ func (s *Supervisor) landFault(at time.Time, f faultChange) {
 		// queue the crash emptied retires on the spot.
 		residents := append([]*Instance(nil), h.residents...)
 		for _, inst := range residents {
+			// A fluid resident leaves the fluid timeline before its
+			// backlog is displaced (no reactivation — the host is down;
+			// recovery re-dispatch revives it).
+			s.forceExitFluid(inst, at, false)
 			if inst.sess != nil {
 				inst.sess.Abort()
+				inst.endSession(inst.cur)
 				if s.faultOpts.Redispatch {
 					s.pending = append(s.pending, inst.cur)
 					rec.Redispatched++
@@ -486,6 +491,9 @@ func (s *Supervisor) landFault(at time.Time, f faultChange) {
 			return // no live target: the fault fizzles, no record
 		}
 		rec.Instance, rec.Host = inst.id, inst.HostIndex()
+		// The straggler's effective speed is about to change under its
+		// frozen fluid estimate: render and re-materialize first.
+		s.forceExitFluid(inst, at, true)
 		if at.Before(inst.slowUntil) {
 			if f.ev.Factor > inst.slowFactor {
 				inst.slowFactor = f.ev.Factor
@@ -543,6 +551,9 @@ func (s *Supervisor) recoverFault(at time.Time, f faultChange) {
 	case FaultStraggler:
 		for _, inst := range s.insts {
 			if inst.id == rec.Instance && !inst.slowUntil.After(at) {
+				// Speed is about to snap back: exit any fluid flow built
+				// on the slowed estimate.
+				s.forceExitFluid(inst, at, true)
 				inst.slowFactor, inst.slowUntil = 0, time.Time{}
 			}
 		}

@@ -179,6 +179,13 @@ type Config struct {
 	// provisioning planner (cluster.PlanInstances). Join-shortest-queue
 	// pools queues and strictly improves on that bound.
 	SplitDispatch bool
+	// EpochDispatch batches join-shortest-queue routing per
+	// coordinator window (see Scenario.EpochDispatch). Event timeline
+	// only; implies the sharded engine at any Workers value.
+	EpochDispatch bool
+	// Fluid enables the hybrid fluid/discrete engine with the given
+	// queue-depth threshold (see Scenario.Fluid). 0 disables.
+	Fluid int
 	// RecordTrace collects the event-time trace (Supervisor.Trace):
 	// arrivals, completions, cap changes, arbiter ticks, host state
 	// transitions, placement. Off by default; traces grow with load.
@@ -341,11 +348,40 @@ type Instance struct {
 	completed int
 	aborted   int
 	lossSum   float64   // realized request QoS loss, drained each round
-	latencies []float64 // seconds, drained by the supervisor each round
+	latencies []float64 // seconds, drained (capacity kept) each round
 	allLats   []float64 // seconds, full history for per-instance percentiles
 	prevBusy  time.Duration
 	prevBeats int
 	err       error
+
+	// reqFree recycles completed Request structs. It is instance-local
+	// (so serve can recycle without synchronization on the sharded
+	// engine) and swept into the supervisor's pool at each round close,
+	// where the next round's open-loop mints draw from it — the free
+	// list threaded loadgen → dispatch → serve → stats that removes the
+	// per-arrival allocation.
+	reqFree []*Request
+
+	// Session-reuse slots: an instance serves one request at a time, so
+	// one spare Session plus one spare rewindable run per stream index
+	// (open-loop mints cycle the index, so a single slot would thrash)
+	// make steady-state service — the hot path of the open-loop scale
+	// benchmarks — allocation-free. Runs that do not implement
+	// workload.Rewinder simply never park here.
+	sessSpare     *core.Session
+	runSpares     []workload.Run
+	runSpareIters []int
+
+	// Fluid-limit state (fluid.go). While fluid, the instance's backlog
+	// drains analytically at svcPerIter instead of event by event; the
+	// flow has been rendered up to fluidClock, with fluidNeed seconds
+	// outstanding on the head request.
+	fluid      bool
+	fluidClock time.Time
+	fluidNeed  float64
+	svcPerIter float64 // EWMA seconds per iteration, measured discretely
+	svcOK      bool    // svcPerIter has at least one observation
+	lastLoss   float64 // QoS loss of the last discrete completion
 
 	// Straggler-fault state (fault.go): the instance's effective share
 	// divides by slowFactor until slowUntil.
@@ -404,6 +440,51 @@ func (inst *Instance) streamFor(req *Request) workload.Stream {
 	return st
 }
 
+// startSession begins serving req, reusing the instance's spare
+// session and run when the spare run covers the same stream slice
+// (same stream index and iteration cap) and rewinds cleanly; otherwise
+// a fresh run is built the usual way. Both engines' serve paths and
+// the quantum loop funnel through here.
+func (inst *Instance) startSession(req *Request) {
+	var run workload.Run
+	idx := req.StreamIdx % len(inst.streams)
+	if inst.runSpares != nil {
+		if spare := inst.runSpares[idx]; spare != nil && inst.runSpareIters[idx] == req.Iters {
+			if rw, ok := spare.(workload.Rewinder); ok && rw.Rewind() {
+				run = spare
+			}
+			inst.runSpares[idx] = nil
+		}
+	}
+	if run == nil {
+		run = inst.streamFor(req).NewRun()
+	}
+	inst.sess = inst.rt.StartSession(inst.sessSpare, run)
+	inst.sessSpare = nil
+}
+
+// endSession retires the instance's session after req's output has been
+// consumed (completion, abort, or crash), parking the Session struct
+// and — when rewindable — its run for the next startSession. Callers
+// still nil out inst.sess/inst.cur themselves.
+func (inst *Instance) endSession(req *Request) {
+	if inst.sess == nil {
+		return
+	}
+	if run := inst.sess.Body(); run != nil {
+		if _, ok := run.(workload.Rewinder); ok {
+			if inst.runSpares == nil {
+				inst.runSpares = make([]workload.Run, len(inst.streams))
+				inst.runSpareIters = make([]int, len(inst.streams))
+			}
+			idx := req.StreamIdx % len(inst.streams)
+			inst.runSpares[idx] = run
+			inst.runSpareIters[idx] = req.Iters
+		}
+	}
+	inst.sessSpare = inst.sess
+}
+
 // baselineFor returns the baseline-setting output the request's served
 // output is compared against.
 func (inst *Instance) baselineFor(req *Request) workload.Output {
@@ -415,6 +496,52 @@ func (inst *Instance) baselineFor(req *Request) workload.Output {
 	return inst.baseOuts[req.StreamIdx%len(inst.baseOuts)]
 }
 
+// takeRequest pops a recycled Request from the instance's free list,
+// falling back to its supervisor's pool-less allocation path (the
+// supervisor sweep refills instance lists only indirectly, via mints).
+func (inst *Instance) takeRequest() *Request {
+	if n := len(inst.reqFree); n > 0 {
+		r := inst.reqFree[n-1]
+		inst.reqFree[n-1] = nil
+		inst.reqFree = inst.reqFree[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// freeRequest recycles a dead request (completed, aborted, or dropped)
+// into the instance's free list. Callers must ensure no reference
+// outlives the call — queues and the pending backlog hold live
+// requests, which are never freed.
+func (inst *Instance) freeRequest(r *Request) {
+	inst.reqFree = append(inst.reqFree, r)
+}
+
+// takeRequest pops from the supervisor's pool (round seeds and quantum
+// mode, both supervisor context).
+func (s *Supervisor) takeRequest() *Request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree[n-1] = nil
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// popRequest removes and returns the queue head, shifting the tail
+// down so the backing array survives: at steady queue depth the
+// sliding-window idiom (queue = queue[1:]) walks off its array and
+// forces a reallocation every few requests, which popRequest's O(depth)
+// pointer copy avoids entirely.
+func (inst *Instance) popRequest() *Request {
+	r := inst.queue[0]
+	n := copy(inst.queue, inst.queue[1:])
+	inst.queue[n] = nil
+	inst.queue = inst.queue[:n]
+	return r
+}
+
 // finishRequest books a completed request: latency against its arrival
 // instant and realized QoS loss of the served output against the
 // baseline-setting output of the same work item — the quantity the
@@ -424,7 +551,12 @@ func (inst *Instance) finishRequest() float64 {
 	inst.completed++
 	inst.latencies = append(inst.latencies, lat)
 	inst.allLats = append(inst.allLats, lat)
-	inst.lossSum += inst.app.Loss(inst.baselineFor(inst.cur), inst.sess.Output())
+	loss := inst.app.Loss(inst.baselineFor(inst.cur), inst.sess.Output())
+	inst.lossSum += loss
+	inst.lastLoss = loss
+	inst.observeService(inst.clk.Now().Sub(inst.sessStart).Seconds(), inst.itersOf(inst.cur))
+	inst.endSession(inst.cur)
+	inst.freeRequest(inst.cur)
 	inst.sess, inst.cur = nil, nil
 	return lat
 }
@@ -455,7 +587,9 @@ func (inst *Instance) runRound(deadline time.Time) {
 					// feeds itself the next request in place (request
 					// streams much shorter than a quantum would
 					// otherwise leave it idle until the next boundary).
-					inst.queue = append(inst.queue, &Request{ID: -1, Group: inst.grp.index, StreamIdx: inst.feedIdx, Iters: inst.reqIters, Arrival: now})
+					req := inst.takeRequest()
+					req.ID, req.Group, req.StreamIdx, req.Iters, req.Arrival = -1, inst.grp.index, inst.feedIdx, inst.reqIters, now
+					inst.queue = append(inst.queue, req)
 					inst.feedIdx++
 					inst.minted++
 					continue
@@ -463,9 +597,8 @@ func (inst *Instance) runRound(deadline time.Time) {
 				inst.view.Idle(deadline.Sub(now))
 				return
 			}
-			inst.cur = inst.queue[0]
-			inst.queue = inst.queue[1:]
-			inst.sess = inst.rt.NewSession(inst.streamFor(inst.cur))
+			inst.cur = inst.popRequest()
+			inst.startSession(inst.cur)
 			inst.sessStart = now
 		}
 		done, err := inst.sess.StepUntil(deadline)
@@ -479,6 +612,8 @@ func (inst *Instance) runRound(deadline time.Time) {
 				// further: close out the quantum idle instead of
 				// spinning on instantly-drained sessions.
 				inst.aborted++
+				inst.endSession(inst.cur)
+				inst.freeRequest(inst.cur)
 				inst.sess, inst.cur = nil, nil
 				if now := inst.clk.Now(); now.Before(deadline) {
 					inst.view.Idle(deadline.Sub(now))
@@ -595,6 +730,28 @@ type Supervisor struct {
 	// keeps runs bit-identical.
 	splitRng *rand.Rand
 
+	// Hot-path free lists and scratch buffers: recycled Request and
+	// event structs (instance/shard lists sweep here at round closes)
+	// and the round-stats aggregation scratch — together they hold
+	// steady-state rounds at O(1) allocations regardless of fleet size.
+	reqFree       []*Request
+	evFree        []*event
+	aggScratch    []roundAgg
+	groupLats     [][]float64
+	roundLats     []float64
+	globalScratch []*event
+	arrScratch    []*event
+
+	// fluidInsts tracks instances currently on the fluid timeline
+	// (single-heap engine only; shards keep their own lists).
+	fluidInsts []*Instance
+
+	// workScratch and drainScratch are the coordinator's per-phase
+	// shard lists (coordinator.go), retained across windows so the
+	// thousand-host window loop allocates nothing.
+	workScratch  []*shard
+	drainScratch []*shard
+
 	// Fault & degradation state (fault.go): the wired model, the pending
 	// landing/recovery schedule, the landed records, and the per-round
 	// counters RoundStats reports.
@@ -651,6 +808,8 @@ func New(cfg Config) (*Supervisor, error) {
 		ArbiterInterval:   cfg.ArbiterInterval,
 		ControlDisabled:   cfg.ControlDisabled,
 		SplitDispatch:     cfg.SplitDispatch,
+		EpochDispatch:     cfg.EpochDispatch,
+		Fluid:             cfg.Fluid,
 		RecordTrace:       cfg.RecordTrace,
 	})
 }
@@ -1018,6 +1177,10 @@ func (s *Supervisor) landPlace(at time.Time, p placeChange) bool {
 			return false
 		}
 		to := s.hosts[p.host]
+		// Migration moves the instance to a different machine: render
+		// and exit any fluid flow on the source first (the reactivation
+		// lands behind the migration blackout).
+		s.forceExitFluid(inst, at, true)
 		if s.eventMode() {
 			s.closeSegment(inst.host, at)
 			s.closeSegment(to, at)
@@ -1042,6 +1205,9 @@ func (s *Supervisor) landPlace(at time.Time, p placeChange) bool {
 // (the boundary sweep, whose instance counters were already drained
 // last quantum).
 func (s *Supervisor) retireStopped(inst *Instance, at time.Time, creditInstance bool) {
+	// A fluid instance renders its flow up to the stop and leaves the
+	// fluid timeline first, so the redistributed backlog is exact.
+	s.forceExitFluid(inst, at, false)
 	if inst.sess != nil {
 		inst.sess.Abort()
 		if creditInstance {
@@ -1049,6 +1215,8 @@ func (s *Supervisor) retireStopped(inst *Instance, at time.Time, creditInstance 
 		} else {
 			s.aborted++
 		}
+		inst.endSession(inst.cur)
+		inst.freeRequest(inst.cur)
 		inst.sess, inst.cur = nil, nil
 	}
 	s.pending = append(s.pending, inst.queue...)
@@ -1233,6 +1401,15 @@ func (s *Supervisor) arbitrate(t time.Time) {
 			states[i] = h.throttleState
 		}
 		if h.state != states[i] {
+			// The quasi-static premise under any fluid flow on this host
+			// is breaking (its DVFS state moves): render the flows at the
+			// old operating point and re-materialize them, so the frozen
+			// service estimate never spans a speed change (fluid.go).
+			for _, inst := range h.residents {
+				if inst.fluid {
+					s.forceExitFluid(inst, t, true)
+				}
+			}
 			if s.eventMode() {
 				s.closeSegment(h, t)
 			}
@@ -1252,7 +1429,7 @@ func (s *Supervisor) Step(gen *LoadGen) (RoundStats, error) {
 	var rs RoundStats
 	var err error
 	switch {
-	case s.eventMode() && s.cfg.Workers > 1:
+	case s.eventMode() && (s.cfg.Workers > 1 || s.cfg.EpochDispatch):
 		rs, err = s.stepSharded(gen)
 	case s.eventMode():
 		rs, err = s.stepEvent(gen)
@@ -1352,7 +1529,7 @@ func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
 					inst.selfFeed = true
 					inst.reqIters = ggen.reqIters
 					for inst.QueueDepth() < depth {
-						req := ggen.next(now)
+						req := ggen.nextInto(s.takeRequest(), now)
 						req.Group = gi
 						inst.queue = append(inst.queue, req)
 						arrivals++
@@ -1362,7 +1539,7 @@ func (s *Supervisor) stepQuantum(gen *LoadGen) (RoundStats, error) {
 				}
 			} else {
 				for i := ggen.Arrivals(s.round); i > 0; i-- {
-					req := ggen.next(now)
+					req := ggen.nextInto(s.takeRequest(), now)
 					req.Group = gi
 					arrivals++
 					g.roundArrivals++

@@ -46,6 +46,11 @@ type LoadGen struct {
 	reqIters int
 	nextID   int
 	nextIdx  int
+
+	// times is the reusable arrival-instant scratch buffer: eventTimes
+	// returns a view of it, consumed by the round seed before the next
+	// call, so steady-state rounds sample arrivals without allocating.
+	times []time.Time
 }
 
 // NewConstantLoad produces Poisson arrivals with a fixed mean of
@@ -160,7 +165,15 @@ func (g *LoadGen) Arrivals(round int) int {
 
 // next mints a request arriving at the given virtual time.
 func (g *LoadGen) next(arrival time.Time) *Request {
-	r := &Request{ID: g.nextID, StreamIdx: g.nextIdx, Iters: g.reqIters, Arrival: arrival}
+	return g.nextInto(&Request{}, arrival)
+}
+
+// nextInto mints the next request into a caller-supplied struct — the
+// supervisor's free-list path, which keeps steady-state rounds from
+// allocating one Request per arrival. Every field is (re)assigned, so
+// recycled structs need no zeroing.
+func (g *LoadGen) nextInto(r *Request, arrival time.Time) *Request {
+	r.ID, r.Group, r.StreamIdx, r.Iters, r.Arrival = g.nextID, 0, g.nextIdx, g.reqIters, arrival
 	g.nextID++
 	g.nextIdx++
 	return r
@@ -181,11 +194,12 @@ func (g *LoadGen) eventTimes(round int, start time.Time, quantum time.Duration) 
 	}
 	perSec := lambda / quantum.Seconds()
 	end := start.Add(quantum)
-	var out []time.Time
+	out := g.times[:0]
 	t := start
 	for {
 		t = t.Add(time.Duration(g.rng.ExpFloat64() / perSec * float64(time.Second)))
 		if !t.Before(end) {
+			g.times = out
 			return out
 		}
 		out = append(out, t)
@@ -206,12 +220,13 @@ func (s limitStream) Name() string {
 }
 
 func (s limitStream) NewRun() workload.Run {
-	return &limitRun{run: s.Stream.NewRun(), left: s.n}
+	return &limitRun{run: s.Stream.NewRun(), left: s.n, n: s.n}
 }
 
 type limitRun struct {
 	run  workload.Run
 	left int
+	n    int
 }
 
 func (r *limitRun) Step() (float64, bool) {
@@ -226,6 +241,17 @@ func (r *limitRun) Step() (float64, bool) {
 }
 
 func (r *limitRun) Output() workload.Output { return r.run.Output() }
+
+// Rewind implements workload.Rewinder by delegation: the limit resets
+// only if the underlying run can rewind too.
+func (r *limitRun) Rewind() bool {
+	rw, ok := r.run.(workload.Rewinder)
+	if !ok || !rw.Rewind() {
+		return false
+	}
+	r.left = r.n
+	return true
+}
 
 // poisson draws from Poisson(lambda) by Knuth's product method, exact
 // and deterministic. Large lambdas are split into chunks (the sum of

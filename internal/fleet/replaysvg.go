@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/plot"
+)
+
+// WriteReplaySVG renders the replay's per-quantum consolidation
+// timeline (the same rows WriteReplayCSV exports) as a standalone SVG
+// figure: offered load against served throughput, the autoscaler's
+// provisioning track, the power draw against the cap, and the latency
+// tail with its queue backlog. cmd/fleet -plot attaches it next to the
+// replay CSV so a run's Fig. 8 shape is inspectable without a plotting
+// toolchain.
+func WriteReplaySVG(w io.Writer, points []ReplayPoint) error {
+	n := len(points)
+	if n == 0 {
+		return fmt.Errorf("no replay points to plot")
+	}
+	rate := make([]float64, n)
+	arrivals := make([]float64, n)
+	completions := make([]float64, n)
+	instances := make([]float64, n)
+	accepting := make([]float64, n)
+	desired := make([]float64, n)
+	power := make([]float64, n)
+	budget := make([]float64, n)
+	p95 := make([]float64, n)
+	queue := make([]float64, n)
+	for i, pt := range points {
+		rate[i] = pt.Rate
+		arrivals[i] = float64(pt.Arrivals)
+		completions[i] = float64(pt.Completions)
+		instances[i] = float64(pt.Instances)
+		accepting[i] = float64(pt.Accepting)
+		desired[i] = float64(pt.Desired)
+		power[i] = pt.PowerWatts
+		budget[i] = pt.Budget
+		p95[i] = pt.P95
+		queue[i] = float64(pt.QueueDepth)
+	}
+	panels := []plot.Panel{
+		{Title: "offered load vs throughput (per quantum)", Series: []plot.Series{
+			{Name: "rate", Values: rate},
+			{Name: "arrivals", Values: arrivals},
+			{Name: "completions", Values: completions},
+		}},
+		{Title: "autoscaler provisioning (instances)", Series: []plot.Series{
+			{Name: "placed", Values: instances},
+			{Name: "accepting", Values: accepting},
+			{Name: "desired", Values: desired},
+		}},
+		{Title: "cluster power", Unit: " W", Series: []plot.Series{
+			{Name: "power", Values: power},
+			{Name: "budget", Values: budget},
+		}},
+		{Title: "p95 latency", Unit: " s", Series: []plot.Series{
+			{Name: "p95", Values: p95},
+		}},
+		{Title: "queue depth", Series: []plot.Series{
+			{Name: "queued", Values: queue},
+		}},
+	}
+	title := fmt.Sprintf("fleet replay — %d quanta", n)
+	return plot.WriteSVG(w, title, panels)
+}

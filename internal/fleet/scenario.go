@@ -112,6 +112,27 @@ type Scenario struct {
 	// the independent-station premise of the composed per-group
 	// queueing oracle (cluster.Oracle.PredictMix).
 	SplitDispatch bool
+	// EpochDispatch batches join-shortest-queue routing per coordinator
+	// window: instead of every arrival being a global barrier (exact
+	// depths, serialized), each window's arrivals are routed up front
+	// against the window-start depth snapshot — sequential JSQ with the
+	// same lower-id tie-break, with each assignment bumping its target's
+	// snapshot depth — and then land as shard-local events. An
+	// approximation of exact JSQ (completions inside the window no
+	// longer influence routing within it), so it is opt-in; results are
+	// bit-identical at every Workers value because epoch mode always
+	// runs the sharded engine, whose windows are Workers-invariant.
+	// Event timeline only.
+	EpochDispatch bool
+	// Fluid enables the hybrid fluid/discrete engine: an instance whose
+	// queue reaches this depth stops simulating per-beat events and
+	// drains as an analytic flow at its measured service rate,
+	// re-materializing into discrete events at SLO-relevant boundaries
+	// (arbiter state changes, placement and fault landings, round
+	// closes) and when its queue shallows again. 0 (the default)
+	// disables — every request simulates discretely, bit-identical to
+	// the reference engines. Event timeline only.
+	Fluid int
 	// RecordTrace collects the event-time trace (Supervisor.Trace).
 	RecordTrace bool
 	// Faults wires a fault & degradation model into the fleet: seeded
@@ -222,7 +243,7 @@ func NewScenario(sc Scenario) (*Supervisor, error) {
 	epoch := epochTime()
 	for i := 0; i < sc.Machines; i++ {
 		h := &Host{sup: s, index: i, cores: sc.CoresPerMachine, segStart: epoch}
-		if sc.Timeline == TimelineEvent && sc.Workers > 1 {
+		if sc.Timeline == TimelineEvent && (sc.Workers > 1 || sc.EpochDispatch) {
 			h.shard = &shard{sup: s, host: h}
 		}
 		s.hosts = append(s.hosts, h)

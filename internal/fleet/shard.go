@@ -46,6 +46,15 @@ type shard struct {
 	// last per-beat allocation.
 	free []*event
 
+	// fluidInsts tracks residents on the fluid timeline (fluid.go):
+	// shard-local, drained at window ends and arrival landings.
+	fluidInsts []*Instance
+
+	// excluded marks the shard as serialized for the current window
+	// phase (it hosts a live draining instance), so runParallel skips
+	// it. Set and cleared by drainingShards.
+	excluded bool
+
 	err error
 }
 
@@ -159,12 +168,44 @@ func (sh *shard) run(end time.Time) {
 	for sh.err == nil {
 		ev := sh.pop(end)
 		if ev == nil {
+			// Out of discrete events: render fluid residents to the
+			// window end. A re-materialization schedules a continuation
+			// inside the window, so loop again to serve it.
+			if sh.drainFluidTo(end) {
+				continue
+			}
 			break
 		}
 		sh.handle(ev)
 		sh.recycle(ev)
 	}
 	sh.running = false
+}
+
+// drainFluidTo renders the shard's fluid residents up to u, compacting
+// out re-materialized ones. Returns true when any instance left fluid
+// mode (its discrete continuation may land before the window end).
+func (sh *shard) drainFluidTo(u time.Time) bool {
+	if len(sh.fluidInsts) == 0 {
+		return false
+	}
+	mat := false
+	live := sh.fluidInsts[:0]
+	for _, inst := range sh.fluidInsts {
+		if inst.fluid {
+			sh.sup.drainFluid(inst, u, sh)
+		}
+		if inst.fluid {
+			live = append(live, inst)
+		} else {
+			mat = true
+		}
+	}
+	for i := len(live); i < len(sh.fluidInsts); i++ {
+		sh.fluidInsts[i] = nil
+	}
+	sh.fluidInsts = live
+	return mat
 }
 
 // handle processes one shard-local event. evRetire is deliberately
@@ -183,6 +224,11 @@ func (sh *shard) handle(ev *event) {
 		// queue at the arrival instant, exactly like the single-heap
 		// engine's dispatch at that event.
 		sh.record(TraceEvent{At: ev.at, Kind: TraceArrival, Instance: -1, Host: -1, State: -1, Group: sh.sup.groups[ev.req.Group].name})
+		if ev.inst.fluid {
+			// The queue being joined must be current at the arrival
+			// instant: render the target's flow up to now first.
+			sh.sup.drainFluid(ev.inst, ev.at, sh)
+		}
 		ev.inst.queue = append(ev.inst.queue, ev.req)
 		sh.activate(ev.inst, ev.at)
 	default:
@@ -199,7 +245,8 @@ func (sh *shard) handle(ev *event) {
 // activate implements engineSink: schedule the instance's next service
 // continuation on its shard, using the peek-ahead slot while running.
 func (sh *shard) activate(inst *Instance, t time.Time) {
-	if inst.retired || inst.scheduled {
+	// Fluid instances have no discrete continuations (fluid.go).
+	if inst.retired || inst.scheduled || inst.fluid {
 		return
 	}
 	inst.scheduled = true
@@ -217,7 +264,9 @@ func (sh *shard) activate(inst *Instance, t time.Time) {
 // emptied; enqueue the retirement for the coordinator's serialized
 // processing.
 func (sh *shard) scheduleRetire(inst *Instance, t time.Time) {
-	sh.push(&event{at: t, kind: evRetire, inst: inst})
+	ev := sh.newEvent()
+	ev.at, ev.kind, ev.inst = t, evRetire, inst
+	sh.push(ev)
 }
 
 // record implements engineSink: buffer the trace event for the
@@ -226,6 +275,12 @@ func (sh *shard) record(ev TraceEvent) {
 	if sh.sup.cfg.RecordTrace {
 		sh.trace = append(sh.trace, ev)
 	}
+}
+
+// registerFluid implements engineSink: track the resident for this
+// shard's window-end and arrival-instant drains.
+func (sh *shard) registerFluid(inst *Instance) {
+	sh.fluidInsts = append(sh.fluidInsts, inst)
 }
 
 // moveEvents reassigns an instance's pending events to another shard —

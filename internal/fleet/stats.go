@@ -151,18 +151,38 @@ func percentile(sorted []float64, p int) float64 {
 	return sorted[rank-1]
 }
 
+// roundAgg is drainRoundCounters' per-group aggregation scratch,
+// reused round over round (the lat slices live beside it in
+// Supervisor.groupLats, also reused).
+type roundAgg struct {
+	arrivals, completions, queue, perfN, accepting int
+	perfSum, planLossSum, reqLossSum               float64
+}
+
+// reqFreeFloor is how many recycled Requests stay on each instance's
+// local free list across the round-close sweep, so self-feeding
+// instances (which mint and recycle locally) never touch the shared
+// pool; the surplus — open-loop requests that completed here but will
+// be re-minted by the supervisor — migrates back to the shared pool.
+const reqFreeFloor = 4
+
 // drainRoundCounters moves the per-round instance counters (requests,
 // losses, latencies, beats) into the round's stats — totals and the
 // per-group attribution — and the run totals. Both timelines share it,
 // so quantum-mode and event-mode rounds report through the same
-// bookkeeping.
+// bookkeeping. All aggregation runs on supervisor-owned scratch
+// buffers: a steady-state round sorts and summarizes thousands of
+// latency samples without allocating.
 func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
-	type agg struct {
-		arrivals, completions, queue, perfN, accepting int
-		perfSum, planLossSum, reqLossSum               float64
-		lats                                           []float64
+	if len(s.aggScratch) < len(s.groups) {
+		s.aggScratch = make([]roundAgg, len(s.groups))
+		s.groupLats = make([][]float64, len(s.groups))
 	}
-	aggs := make([]agg, len(s.groups))
+	aggs := s.aggScratch[:len(s.groups)]
+	for i := range aggs {
+		aggs[i] = roundAgg{}
+		s.groupLats[i] = s.groupLats[i][:0]
+	}
 	// Open-loop and boundary arrivals were counted per group as they
 	// were minted; self-feed mints drain from the instances below.
 	for gi, g := range s.groups {
@@ -174,7 +194,7 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		aggs[inst.grp.index].arrivals += inst.minted
 		inst.minted = 0
 	}
-	var roundLats []float64
+	roundLats := s.roundLats[:0]
 	for _, inst := range s.insts {
 		// Beat deltas count for retired instances too: an instance
 		// retiring mid-round (event timeline) still served beats this
@@ -182,7 +202,7 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		// instances still placed.
 		a := &aggs[inst.grp.index]
 		g := inst.grp
-		snap := inst.rt.Snapshot()
+		snap := inst.rt.StatsSnapshot()
 		rs.Beats += snap.Beats - inst.prevBeats
 		inst.prevBeats = snap.Beats
 		if !inst.retired {
@@ -210,10 +230,21 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		g.lossSum += inst.lossSum
 		g.lossN += inst.completed
 		inst.completed, inst.aborted, inst.lossSum = 0, 0, 0
-		a.lats = append(a.lats, inst.latencies...)
+		s.groupLats[inst.grp.index] = append(s.groupLats[inst.grp.index], inst.latencies...)
 		roundLats = append(roundLats, inst.latencies...)
-		inst.latencies = nil
+		inst.latencies = inst.latencies[:0]
+		// Sweep surplus recycled requests back to the shared pool the
+		// next round's open-loop mints draw from (this runs at the
+		// single-threaded round close, so no shard races the append).
+		if n := len(inst.reqFree); n > reqFreeFloor {
+			s.reqFree = append(s.reqFree, inst.reqFree[reqFreeFloor:]...)
+			for i := reqFreeFloor; i < n; i++ {
+				inst.reqFree[i] = nil
+			}
+			inst.reqFree = inst.reqFree[:reqFreeFloor]
+		}
 	}
+	s.roundLats = roundLats
 	// Backlog no instance accepts yet still counts as queued work, for
 	// the fleet and for the group it belongs to.
 	for _, req := range s.pending {
@@ -243,11 +274,11 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		if a.completions > 0 {
 			gs.RequestLoss = a.reqLossSum / float64(a.completions)
 		}
-		if len(a.lats) > 0 {
-			sort.Float64s(a.lats)
-			gs.LatencyP50 = percentile(a.lats, 50)
-			gs.LatencyP95 = percentile(a.lats, 95)
-			gs.LatencyP99 = percentile(a.lats, 99)
+		if lats := s.groupLats[gi]; len(lats) > 0 {
+			sort.Float64s(lats)
+			gs.LatencyP50 = percentile(lats, 50)
+			gs.LatencyP95 = percentile(lats, 95)
+			gs.LatencyP99 = percentile(lats, 99)
 		}
 		rs.Groups[gi] = gs
 	}

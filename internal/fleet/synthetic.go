@@ -93,8 +93,8 @@ type SyntheticOutput struct {
 
 // Loss is the relative quality drop versus the baseline output.
 func (a *Synthetic) Loss(baseline, observed workload.Output) float64 {
-	b, okB := baseline.(SyntheticOutput)
-	o, okO := observed.(SyntheticOutput)
+	b, okB := asSyntheticOutput(baseline)
+	o, okO := asSyntheticOutput(observed)
 	if !okB || !okO || b.Quality <= 0 {
 		return 1
 	}
@@ -103,6 +103,20 @@ func (a *Synthetic) Loss(baseline, observed workload.Output) float64 {
 		return 0
 	}
 	return loss
+}
+
+// asSyntheticOutput unwraps either representation of a synthetic
+// output: runs return *SyntheticOutput (a pointer into the run, so the
+// hot path's Output call does not box a fresh allocation), while stored
+// baselines and tests may hold the value form.
+func asSyntheticOutput(o workload.Output) (SyntheticOutput, bool) {
+	switch v := o.(type) {
+	case SyntheticOutput:
+		return v, true
+	case *SyntheticOutput:
+		return *v, true
+	}
+	return SyntheticOutput{}, false
 }
 
 // Streams returns the input streams of the given set.
@@ -148,4 +162,13 @@ func (r *synthRun) Step() (float64, bool) {
 	return r.s.app.opts.BaseCost * float64(e) / SyntheticEffortMax, true
 }
 
-func (r *synthRun) Output() workload.Output { return r.out }
+// Output returns a pointer into the run: callers consume it before the
+// run is rewound (fleet pools runs only after the output is booked).
+func (r *synthRun) Output() workload.Output { return &r.out }
+
+// Rewind implements workload.Rewinder: a zeroed accumulator is exactly
+// the fresh-run state.
+func (r *synthRun) Rewind() bool {
+	r.out = SyntheticOutput{}
+	return true
+}

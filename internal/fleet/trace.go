@@ -51,6 +51,10 @@ const (
 	TraceScale TraceKind = "scale"
 	// TraceRound closes a reporting quantum (Value = cluster watts).
 	TraceRound TraceKind = "round"
+	// TraceFluid is an instance entering (State = 1) or leaving
+	// (State = 0) the fluid timeline (Value = queue depth at the
+	// transition). Only emitted when Scenario.Fluid is enabled.
+	TraceFluid TraceKind = "fluid"
 )
 
 // TraceEvent is one entry of the event-time trace: what happened, at
@@ -91,6 +95,7 @@ var traceKindRank = map[TraceKind]int{
 	TraceComplete: 11,
 	TraceScale:    12,
 	TraceRound:    13,
+	TraceFluid:    14,
 }
 
 // SortTrace sorts trace events into the canonical deterministic order:

@@ -255,6 +255,27 @@ func (m *Machine) Execute(cost float64) time.Duration {
 	return d
 }
 
+// Run books d of busy time at the current operating point without an
+// iteration boundary — the fleet's fluid-limit mode renders a whole
+// span of analytic service through it instead of one Execute per beat.
+// Callers must cut spans at scheduled state landings (the fleet's
+// fluid drains are bounded by re-arbitration instants), so a single
+// pending-state apply at the span start suffices, exactly like
+// Execute.
+func (m *Machine) Run(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.applyPendingLocked()
+	power := m.model.Power(Frequencies[m.state], 1)
+	m.busy += d
+	m.all += d
+	m.mu.Unlock()
+	m.meter.accumulate(d, power)
+	m.clk.Advance(d)
+}
+
 // Idle advances the clock with the controlled application idle. Any
 // co-located interference keeps consuming its share of the machine, so
 // the meter charges that utilization. An idle period spanning a

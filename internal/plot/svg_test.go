@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGLinePanel(t *testing.T) {
+	var b strings.Builder
+	err := WriteSVG(&b, "fleet replay", []Panel{
+		{Title: "offered rate", Unit: "req/s", Series: []Series{
+			{Name: "rate", Values: []float64{10, 20, 15, 40}},
+			{Name: "completions", Values: []float64{9, 19, 16, 38}},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	svg := b.String()
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Fatalf("missing svg root element:\n%s", svg[:120])
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("unterminated svg document")
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("want 2 polylines (one per series), got %d", got)
+	}
+	for _, want := range []string{"fleet replay", "offered rate", ">rate<", ">completions<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGBarPanel(t *testing.T) {
+	var b strings.Builder
+	err := WriteSVG(&b, "bench", []Panel{
+		{Title: "allocs/op", Unit: "", Labels: []string{"hosts=128", "hosts=1024"}, Bars: []float64{139, 1127}},
+	})
+	if err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	svg := b.String()
+	if got := strings.Count(svg, "<rect"); got < 3 { // background + 2 bars
+		t.Fatalf("want background plus one rect per bar, got %d rects", got)
+	}
+	// Exact values must be annotated so linear bar scale can't hide them.
+	for _, want := range []string{"hosts=128", "hosts=1024", ">139<", ">1127<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGEscapesLabels(t *testing.T) {
+	var b strings.Builder
+	err := WriteSVG(&b, `a<b&"c"`, []Panel{
+		{Title: "x>y", Labels: []string{"<script>"}, Bars: []float64{1}},
+	})
+	if err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	svg := b.String()
+	for _, raw := range []string{"a<b", "<script>", "x>y"} {
+		if strings.Contains(svg, raw) {
+			t.Errorf("unescaped %q leaked into svg", raw)
+		}
+	}
+	for _, esc := range []string{"a&lt;b&amp;&quot;c&quot;", "&lt;script&gt;", "x&gt;y"} {
+		if !strings.Contains(svg, esc) {
+			t.Errorf("svg missing escaped form %q", esc)
+		}
+	}
+}
+
+func TestWriteSVGEmptyPanel(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSVG(&b, "empty", []Panel{{Title: "nothing"}}); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Fatal("empty line panel should render a no-data marker")
+	}
+}
+
+func TestFmtVal(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{3, "3"},
+		{0.125, "0.125"},
+		{42.5, "42.5"},
+		{16028577, "16.03M"},
+		{23296, "23.3k"},
+		{2.5e9, "2.5G"},
+	}
+	for _, c := range cases {
+		if got := fmtVal(c.in); got != c.want {
+			t.Errorf("fmtVal(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -59,6 +59,16 @@ type Run interface {
 	Output() Output
 }
 
+// Rewinder is an optional Run extension: a run that can rewind to the
+// start of its stream and be served again, exactly as a fresh NewRun
+// would. Hot paths (the fleet engines) pool rewindable runs so that
+// steady-state request service allocates nothing; a Rewind that cannot
+// restore the fresh-run state must return false, and the caller then
+// falls back to NewRun.
+type Rewinder interface {
+	Rewind() bool
+}
+
 // Stream is one input for the application: a video, a portfolio of
 // swaptions, a batch of queries.
 type Stream interface {

@@ -58,6 +58,11 @@ type (
 	Stream = workload.Stream
 	// Run is a stateful pass over a Stream.
 	Run = workload.Run
+	// Rewinder is an optional Run extension: a run that can rewind to
+	// its stream's start and be served again exactly as a fresh NewRun
+	// would — the hook the fleet's zero-alloc session chain pools runs
+	// through.
+	Rewinder = workload.Rewinder
 	// Output is an application-specific stream output.
 	Output = workload.Output
 	// InputSet selects training or production inputs.
@@ -177,6 +182,10 @@ type (
 	// ClusterMixPrediction is the composed per-group M/G/1 steady state
 	// of a heterogeneous scenario.
 	ClusterMixPrediction = cluster.MixPrediction
+	// ClusterWaitDist is the numeric M/G/1 waiting- and sojourn-time
+	// distribution for a mixed deterministic stream — the full-CDF
+	// companion to the mean-value MG1 forms, built by NewClusterWaitDist.
+	ClusterWaitDist = cluster.WaitDist
 )
 
 // Fleet types (see internal/fleet): the supervisor that runs many
@@ -430,6 +439,14 @@ func DeterministicMG1(lambda, service float64) MG1 {
 // station serving their superposition — the full Pollaczek–Khinchine
 // form over the mixture's first two service moments.
 func MixMG1(classes ...ServiceClass) MG1 { return cluster.MixMG1(classes...) }
+
+// NewClusterWaitDist builds the numeric M/G/1 waiting-time distribution
+// for a mixed deterministic stream — WaitCDF/SojournCDF and their
+// quantiles, where the mean-value MixMG1 forms are not enough (e.g.
+// validating fluid-mode sojourn tails against the oracle).
+func NewClusterWaitDist(classes ...ServiceClass) (*ClusterWaitDist, error) {
+	return cluster.NewWaitDist(classes...)
+}
 
 // PredictClusterMix composes per-group M/G/1 stations into the
 // cluster-level steady state a heterogeneous scenario is validated
