@@ -32,6 +32,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fleet"
 	"repro/internal/platform"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -55,7 +56,7 @@ func main() {
 	fluid := flag.Int("fluid", 0, "hybrid fluid/discrete engine: instances whose queue reaches this depth leave the event timeline and drain analytically until the backlog falls below half the threshold (0 = pure discrete; event timeline only)")
 	epoch := flag.Bool("epoch", false, "batch join-shortest-queue dispatch per coordinator window instead of per arrival (event timeline; pairs with -fluid for thousand-host runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-	plotPath := flag.String("plot", "", "with -replay: also render the replay timeline as an SVG figure here")
+	plotPath := flag.String("plot", "", "with -replay or -sweep: also render an SVG figure (replay timeline / sweep trend panels) here")
 	feedforward := flag.Bool("feedforward", false, "replay: clamp autoscaler proposals to ±1 of the M/D/1 planner at the smoothed arrival rate (model-informed damping)")
 	latency := flag.Bool("latency", false, "print per-instance p50/p95/p99 request latency")
 	tracePath := flag.String("trace", "", "write the event-time trace to this CSV file")
@@ -67,11 +68,19 @@ func main() {
 	sloP95 := flag.Float64("slo-p95", 1.2, "p95 request-latency SLO in seconds the replay autoscaler provisions for")
 	scaleMin := flag.Int("scale-min", 1, "replay autoscaler lower instance bound")
 	scaleMax := flag.Int("scale-max", 0, "replay autoscaler upper instance bound (0 = total cluster cores)")
+	sweepPath := flag.String("sweep", "", "run a Monte Carlo parameter sweep from this grid-spec JSON (see docs/SWEEP_FORMAT.md); aggregated CSV goes to stdout or -out")
+	outPath := flag.String("out", "", "with -sweep: write the CSV here instead of stdout")
+	procs := flag.Int("procs", 0, "with -sweep: worker pool size (0 = NumCPU; output is byte-identical at any value)")
+	reps := flag.Int("reps", 0, "with -sweep: override the grid's replications per cell")
+	hdr := flag.Bool("hdr", false, "with -sweep: print the CSV schema line for the grid and exit")
 	flag.Parse()
-	instancesSet := false
+	instancesSet, roundsSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "instances" {
+		switch f.Name {
+		case "instances":
 			instancesSet = true
+		case "rounds":
+			roundsSet = true
 		}
 	})
 
@@ -97,7 +106,8 @@ func main() {
 		replayPath: *replayPath, ratesPath: *ratesPath, scenarioPath: *scenarioPath,
 		faultsPath: *faultsPath, resiliencePath: *resiliencePath,
 		sloP95: *sloP95, scaleMin: *scaleMin, scaleMax: *scaleMax,
-		instancesSet: instancesSet,
+		sweepPath: *sweepPath, outPath: *outPath, procs: *procs, reps: *reps, hdr: *hdr,
+		instancesSet: instancesSet, roundsSet: roundsSet,
 	})
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -112,16 +122,19 @@ type options struct {
 	app, scale, load, timeline, tracePath string
 	replayPath, ratesPath, scenarioPath   string
 	faultsPath, resiliencePath, plotPath  string
+	sweepPath, outPath                    string
 	machines, cores, instances, rounds    int
 	dropAt, reqIters, workers, fluid      int
-	scaleMin, scaleMax                    int
+	scaleMin, scaleMax, procs, reps       int
 	epoch                                 bool
 	budget, dropTo, dropFrac, rate        float64
 	sloP95                                float64
 	seed                                  int64
 	latency                               bool
 	feedforward                           bool
+	hdr                                   bool
 	instancesSet                          bool // -instances given explicitly
+	roundsSet                             bool // -rounds given explicitly
 }
 
 // workloadFor builds the per-instance app factory and its calibrated
@@ -161,6 +174,22 @@ func workloadFor(appName, scale string) (func() (workload.App, error), *calibrat
 }
 
 func run(o options) error {
+	if o.sweepPath != "" {
+		rounds := 0
+		if o.roundsSet {
+			rounds = o.rounds
+		}
+		return sweep.Exec(sweep.ExecConfig{
+			GridPath: o.sweepPath,
+			Procs:    o.procs,
+			Reps:     o.reps,
+			Rounds:   rounds,
+			OutPath:  o.outPath,
+			PlotPath: o.plotPath,
+			Hdr:      o.hdr,
+			Log:      os.Stderr,
+		})
+	}
 	if o.scenarioPath != "" {
 		return runScenario(o)
 	}

@@ -1,0 +1,55 @@
+// Command sweep is the standalone Monte Carlo sweep runner: a thin
+// front end over internal/sweep, the same engine cmd/fleet exposes via
+// -sweep. A grid-spec JSON (docs/SWEEP_FORMAT.md) describes a cartesian
+// parameter grid over fleet scenarios; the engine runs every cell's
+// seeded replications on a NumCPU-bounded pool and aggregates each
+// metric to mean / stddev / 95% CI long-format CSV, byte-identical for
+// a fixed base seed at any worker count.
+//
+// Usage:
+//
+//	sweep grid.json                        # CSV to stdout, progress to stderr
+//	sweep -procs 1 -out sweep.csv grid.json
+//	sweep -hdr grid.json                   # print the CSV schema line only
+//	sweep -plot sweep.svg grid.json        # also render the trend figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	procs := flag.Int("procs", 0, "worker pool size (0 = NumCPU; output is byte-identical at any value)")
+	reps := flag.Int("reps", 0, "override the grid's replications per cell")
+	rounds := flag.Int("rounds", 0, "override the grid's rounds per replication")
+	out := flag.String("out", "", "write the CSV here instead of stdout")
+	plot := flag.String("plot", "", "render the SVG trend figure here")
+	hdr := flag.Bool("hdr", false, "print the CSV schema line for the grid and exit")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sweep [flags] grid.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cfg := sweep.ExecConfig{
+		GridPath: flag.Arg(0),
+		Procs:    *procs,
+		Reps:     *reps,
+		Rounds:   *rounds,
+		OutPath:  *out,
+		PlotPath: *plot,
+		Hdr:      *hdr,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	if err := sweep.Exec(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -100,6 +100,98 @@ func TestFind(t *testing.T) {
 	}
 }
 
+// TestParseEdgeCases is the table of degenerate inputs: empty streams,
+// mixed test2json/raw lines in one stream, malformed JSON falling back
+// to text, and near-miss result lines that must not match.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  int // parsed result count
+		check func(t *testing.T, res []Result)
+	}{
+		{"empty input", "", 0, nil},
+		{"whitespace only", "\n\n   \n", 0, nil},
+		{"no benchmark lines", "goos: linux\nPASS\nok  \trepro\t0.1s\n", 0, nil},
+		{
+			"mixed test2json and raw lines",
+			`BenchmarkRaw-8 	 100	 50.5 ns/op
+{"Action":"output","Output":"BenchmarkFromJSON-8 \t 200\t 75 ns/op\n"}
+BenchmarkRawAfter-8 	 300	 25 ns/op
+`,
+			3,
+			func(t *testing.T, res []Result) {
+				// Raw lines and JSON Output payloads reassemble into one
+				// stream-ordered text, so results keep stream order.
+				if res[0].Name != "BenchmarkRaw" || res[1].Name != "BenchmarkFromJSON" || res[2].Name != "BenchmarkRawAfter" {
+					t.Errorf("unexpected order: %+v", res)
+				}
+			},
+		},
+		{
+			"malformed JSON line falls back to text",
+			`{"Action":"output","Output": not-valid-json
+BenchmarkOK-8 	 10	 5 ns/op
+`,
+			1,
+			func(t *testing.T, res []Result) {
+				if res[0].Name != "BenchmarkOK" || res[0].NsPerOp != 5 {
+					t.Errorf("bad result: %+v", res[0])
+				}
+			},
+		},
+		{
+			"non-output JSON events contribute nothing",
+			`{"Action":"run","Test":"BenchmarkX"}
+{"Action":"output","Output":"BenchmarkX-8 \t 10\t 5 ns/op\n"}
+{"Action":"pass","Test":"BenchmarkX"}
+`,
+			1, nil,
+		},
+		{
+			"duplicate benchmark names stay separate",
+			`BenchmarkDup-8 	 10	 100 ns/op
+BenchmarkDup-8 	 10	 300 ns/op
+BenchmarkDup-8 	 10	 200 ns/op
+`,
+			3,
+			func(t *testing.T, res []Result) {
+				means := Means(res)
+				if len(means) != 1 {
+					t.Fatalf("Means over duplicates: want 1 row, got %d", len(means))
+				}
+				if means[0].NsPerOp != 200 {
+					t.Errorf("duplicate-name mean = %v, want 200", means[0].NsPerOp)
+				}
+			},
+		},
+		{
+			"result line without iteration count does not match",
+			"BenchmarkBroken-8 \t ns/op\nBenchmarkAlso 12.5 ns/op\n",
+			0, nil,
+		},
+		{"means of empty parse", "", 0, func(t *testing.T, res []Result) {
+			if got := Means(res); len(got) != 0 {
+				t.Errorf("Means(nil) = %+v, want empty", got)
+			}
+			if _, err := Find(Means(res), "BenchmarkX"); err == nil {
+				t.Error("Find over empty means should error")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := mustParse(t, tc.input)
+			if len(res) != tc.want {
+				t.Fatalf("want %d results, got %d: %+v", tc.want, len(res), res)
+			}
+			if tc.check != nil {
+				tc.check(t, res)
+			}
+		})
+	}
+}
+
 func mustParse(t *testing.T, s string) []Result {
 	t.Helper()
 	res, err := Parse(strings.NewReader(s))

@@ -726,6 +726,10 @@ type Supervisor struct {
 	scaleMoves  int   // placement actions autoscalers have issued, fleet-wide
 	lastDesired []int // each group's most recent desired count
 
+	// knobSwitches counts host DVFS state transitions actuated by
+	// arbitrate — the run's knob churn (KnobSwitches).
+	knobSwitches int
+
 	// splitRng realizes the uniform pick of SplitDispatch; a fixed seed
 	// keeps runs bit-identical.
 	splitRng *rand.Rand
@@ -1414,12 +1418,21 @@ func (s *Supervisor) arbitrate(t time.Time) {
 				s.closeSegment(h, t)
 			}
 			h.state = states[i]
+			s.knobSwitches++
 			s.record(TraceEvent{At: t, Kind: TraceState, Instance: -1, Host: h.index, State: h.state, Value: platform.Frequencies[h.state]})
 		}
 		h.applySharesAt(t)
 	}
 	s.record(TraceEvent{At: t, Kind: TraceArbiter, Instance: -1, Host: -1, State: -1, Value: s.arb.Budget()})
 }
+
+// KnobSwitches returns how many host DVFS state transitions the
+// arbiter has actuated over the run so far — the fleet's knob churn.
+// Every transition passes through arbitrate (ticks, cap landings,
+// placements, fault landings and recoveries), so the counter needs no
+// tracing and costs nothing on the hot path; the sub-quantum
+// arbitration sweep reads it to price faster ArbiterIntervals.
+func (s *Supervisor) KnobSwitches() int { return s.knobSwitches }
 
 // Step advances the fleet by one control quantum and reports it. When
 // an autoscaler is attached (Autoscale), the closed round's

@@ -37,6 +37,11 @@ type GroupRoundStats struct {
 	// RequestLoss is the mean realized QoS loss of the group's requests
 	// completed this quantum.
 	RequestLoss float64
+	// LatencyMean is the group's mean request latency in seconds this
+	// quantum (0 when none completed). Per-round means compose exactly
+	// (weighted by Completions), so warmup-excluded run summaries — the
+	// sweep engine's Stat rows — can be rebuilt from round stats alone.
+	LatencyMean float64
 	// LatencyP50/P95/P99 are the group's request-latency percentiles in
 	// seconds this quantum (0 when none completed).
 	LatencyP50 float64
@@ -59,6 +64,9 @@ type RoundStats struct {
 	// RequestLoss is the mean realized QoS loss of requests completed
 	// this quantum (served output vs the baseline-setting output).
 	RequestLoss float64
+	// LatencyMean is the mean request latency in seconds over the
+	// requests completed this quantum (0 when none completed).
+	LatencyMean float64
 	// LatencyP50/P95/P99 are request-latency percentiles in seconds
 	// over the requests completed this quantum (0 when none completed).
 	// On the event timeline these reflect true queueing delay at beat
@@ -149,6 +157,16 @@ func percentile(sorted []float64, p int) float64 {
 		rank = len(sorted)
 	}
 	return sorted[rank-1]
+}
+
+// meanOf averages a non-empty slice. Summation runs in slice order, so
+// the result is deterministic for a deterministic sample order.
+func meanOf(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
 }
 
 // roundAgg is drainRoundCounters' per-group aggregation scratch,
@@ -276,6 +294,7 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 		}
 		if lats := s.groupLats[gi]; len(lats) > 0 {
 			sort.Float64s(lats)
+			gs.LatencyMean = meanOf(lats)
 			gs.LatencyP50 = percentile(lats, 50)
 			gs.LatencyP95 = percentile(lats, 95)
 			gs.LatencyP99 = percentile(lats, 99)
@@ -291,6 +310,7 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 	}
 	if len(roundLats) > 0 {
 		sort.Float64s(roundLats)
+		rs.LatencyMean = meanOf(roundLats)
 		rs.LatencyP50 = percentile(roundLats, 50)
 		rs.LatencyP95 = percentile(roundLats, 95)
 		rs.LatencyP99 = percentile(roundLats, 99)

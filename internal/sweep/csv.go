@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The sweep CSV is long format: one row per (cell, metric) pair with
+// the replication count, mean, sample stddev, and the 95% CI bounds.
+// Axis coordinates get one column each so downstream tools can pivot
+// without parsing the label. Field order, float formatting ('g', -1 —
+// shortest round-trip), and row order (cells in canonical grid order,
+// metrics in metricsFor order) are all fixed, so the bytes are a pure
+// function of (grid spec, base seed).
+
+// Header returns the grid's CSV header line (no trailing newline) —
+// what -hdr prints so scripts can learn the schema without running the
+// sweep.
+func Header(g *Grid) string {
+	cols := []string{"cell", "label"}
+	for _, ax := range g.Axes {
+		cols = append(cols, csvEscape(ax.Param))
+	}
+	cols = append(cols, "metric", "n", "mean", "std", "ci95_lo", "ci95_hi")
+	return strings.Join(cols, ",")
+}
+
+// WriteCSV writes the aggregated sweep as deterministic long-format
+// CSV, header line included.
+func WriteCSV(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintln(w, Header(res.Grid)); err != nil {
+		return err
+	}
+	ms := metricsFor(res.Grid)
+	var b strings.Builder
+	for _, agg := range res.Aggregates {
+		prefix := strconv.Itoa(agg.Cell) + "," + csvEscape(agg.Label)
+		for _, v := range agg.Values {
+			prefix += "," + formatFloat(v)
+		}
+		for mi, m := range ms {
+			b.Reset()
+			b.WriteString(prefix)
+			b.WriteByte(',')
+			b.WriteString(m.Name)
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(agg.N))
+			b.WriteByte(',')
+			b.WriteString(formatFloat(agg.Mean[mi]))
+			b.WriteByte(',')
+			b.WriteString(formatFloat(agg.Std[mi]))
+			b.WriteByte(',')
+			b.WriteString(formatFloat(agg.Mean[mi] - agg.CI95[mi]))
+			b.WriteByte(',')
+			b.WriteString(formatFloat(agg.Mean[mi] + agg.CI95[mi]))
+			b.WriteByte('\n')
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// csvEscape quotes a field when it contains a comma, quote, or newline
+// (cell labels join axis values with commas).
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

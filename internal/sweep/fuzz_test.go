@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// FuzzSweepGrid holds the grid-spec contract over arbitrary bytes:
+// ParseGrid never panics — it either rejects with an error or returns a
+// validated grid — and every grid it accepts that is cheap enough to
+// execute runs to completion (or rejects at construction with an
+// error, never a panic) while conserving requests: every minted arrival
+// is completed, aborted, fault-dropped, or still queued at the horizon.
+func FuzzSweepGrid(f *testing.F) {
+	f.Add([]byte(testGridJSON))
+	f.Add([]byte(`{"rounds": 4, "base": {"groups": [{"name": "a", "instances": 1, "rate": 2, "reqIters": 5}]}}`))
+	f.Add([]byte(`{"rounds": 6, "replications": 2, "base": {"machines": 1, "cores": 2, "budget": 0,
+		"faults": {"crashRate": 0.5, "redispatch": true},
+		"groups": [{"name": "a", "instances": 2, "load": "spike", "rate": 3}]},
+		"axes": [{"param": "faultSeed", "values": [1, 2]}]}`))
+	f.Add([]byte(`{"rounds": 5, "base": {"groups": [{"name": "s", "load": "saturate", "instances": 1},
+		{"name": "auto", "sloP95": 0.8, "scaleMax": 3, "rate": 1, "reqIters": 10}]}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"rounds": 5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseGrid(data)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("ParseGrid returned both a grid and error %v", err)
+			}
+			return
+		}
+		if !cheapEnough(g) {
+			return
+		}
+		res, err := Run(g, Options{Procs: 2, Replications: min(g.Replications, 2), Rounds: min(g.Rounds, 8)})
+		if err != nil {
+			// A validated grid may still be rejected at scenario
+			// construction (an error, never a panic) — that is the
+			// "invalid cells rejected with errors" half of the contract.
+			return
+		}
+		for ci, reps := range res.Stats {
+			for ri := range reps {
+				st := &reps[ri]
+				if got := st.Completions + st.Aborted + st.Dropped + st.QueueDepth; got != st.Arrivals {
+					t.Errorf("cell %d rep %d: completions %d + aborted %d + dropped %d + queue %d = %d != arrivals %d",
+						ci, ri, st.Completions, st.Aborted, st.Dropped, st.QueueDepth, got, st.Arrivals)
+				}
+				if st.EnergyJ < 0 || st.MeanPower < 0 {
+					t.Errorf("cell %d rep %d: negative energy %v or power %v", ci, ri, st.EnergyJ, st.MeanPower)
+				}
+			}
+		}
+	})
+}
+
+// cheapEnough bounds the fuzz runner's per-input simulation cost: the
+// validation bounds alone admit grids (4096 machines, 1e5 arrivals per
+// quantum, 1e4-cost apps at 24k beats/s) that are legitimate
+// experiments but far too slow to simulate thousands of times per fuzz
+// session.
+func cheapEnough(g *Grid) bool {
+	if g.CellCount() > 4 {
+		return false
+	}
+	for ci := 0; ci < g.CellCount(); ci++ {
+		cell, _, err := g.CellAt(ci)
+		if err != nil {
+			return false
+		}
+		if err := cell.validate(); err != nil {
+			return false
+		}
+		if cell.Machines*cell.Cores > 16 {
+			return false
+		}
+		rateScale := cell.RateScale
+		if rateScale == 0 {
+			rateScale = 1
+		}
+		var rate float64
+		instances := 0
+		for _, gr := range cell.Groups {
+			rate += gr.Rate * rateScale
+			instances += gr.Instances
+			if gr.ScaleMax > 0 {
+				instances += gr.ScaleMax
+			}
+			if gr.BaseCost != 0 && gr.BaseCost < 1e6 {
+				return false // > ~240 beats/s per core
+			}
+		}
+		if rate > 50 || instances > 16 || len(cell.Groups) > 8 {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"io"
+
+	"repro/internal/plot"
+)
+
+// trendMetrics are the metrics that get a line panel in the sweep
+// figure: the headline performance, power, and control-churn trends the
+// arbiter study reads off. Metrics absent from a grid's canonical list
+// are skipped (never happens today — these are all fleet-level).
+var trendMetrics = []struct {
+	name  string
+	title string
+	unit  string
+}{
+	{"mean_sojourn_s", "Mean sojourn vs cell", "s"},
+	{"p95_s", "P95 sojourn vs cell", "s"},
+	{"mean_power_w", "Mean power vs cell", "W"},
+	{"cap_response_s", "Cap-response latency vs cell", "s"},
+	{"knob_switches", "Knob churn vs cell", ""},
+	{"scale_actions", "Autoscale actions vs cell", ""},
+}
+
+// WriteSVG renders the sweep's trend figure: per headline metric a line
+// panel of mean with the 95% CI bounds over cell index (cells in
+// canonical grid order), plus a labeled bar panel of mean sojourn so
+// the cell → configuration mapping is readable on the figure itself.
+func WriteSVG(w io.Writer, res *Result) error {
+	ms := metricsFor(res.Grid)
+	index := map[string]int{}
+	for i, m := range ms {
+		index[m.Name] = i
+	}
+	var panels []plot.Panel
+	for _, tm := range trendMetrics {
+		mi, ok := index[tm.name]
+		if !ok {
+			continue
+		}
+		mean := make([]float64, len(res.Aggregates))
+		lo := make([]float64, len(res.Aggregates))
+		hi := make([]float64, len(res.Aggregates))
+		for ci, agg := range res.Aggregates {
+			mean[ci] = agg.Mean[mi]
+			lo[ci] = agg.Mean[mi] - agg.CI95[mi]
+			hi[ci] = agg.Mean[mi] + agg.CI95[mi]
+		}
+		panels = append(panels, plot.Panel{
+			Title: tm.title,
+			Unit:  tm.unit,
+			Series: []plot.Series{
+				{Name: "mean", Values: mean},
+				{Name: "ci95 lo", Values: lo},
+				{Name: "ci95 hi", Values: hi},
+			},
+		})
+	}
+	if mi, ok := index["mean_sojourn_s"]; ok {
+		labels := make([]string, len(res.Aggregates))
+		bars := make([]float64, len(res.Aggregates))
+		for ci, agg := range res.Aggregates {
+			labels[ci] = agg.Label
+			bars[ci] = agg.Mean[mi]
+		}
+		panels = append(panels, plot.Panel{
+			Title:  "Mean sojourn by cell",
+			Unit:   "s",
+			Labels: labels,
+			Bars:   bars,
+		})
+	}
+	title := "sweep: " + res.Grid.Name
+	if res.Grid.Name == "" {
+		title = "sweep"
+	}
+	return plot.WriteSVG(w, title, panels)
+}
