@@ -1,0 +1,81 @@
+// Command escapeguard gates the zero-alloc hot path statically: it
+// compiles the packages containing //fleetvet:noalloc-annotated
+// functions with -gcflags=-m, attributes the compiler's heap-escape
+// diagnostics to those functions, and compares the result against the
+// committed baseline (testdata/escapes.txt). A new escape — one the
+// baseline does not accept — exits 1 with the offending function and
+// message, so a hot-path allocation regression fails the lint job from
+// the compiler's own escape analysis, without waiting for
+// BenchmarkFleetScale's allocs/op to drift.
+//
+//	go run ./cmd/escapeguard              # gate against the baseline
+//	go run ./cmd/escapeguard -update      # accept the current escapes
+//
+// The baseline stores compiler messages verbatim and is therefore
+// toolchain-version-sensitive: regen with -update when bumping Go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/escapes"
+)
+
+func main() {
+	baseline := flag.String("baseline", "testdata/escapes.txt",
+		"committed escape baseline, relative to the module root")
+	update := flag.Bool("update", false,
+		"rewrite the baseline from the current compiler output instead of gating")
+	pkgs := flag.String("pkgs", "./...",
+		"comma-separated package patterns scanned for //fleetvet:noalloc annotations")
+	flag.Parse()
+
+	root, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	funcs, buildPkgs, err := escapes.ScanNoalloc(root, strings.Split(*pkgs, ",")...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(funcs) == 0 {
+		fatal(fmt.Errorf("no //fleetvet:noalloc annotations found under %s", *pkgs))
+	}
+	current, err := escapes.Collect(root, buildPkgs, funcs)
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		if err := escapes.WriteBaseline(*baseline, current); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("escapeguard: wrote %s (%d annotated functions, %d accepted escapes)\n",
+			*baseline, len(funcs), len(current))
+		return
+	}
+	accepted, err := escapes.ReadBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	grown, shrunk := escapes.Diff(current, accepted)
+	for _, s := range shrunk {
+		fmt.Printf("escapeguard: improved (baseline stale, consider -update): %s\n", s)
+	}
+	if len(grown) > 0 {
+		fmt.Printf("escapeguard: %d new heap escape(s) on the zero-alloc hot path:\n", len(grown))
+		for _, s := range grown {
+			fmt.Printf("  %s\n", s)
+		}
+		fmt.Println("escapeguard: fix the escape or, if accepted deliberately, regen with -update")
+		os.Exit(1)
+	}
+	fmt.Printf("escapeguard: ok (%d annotated functions, %d accepted escapes)\n", len(funcs), len(current))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "escapeguard: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,114 @@
+// Command fleetvet is the multichecker for the repo's custom static
+// analyses (internal/analysis): the invariants every figure rests on —
+// determinism, event ordering — enforced at lint time instead of hoped
+// for at test time.
+//
+//	go run ./cmd/fleetvet ./...
+//
+// Analyzers:
+//
+//	nodeterm      no wall clock, no global math/rand, no unsorted
+//	              ordering-sensitive map iteration — scoped to the
+//	              engine packages (-nodeterm-pkgs), where bit-identity
+//	              across Workers counts and machines is the contract
+//	evorder       exhaustive switches/map literals over *Kind enums,
+//	              named constants (never literals) in kind comparisons
+//	              — runs everywhere
+//	vetdirectives malformed //fleetvet: directives — runs everywhere
+//
+// Findings are waived line-by-line with
+// `//fleetvet:allow <analyzer> <reason>`; the escape-analysis
+// complement lives in cmd/escapeguard. Exits 1 when findings remain,
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/evorder"
+	"repro/internal/analysis/nodeterm"
+)
+
+// enginePkgs is the default nodeterm scope: the packages whose output
+// feeds figures and must be a pure function of (scenario, seed). The
+// boundary packages (internal/clock's Real wall clock, cmd/ entry
+// points seeding from flags) stay outside it by design.
+const enginePkgs = "repro/internal/fleet,repro/internal/sweep,repro/internal/cluster"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("fleetvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodetermPkgs := fs.String("nodeterm-pkgs", enginePkgs,
+		"comma-separated import paths the nodeterm analyzer is scoped to")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	scoped := map[string]bool{}
+	for _, p := range strings.Split(*nodetermPkgs, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			scoped[p] = true
+		}
+	}
+	known := map[string]bool{
+		nodeterm.Analyzer.Name:          true,
+		evorder.Analyzer.Name:           true,
+		analysis.DirectivesAnalyzerName: true,
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetvet: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		if strings.HasPrefix(pkg.ImportPath, "repro/internal/analysis") {
+			// The suite does not analyze itself: its testdata packages
+			// deliberately violate every invariant it enforces.
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "fleetvet: %s: type error: %v\n", pkg.ImportPath, terr)
+			exit = 2
+		}
+		var diags []analysis.Diagnostic
+		if scoped[pkg.ImportPath] {
+			ds, err := analysis.RunAnalyzer(nodeterm.Analyzer, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "fleetvet: %v\n", err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+		ds, err := analysis.RunAnalyzer(evorder.Analyzer, pkg)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetvet: %v\n", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+		diags = append(diags, analysis.CheckDirectives(pkg, known)...)
+		analysis.SortDiagnostics(diags)
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%v\n", d)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The fleetvet directive surface, written as ordinary line comments:
+//
+//	//fleetvet:allow <analyzer> <reason>
+//	    waives the named analyzer's findings on the same source line or
+//	    the line directly below the comment. The reason is mandatory —
+//	    an unexplained waiver is itself a finding.
+//	//fleetvet:noalloc
+//	    marks the following function as part of the zero-alloc hot
+//	    path; cmd/escapeguard gates its heap escapes against the
+//	    committed baseline (internal/analysis/escapes).
+//
+// Anything else that looks like a fleetvet directive (a misspelled
+// verb, a space before the colon, an allow naming an unknown analyzer)
+// is flagged by CheckDirectives: a directive that silently fails to
+// bind would otherwise hide exactly the findings it was meant to
+// document.
+
+// Directive is one parsed (or malformed) fleetvet comment.
+type Directive struct {
+	Pos      token.Pos
+	Line     int    // line the comment sits on
+	Verb     string // "allow", "noalloc"
+	Analyzer string // allow only: which analyzer is waived
+	Reason   string // allow only: why
+	// Invalid carries the problem for malformed directives, "" for
+	// well-formed ones.
+	Invalid string
+}
+
+// DirectiveVerbs are the recognized //fleetvet: verbs.
+var DirectiveVerbs = map[string]bool{
+	"allow":   true,
+	"noalloc": true,
+}
+
+// Directives extracts every fleetvet directive (well-formed or not)
+// from the package's comments, in file order.
+func (p *Package) Directives(knownAnalyzers map[string]bool) []Directive {
+	var out []Directive
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text, knownAnalyzers)
+				if !ok {
+					continue
+				}
+				d.Pos = c.Pos()
+				d.Line = p.Fset.Position(c.Pos()).Line
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective recognizes comments that are (or are trying to be)
+// fleetvet directives. The second return is false for comments that
+// have nothing to do with fleetvet.
+func parseDirective(text string, known map[string]bool) (Directive, bool) {
+	body, ok := directiveBody(text)
+	if !ok {
+		return Directive{}, false
+	}
+	if body.malformed != "" {
+		return Directive{Invalid: body.malformed}, true
+	}
+	fields := strings.Fields(body.rest)
+	d := Directive{Verb: body.verb}
+	if !DirectiveVerbs[d.Verb] {
+		d.Invalid = "unknown fleetvet directive verb " + quoteArg(d.Verb) + " (known: allow, noalloc)"
+		return d, true
+	}
+	switch d.Verb {
+	case "allow":
+		if len(fields) == 0 {
+			d.Invalid = "fleetvet:allow needs an analyzer name and a reason"
+			return d, true
+		}
+		d.Analyzer = fields[0]
+		d.Reason = strings.Join(fields[1:], " ")
+		if known != nil && !known[d.Analyzer] {
+			d.Invalid = "fleetvet:allow names unknown analyzer " + quoteArg(d.Analyzer)
+			return d, true
+		}
+		if d.Reason == "" {
+			d.Invalid = "fleetvet:allow " + d.Analyzer + " is missing the mandatory reason"
+			return d, true
+		}
+	case "noalloc":
+		if len(fields) > 0 {
+			d.Invalid = "fleetvet:noalloc takes no arguments"
+			return d, true
+		}
+	}
+	return d, true
+}
+
+type directiveText struct {
+	verb, rest string
+	malformed  string
+}
+
+// directiveBody decides whether a comment is aimed at fleetvet and
+// splits it into verb and arguments. Exact form: `//fleetvet:<verb>`
+// with no space before the colon and none after `//`, matching the Go
+// convention for tool directives (`//go:`, `//nolint`). Near misses —
+// `// fleetvet:allow`, `//fleetvet :allow`, `//FLEETVET:allow` — are
+// reported as malformed rather than ignored.
+func directiveBody(text string) (directiveText, bool) {
+	if !strings.HasPrefix(text, "//") {
+		return directiveText{}, false // block comments can't be directives
+	}
+	rest := text[2:]
+	trimmed := strings.TrimSpace(rest)
+	lower := strings.ToLower(trimmed)
+	if !strings.HasPrefix(lower, "fleetvet") {
+		return directiveText{}, false
+	}
+	after := trimmed[len("fleetvet"):]
+	if !strings.HasPrefix(strings.TrimSpace(after), ":") {
+		// Prose that happens to start with the word fleetvet ("fleetvet
+		// flags this") is not a directive attempt.
+		return directiveText{}, false
+	}
+	if strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t") ||
+		!strings.HasPrefix(rest, "fleetvet:") {
+		return directiveText{malformed: "malformed fleetvet directive " + quoteArg(trimmed) +
+			" (directives are exactly //fleetvet:<verb>, no spaces)"}, true
+	}
+	body := rest[len("fleetvet:"):]
+	verb := body
+	args := ""
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		verb, args = body[:i], strings.TrimSpace(body[i+1:])
+	}
+	if verb == "" {
+		return directiveText{malformed: "malformed fleetvet directive: missing verb after fleetvet:"}, true
+	}
+	return directiveText{verb: verb, rest: args}, true
+}
+
+func quoteArg(s string) string { return "\"" + s + "\"" }
+
+// Suppress drops diagnostics waived by a well-formed
+// //fleetvet:allow <analyzer> <reason> directive in the same file on
+// the diagnostic's own line or the line directly above it.
+func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	dirs := pkg.Directives(nil)
+	if len(dirs) == 0 {
+		return diags
+	}
+	// file -> line -> analyzers allowed there
+	allowed := map[string]map[int]map[string]bool{}
+	for _, d := range dirs {
+		if d.Invalid != "" || d.Verb != "allow" {
+			continue
+		}
+		file := pkg.Fset.Position(d.Pos).Filename
+		if allowed[file] == nil {
+			allowed[file] = map[int]map[string]bool{}
+		}
+		for _, line := range []int{d.Line, d.Line + 1} {
+			if allowed[file][line] == nil {
+				allowed[file][line] = map[string]bool{}
+			}
+			allowed[file][line][d.Analyzer] = true
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[d.Position.Filename][d.Position.Line][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// DirectivesAnalyzerName names the built-in directive hygiene check in
+// diagnostics and allow lists.
+const DirectivesAnalyzerName = "vetdirectives"
+
+// CheckDirectives flags malformed fleetvet directives. It runs as a
+// built-in pass of the driver: a misspelled //fleetvet:allow would
+// otherwise silently fail to suppress, and a misspelled
+// //fleetvet:noalloc would silently drop a function from the escape
+// gate.
+func CheckDirectives(pkg *Package, knownAnalyzers map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range pkg.Directives(knownAnalyzers) {
+		if d.Invalid == "" {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: DirectivesAnalyzerName,
+			Pos:      d.Pos,
+			Position: pkg.Fset.Position(d.Pos),
+			Message:  d.Invalid,
+		})
+	}
+	SortDiagnostics(diags)
+	return diags
+}

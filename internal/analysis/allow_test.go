@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var knownForTest = map[string]bool{"nodeterm": true, "evorder": true}
+
+func loadDirectivesPkg(t *testing.T) *Package {
+	t.Helper()
+	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Fatalf("testdata does not type-check: %v", e)
+	}
+	return pkg
+}
+
+// TestCheckDirectivesFlagsMisspellings pins the hygiene contract: a
+// directive that would silently fail to bind — misspelled verb,
+// unknown analyzer, missing reason, a space before fleetvet: — is
+// itself a finding.
+func TestCheckDirectivesFlagsMisspellings(t *testing.T) {
+	pkg := loadDirectivesPkg(t)
+	diags := CheckDirectives(pkg, knownForTest)
+	wants := []string{
+		`unknown fleetvet directive verb "alow"`,
+		`fleetvet:allow names unknown analyzer "nodetrem"`,
+		`fleetvet:allow nodeterm is missing the mandatory reason`,
+		`fleetvet:allow needs an analyzer name and a reason`,
+		`malformed fleetvet directive`,
+		`fleetvet:noalloc takes no arguments`,
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(wants))
+		for _, d := range diags {
+			t.Logf("  %v", d)
+		}
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q", want)
+		}
+	}
+	// The well-formed directives must not be flagged.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "legitimate waiver") {
+			t.Errorf("well-formed allow flagged: %v", d)
+		}
+	}
+}
+
+// TestDirectivesParsing pins the parse of the two well-formed forms.
+func TestDirectivesParsing(t *testing.T) {
+	pkg := loadDirectivesPkg(t)
+	var allows, noallocs int
+	for _, d := range pkg.Directives(knownForTest) {
+		if d.Invalid != "" {
+			continue
+		}
+		switch d.Verb {
+		case "allow":
+			allows++
+			if d.Analyzer != "nodeterm" || d.Reason == "" {
+				t.Errorf("allow parsed wrong: %+v", d)
+			}
+		case "noalloc":
+			noallocs++
+		}
+	}
+	if allows != 1 || noallocs != 1 {
+		t.Errorf("got %d valid allows and %d valid noallocs, want 1 and 1", allows, noallocs)
+	}
+}
+
+// TestSuppressScope pins the binding rule: an allow suppresses only
+// its own analyzer, only on the directive's line and the line below.
+func TestSuppressScope(t *testing.T) {
+	pkg := loadDirectivesPkg(t)
+	var allowLine int
+	var file string
+	for _, d := range pkg.Directives(knownForTest) {
+		if d.Invalid == "" && d.Verb == "allow" {
+			allowLine = d.Line
+			file = pkg.Fset.Position(d.Pos).Filename
+		}
+	}
+	if allowLine == 0 {
+		t.Fatal("no valid allow directive found")
+	}
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Position: token.Position{Filename: file, Line: line},
+			Message:  "x",
+		}
+	}
+	cases := []struct {
+		name string
+		d    Diagnostic
+		kept bool
+	}{
+		{"same line, same analyzer", mk(allowLine, "nodeterm"), false},
+		{"line below, same analyzer", mk(allowLine+1, "nodeterm"), false},
+		{"two below, same analyzer", mk(allowLine+2, "nodeterm"), true},
+		{"line above, same analyzer", mk(allowLine-1, "nodeterm"), true},
+		{"line below, other analyzer", mk(allowLine+1, "evorder"), true},
+		{"other file", Diagnostic{Analyzer: "nodeterm", Position: token.Position{Filename: "other.go", Line: allowLine}, Message: "x"}, true},
+	}
+	for _, tc := range cases {
+		got := Suppress(pkg, []Diagnostic{tc.d})
+		if kept := len(got) == 1; kept != tc.kept {
+			t.Errorf("%s: kept=%v, want %v", tc.name, kept, tc.kept)
+		}
+	}
+}
+
+// TestLoadRepoPackage smokes the go list loader against a real module
+// package and checks type info is populated.
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := NewLoader().Load("repro/internal/plot")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || len(p.Info.Uses) == 0 {
+		t.Fatal("package not type-checked")
+	}
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("unexpected type errors: %v", p.TypeErrors)
+	}
+}

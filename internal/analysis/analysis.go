@@ -1,0 +1,129 @@
+// Package analysis is a self-contained static-analysis framework for
+// the fleetvet suite (cmd/fleetvet): a deliberately small, offline
+// subset of the golang.org/x/tools/go/analysis API shape, built only on
+// the standard library (go/parser, go/types, and the `go list`
+// command), because this module vendors no third-party dependencies.
+//
+// An Analyzer inspects one type-checked package through a Pass and
+// reports Diagnostics. The driver (cmd/fleetvet) loads packages with
+// Loader, runs every analyzer, applies //fleetvet:allow suppression
+// (allow.go), and exits non-zero when findings remain. Analyzers are
+// written against the same {Analyzer, Pass, Reportf} surface as
+// x/tools analyzers, so they can migrate to the upstream framework
+// verbatim if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects the package behind the
+// Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //fleetvet:allow
+	Doc  string // one-paragraph description of what it enforces
+	Run  func(*Pass) error
+}
+
+// Pass connects an Analyzer to one loaded package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: which analyzer, where, what.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its findings with //fleetvet:allow suppression already applied,
+// sorted by position. This is the single entry point shared by the
+// cmd/fleetvet driver and the analysistest harness, so suppression
+// semantics cannot diverge between production and test runs.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	diags = Suppress(pkg, diags)
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by (file, line, column, analyzer,
+// message) so output is deterministic across runs and map-free.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// EnumConstants returns the package-level constants of the defined type
+// t, declared in t's defining package, in declaration order. Analyzers
+// treat a defined type with at least two such constants as an
+// enumeration. Works for imported packages too: the source importer
+// materializes full package scopes, unexported names included.
+func EnumConstants(t *types.Named) []*types.Const {
+	pkg := t.Obj().Pkg()
+	if pkg == nil { // universe types (error) have no constants
+		return nil
+	}
+	var consts []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), t) {
+			consts = append(consts, c)
+		}
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+	return consts
+}

@@ -1,0 +1,191 @@
+package escapes
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays down a throwaway single-package module so ScanNoalloc
+// and Collect can run the real go tool against it.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+// Hot is on the hot path.
+//
+//fleetvet:noalloc
+func Hot(n int) int {
+	x := n + 1
+	sink = &x
+	return x
+}
+
+// Cold has no annotation; its escapes must not be attributed.
+func Cold(n int) *int {
+	y := n * 2
+	return &y
+}
+
+//fleetvet:noalloc
+func (b *Box) Get() int { return b.v }
+
+// Box carries a value.
+type Box struct{ v int }
+
+var sink interface{}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestScanNoalloc(t *testing.T) {
+	root := writeModule(t)
+	funcs, pkgs, err := ScanNoalloc(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0] != "scratch/p" {
+		t.Fatalf("pkgs = %v, want [scratch/p]", pkgs)
+	}
+	var keys []string
+	for _, f := range funcs {
+		keys = append(keys, f.Key)
+		if f.File != "p/p.go" {
+			t.Errorf("%s: File = %q, want p/p.go", f.Key, f.File)
+		}
+		if f.Begin <= 0 || f.End < f.Begin {
+			t.Errorf("%s: bad line range [%d, %d]", f.Key, f.Begin, f.End)
+		}
+	}
+	want := []string{"scratch/p.(*Box).Get", "scratch/p.Hot"}
+	if strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+}
+
+func TestCollectAttributesOnlyAnnotated(t *testing.T) {
+	root := writeModule(t)
+	funcs, pkgs, err := ScanNoalloc(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	escapes, err := Collect(root, pkgs, funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot's x is moved to the heap; Cold's y escapes too but Cold is
+	// unannotated so its diagnostic must be dropped on the floor.
+	var hot, other int
+	for _, e := range escapes {
+		switch e.FuncKey {
+		case "scratch/p.Hot":
+			hot++
+		default:
+			other++
+			t.Errorf("escape attributed outside Hot: %v", e)
+		}
+	}
+	if hot == 0 {
+		t.Fatalf("no escape attributed to scratch/p.Hot; got %v", escapes)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	accepted := NewBaseline([]Escape{
+		{FuncKey: "p.A", Message: "x escapes to heap"},
+		{FuncKey: "p.B", Message: "y escapes to heap"},
+		{FuncKey: "p.B", Message: "y escapes to heap"},
+	})
+	current := []Escape{
+		{FuncKey: "p.A", Message: "x escapes to heap"}, // unchanged
+		{FuncKey: "p.B", Message: "y escapes to heap"}, // multiplicity 2 -> 1
+		{FuncKey: "p.C", Message: "z escapes to heap"}, // new
+	}
+	grown, shrunk := Diff(current, accepted)
+	if len(grown) != 1 || !strings.Contains(grown[0], "p.C") {
+		t.Errorf("grown = %v, want one p.C entry", grown)
+	}
+	if len(shrunk) != 1 || !strings.Contains(shrunk[0], "p.B") {
+		t.Errorf("shrunk = %v, want one p.B entry", shrunk)
+	}
+}
+
+func TestDiffClean(t *testing.T) {
+	escapes := []Escape{{FuncKey: "p.A", Message: "x escapes to heap"}}
+	grown, shrunk := Diff(escapes, NewBaseline(escapes))
+	if len(grown) != 0 || len(shrunk) != 0 {
+		t.Fatalf("grown = %v, shrunk = %v, want both empty", grown, shrunk)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	escapes := []Escape{
+		{FuncKey: "p.B", Message: "y escapes to heap"},
+		{FuncKey: "p.A", Message: "x escapes to heap"},
+		{FuncKey: "p.B", Message: "y escapes to heap"},
+	}
+	path := filepath.Join(t.TempDir(), "sub", "escapes.txt")
+	if err := WriteBaseline(path, escapes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewBaseline(escapes)
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for e, n := range want {
+		if got[e] != n {
+			t.Errorf("%v: count %d, want %d", e, got[e], n)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "#") {
+		t.Error("baseline file missing comment header")
+	}
+}
+
+func TestReadBaselineMissingIsEmpty(t *testing.T) {
+	b, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 0 {
+		t.Fatalf("got %v, want empty baseline", b)
+	}
+}
+
+func TestReadBaselineMalformed(t *testing.T) {
+	for name, content := range map[string]string{
+		"missing-fields": "1\tp.A\n",
+		"bad-count":      "zero\tp.A\tx escapes to heap\n",
+		"neg-count":      "-1\tp.A\tx escapes to heap\n",
+	} {
+		path := filepath.Join(t.TempDir(), name+".txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadBaseline(path); err == nil {
+			t.Errorf("%s: want parse error, got nil", name)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package evorder statically enforces the event-ordering contract.
+// The engines' bit-identity argument (docs/ARCHITECTURE.md) hangs on
+// the canonical evCap < evFault < evPlace < evTick < evRetire <
+// evArrival < evServe ordering and on every piece of code that
+// dispatches over an event/fault/trace kind handling every kind. Two
+// regressions this pass makes impossible to land silently:
+//
+//  1. A new enum constant (a new event kind, fault class, or trace
+//     kind) that an existing switch or kind-keyed map literal does not
+//     handle — switches must either cover every constant or carry a
+//     default; kind-keyed map literals (like trace.go's canonical rank
+//     table) must cover every constant.
+//  2. Ordering logic written against integer literals instead of the
+//     named constants — `ev.kind < 3` keeps compiling when the enum is
+//     reordered, silently changing the event order.
+//
+// An enumeration here is any defined type whose name ends in "Kind"
+// with at least two package-level constants of that exact type —
+// evKind, FaultKind, TraceKind today, future kinds automatically.
+// Findings are waived with `//fleetvet:allow evorder <reason>`.
+package evorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the event-ordering pass, run by cmd/fleetvet over every
+// package.
+var Analyzer = &analysis.Analyzer{
+	Name: "evorder",
+	Doc: "require exhaustive switches and map literals over *Kind enums, " +
+		"and named constants (never integer literals) in kind comparisons",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CompositeLit:
+				checkMapLiteral(pass, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumType returns the defined *Kind enumeration behind t (looking
+// through pointers is unnecessary: kinds are value types) together
+// with its constants, or nil if t is not a kind enumeration.
+func enumType(t types.Type) (*types.Named, []*types.Const) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	name := named.Obj().Name()
+	if !strings.HasSuffix(name, "Kind") && !strings.HasSuffix(name, "kind") {
+		return nil, nil
+	}
+	consts := analysis.EnumConstants(named)
+	if len(consts) < 2 {
+		return nil, nil
+	}
+	return named, consts
+}
+
+// checkSwitch requires a switch over a kind enum to either carry a
+// default clause or cover every declared constant, and flags literal
+// case values.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, consts := enumType(tv.Type)
+	if named == nil {
+		return
+	}
+	covered := map[string]bool{} // constant value -> seen
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			if lit, ok := literalExpr(expr); ok {
+				pass.Reportf(expr.Pos(),
+					"case %s on a switch over %s: use the named %s constants, never literals",
+					lit, named.Obj().Name(), named.Obj().Name())
+			}
+			if ctv, ok := pass.TypesInfo.Types[expr]; ok && ctv.Value != nil {
+				covered[ctv.Value.ExactString()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s (cover every kind or add a panicking default)",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// checkMapLiteral requires a map literal keyed by a kind enum — the
+// canonical-ordering tables — to cover every declared constant: a rank
+// table missing a kind would silently rank it zero.
+func checkMapLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	named, consts := enumType(m.Key())
+	if named == nil {
+		return
+	}
+	covered := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if l, ok := literalExpr(kv.Key); ok {
+			pass.Reportf(kv.Key.Pos(),
+				"map key %s in a map keyed by %s: use the named constants, never literals",
+				l, named.Obj().Name())
+		}
+		if ktv, ok := pass.TypesInfo.Types[kv.Key]; ok && ktv.Value != nil {
+			covered[ktv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(lit.Pos(),
+			"map keyed by %s does not cover %s: a missing kind would silently get the zero value",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// checkComparison flags comparisons and ordering expressions that pit
+// a kind-enum value against an integer (or string) literal.
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	switch be.Op.String() {
+	case "==", "!=", "<", "<=", ">", ">=":
+	default:
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		enumSide, otherSide := pair[0], pair[1]
+		tv, ok := pass.TypesInfo.Types[enumSide]
+		if !ok {
+			continue
+		}
+		named, _ := enumType(tv.Type)
+		if named == nil {
+			continue
+		}
+		if lit, ok := literalExpr(otherSide); ok {
+			pass.Reportf(be.Pos(),
+				"%s value compared against literal %s: use the named %s constants so reordering the enum cannot silently change event order",
+				named.Obj().Name(), lit, named.Obj().Name())
+			return
+		}
+	}
+}
+
+// literalExpr reports whether e is a bare literal (possibly through a
+// conversion like evKind(3) or parentheses) rather than a named
+// constant, returning its rendering.
+func literalExpr(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Value, true
+	case *ast.ParenExpr:
+		return literalExpr(e.X)
+	case *ast.CallExpr:
+		// A conversion wrapping a literal: T(3).
+		if len(e.Args) == 1 {
+			if s, ok := literalExpr(e.Args[0]); ok {
+				return s, true
+			}
+		}
+	case *ast.UnaryExpr:
+		if s, ok := literalExpr(e.X); ok {
+			return e.Op.String() + s, true
+		}
+	}
+	return "", false
+}

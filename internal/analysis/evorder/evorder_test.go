@@ -1,0 +1,13 @@
+package evorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/evorder"
+)
+
+func TestEvorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), evorder.Analyzer)
+}

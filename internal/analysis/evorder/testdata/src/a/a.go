@@ -1,0 +1,116 @@
+// Package a exercises the evorder analyzer: exhaustive switches and
+// map literals over *Kind enums, and literal-free kind comparisons.
+package a
+
+// evKind mirrors the engine's event-kind enumeration.
+type evKind int8
+
+const (
+	evCap evKind = iota
+	evTick
+	evServe
+)
+
+// FaultKind mirrors an exported string-valued kind enumeration.
+type FaultKind string
+
+const (
+	FaultCrash FaultKind = "crash"
+	FaultSag   FaultKind = "sag"
+)
+
+// phase is not a Kind enum (no suffix): exempt from exhaustiveness.
+type phase int
+
+const (
+	phaseA phase = iota
+	phaseB
+)
+
+func exhaustive(k evKind) int {
+	switch k { // covers every kind: fine
+	case evCap:
+		return 0
+	case evTick:
+		return 1
+	case evServe:
+		return 2
+	}
+	return -1
+}
+
+func defaulted(k evKind) int {
+	switch k { // default counts as handling future kinds
+	case evCap:
+		return 0
+	default:
+		panic("unhandled kind")
+	}
+}
+
+func missingKind(k evKind) int {
+	switch k { // want `switch over evKind is not exhaustive: missing evServe`
+	case evCap:
+		return 0
+	case evTick:
+		return 1
+	}
+	return -1
+}
+
+func missingFault(f FaultKind) string {
+	switch f { // want `switch over FaultKind is not exhaustive: missing FaultSag`
+	case FaultCrash:
+		return "crash"
+	}
+	return ""
+}
+
+func literalCase(k evKind) bool {
+	switch k {
+	case 1: // want `case 1 on a switch over evKind`
+		return true
+	default:
+		return false
+	}
+}
+
+func nonEnumSwitch(p phase) int {
+	switch p { // phase is not a Kind enum: fine
+	case phaseA:
+		return 0
+	}
+	return 1
+}
+
+var rankOK = map[evKind]int{
+	evCap:   0,
+	evTick:  1,
+	evServe: 2,
+}
+
+var rankMissing = map[evKind]int{ // want `map keyed by evKind does not cover evServe`
+	evCap:  0,
+	evTick: 1,
+}
+
+func literalCompare(k evKind) bool {
+	return k < 2 // want `evKind value compared against literal 2`
+}
+
+func literalConvCompare(k evKind) bool {
+	return k == evKind(1) // want `evKind value compared against literal 1`
+}
+
+func namedCompare(k evKind) bool {
+	return k < evServe // named constants: fine
+}
+
+func allowedCompare(k evKind) bool {
+	//fleetvet:allow evorder wire-format decoding pins the numeric value
+	return k == 2
+}
+
+func intCompare(n int) bool {
+	return n < 3 // plain ints are not kinds: fine
+}

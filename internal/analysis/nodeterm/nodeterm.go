@@ -1,0 +1,269 @@
+// Package nodeterm statically enforces the engine's determinism
+// contract: every figure the repro produces rests on runs being a pure
+// function of (scenario, seed), bit-identical across Workers counts and
+// machines (docs/ARCHITECTURE.md). Three classes of nondeterminism can
+// silently break that:
+//
+//  1. Wall-clock reads — time.Now / time.Since — instead of the virtual
+//     clock.
+//  2. The global math/rand source — rand.Intn and friends — instead of
+//     a seeded *rand.Rand instance.
+//  3. Iterating a map while appending to a slice, emitting trace/CSV
+//     output, or writing through an io.Writer, without sorting
+//     afterwards: Go randomizes map iteration order per run.
+//
+// Findings are waived with `//fleetvet:allow nodeterm <reason>` on the
+// offending line or the line above.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the determinism pass, run by cmd/fleetvet over the
+// engine packages (internal/fleet, internal/sweep, internal/cluster).
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid wall-clock reads, global math/rand, and unsorted " +
+		"ordering-sensitive map iteration in engine packages",
+	Run: run,
+}
+
+// seededConstructors are the math/rand top-level functions that build
+// seeded generators rather than drawing from the global source.
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body; body is also the scope searched
+// for post-loop sorts in the map-range check.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, body)
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock reads and draws from the global math/rand
+// source.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgPath, ok := packageQualifier(pass, sel)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	switch pkgPath {
+	case "time":
+		if name == "Now" || name == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock: engine code must use the virtual timeline (clock.Clock)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[name] {
+			pass.Reportf(call.Pos(),
+				"global math/rand draw rand.%s: engine randomness must come from a seeded *rand.Rand instance", name)
+		}
+	}
+}
+
+// packageQualifier resolves sel's receiver to an imported package path,
+// distinguishing the package `time` from a variable named `time`.
+func packageQualifier(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// checkMapRange flags `for ... range m` over a map whose body performs
+// ordering-sensitive writes — appends to state declared outside the
+// loop, io/trace/CSV emission, channel sends — unless the enclosing
+// function sorts afterwards (a call whose name starts with Sort/sort,
+// e.g. sort.Slice, slices.Sort, SortTrace, after the loop).
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, scope *ast.BlockStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	what, at := orderingSensitiveWrite(pass, rng)
+	if what == "" {
+		return
+	}
+	if sortedAfter(pass, rng, scope) {
+		return
+	}
+	pass.Reportf(at,
+		"map iteration order is random, and this loop %s: iterate sorted keys or sort the result afterwards", what)
+}
+
+// orderingSensitiveWrite scans the loop body for the first write whose
+// order the map iteration would scramble. Returns a description and
+// its position, or "".
+func orderingSensitiveWrite(pass *analysis.Pass, rng *ast.RangeStmt) (string, token.Pos) {
+	var what string
+	var at token.Pos
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			what, at = "sends on a channel", n.Pos()
+			return false
+		case *ast.AssignStmt:
+			if target, ok := appendToOuter(pass, n, rng); ok {
+				what, at = "appends to "+target+" declared outside it", n.Pos()
+				return false
+			}
+		case *ast.CallExpr:
+			if name, ok := emissionCall(n); ok {
+				what, at = "emits output via "+name, n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return what, at
+}
+
+// appendToOuter reports whether the assignment grows a slice that
+// outlives the loop: x = append(x, ...) with x declared before the
+// range statement, or a field/element of such state (s.rows, out[i]).
+func appendToOuter(pass *analysis.Pass, as *ast.AssignStmt, rng *ast.RangeStmt) (string, bool) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			continue
+		}
+		if obj, ok := pass.TypesInfo.Uses[fn]; !ok || obj != types.Universe.Lookup("append") {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		switch lhs := as.Lhs[i].(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[lhs]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[lhs]
+			}
+			// Declared before the loop (or a package-level/field target):
+			// the append order escapes the iteration.
+			if obj != nil && obj.Pos() < rng.Pos() {
+				return lhs.Name, true
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			// Struct fields and slice elements always outlive the loop.
+			return exprString(lhs), true
+		}
+	}
+	return "", false
+}
+
+// emissionNames matches method/function names that emit ordered output:
+// io writes, printing, CSV/encoder writes, trace recording.
+func emissionCall(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", false
+	}
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"write", "fprint", "print", "emit", "record", "encode", "push"} {
+		if strings.HasPrefix(lower, prefix) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether some call after the range loop, within
+// the same function body, is a sort (package sort/slices, or any
+// function whose name begins with Sort — the repo's SortTrace,
+// sortEvents convention).
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, scope *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			if path, ok := packageQualifier(pass, fun); ok && (path == "sort" || path == "slices") {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			name = fun.Name
+		}
+		if strings.HasPrefix(strings.ToLower(name), "sort") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders simple lvalue expressions for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expression"
+}

@@ -1,0 +1,13 @@
+package nodeterm_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), nodeterm.Analyzer)
+}

@@ -1,0 +1,111 @@
+// Package a exercises the nodeterm analyzer: wall-clock reads, global
+// math/rand draws, and ordering-sensitive map iteration.
+package a
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock ---
+
+func wallClock() time.Duration {
+	start := time.Now()                          // want `time.Now reads the wall clock`
+	fmt.Println(time.Since(start))               // want `time.Since reads the wall clock`
+	deadline := time.Unix(0, 0).Add(time.Second) // time.Unix and friends are fine
+	return time.Until(deadline)                  // Until is deterministic-in, wall-clock-out: not flagged by name
+}
+
+func allowedWallClock() time.Time {
+	//fleetvet:allow nodeterm this is the real-time gateway boundary
+	return time.Now()
+}
+
+// --- randomness ---
+
+func globalRand() int {
+	rand.Seed(42)       // want `global math/rand draw rand.Seed`
+	x := rand.Intn(10)  // want `global math/rand draw rand.Intn`
+	y := rand.Float64() // want `global math/rand draw rand.Float64`
+	return x + int(y)
+}
+
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructors are the sanctioned path
+	return rng.Float64()                  // method on *rand.Rand: fine
+}
+
+// --- map iteration ---
+
+func unsortedAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order is random, and this loop appends to keys`
+	}
+	return keys
+}
+
+func sortedAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: fine
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order is random, and this loop emits output via Fprintf`
+	}
+}
+
+type sink struct{ rows []string }
+
+func (s *sink) fieldAppend(m map[string]int) {
+	for k := range m {
+		s.rows = append(s.rows, k) // want `map iteration order is random, and this loop appends to s.rows`
+	}
+}
+
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `map iteration order is random, and this loop sends on a channel`
+	}
+}
+
+func innerOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		parts := []int{}
+		parts = append(parts, v) // loop-local accumulation: order cannot escape
+		total += parts[0]
+	}
+	return total
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // pure reduction: fine
+	}
+	return n
+}
+
+func allowedRange(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//fleetvet:allow nodeterm feeding a set, order normalized downstream
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRange(xs []string, out io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(out, x) // slices iterate in order: fine
+	}
+}

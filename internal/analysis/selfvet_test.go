@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/evorder"
+	"repro/internal/analysis/nodeterm"
+)
+
+// TestEnginePackagesStayVetClean is the determinism regression pin for
+// every fleetvet finding fixed in the engine: internal/fleet,
+// internal/sweep, and internal/cluster must stay free of nodeterm and
+// evorder findings. Un-fixing one — removing the coordinator barrier
+// switch's shard-local default, adding a wall-clock read, emitting from
+// an unsorted map range — fails this test (and the CI lint job) before
+// it can perturb a figure. Runs the exact analyzer entry point
+// cmd/fleetvet uses, suppression included.
+func TestEnginePackagesStayVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the engine's dependency graph from source")
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(
+		"repro/internal/fleet",
+		"repro/internal/sweep",
+		"repro/internal/cluster",
+	)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("got %d packages, want 3", len(pkgs))
+	}
+	known := map[string]bool{
+		nodeterm.Analyzer.Name:          true,
+		evorder.Analyzer.Name:           true,
+		analysis.DirectivesAnalyzerName: true,
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("%s: type error: %v", pkg.ImportPath, terr)
+		}
+		for _, a := range []*analysis.Analyzer{nodeterm.Analyzer, evorder.Analyzer} {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %v", pkg.ImportPath, d)
+			}
+		}
+		for _, d := range analysis.CheckDirectives(pkg, known) {
+			t.Errorf("%s: %v", pkg.ImportPath, d)
+		}
+	}
+}

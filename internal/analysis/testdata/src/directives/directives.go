@@ -1,0 +1,35 @@
+// Package directives exercises the vetdirectives hygiene check: every
+// malformed fleetvet directive is itself a finding, because a directive
+// that silently fails to bind hides exactly what it was meant to track.
+// Expectations live in allow_test.go (directive diagnostics anchor on
+// the comment itself, where a same-line want comment cannot sit).
+package directives
+
+import "time"
+
+//fleetvet:allow nodeterm legitimate waiver with a reason
+func waived() time.Time { return time.Now() }
+
+//fleetvet:alow nodeterm typo in the verb
+func typoVerb() {}
+
+//fleetvet:allow nodetrem reason here
+func typoAnalyzer() {}
+
+//fleetvet:allow nodeterm
+func missingReason() {}
+
+//fleetvet:allow
+func missingEverything() {}
+
+// fleetvet:allow nodeterm spaced directives never bind
+func spacedDirective() {}
+
+//fleetvet:noalloc
+func hotPath() {}
+
+//fleetvet:noalloc with arguments
+func hotPathArgs() {}
+
+// Prose mentioning fleetvet without a colon is not a directive attempt.
+func prose() {}

@@ -257,6 +257,8 @@ func (rt *Runtime) Snapshot() Snapshot {
 // stats sweep reads one per instance per round, and the defensive copy
 // of the current setting was that path's only allocation. Callers that
 // need the Setting use Snapshot.
+//
+//fleetvet:noalloc
 func (rt *Runtime) StatsSnapshot() Snapshot {
 	rt.mu.Lock()
 	return rt.finishSnapshot(Snapshot{

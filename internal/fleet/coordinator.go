@@ -31,6 +31,7 @@ package fleet
 //     and the entire saturating benchmark) run fully parallel.
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -176,6 +177,14 @@ func (s *Supervisor) stepSharded(gen *LoadGen) (RoundStats, error) {
 				} else {
 					s.pending = append(s.pending, g.req)
 				}
+			case evRetire, evServe:
+				// Retirements and service continuations are shard-local by
+				// construction (seedRound never emits them as globals;
+				// scheduleRetire lands on the instance's own shard). One
+				// reaching the barrier list means the routing invariant
+				// broke — fail loudly, mirroring shard.handle's default:
+				// dropping it would silently leak the instance's capacity.
+				return RoundStats{}, fmt.Errorf("fleet: coordinator saw shard-local event kind %d at %v as a global barrier", g.kind, g.at)
 			}
 		}
 	}

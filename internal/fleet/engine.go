@@ -35,16 +35,20 @@ const (
 	evServe
 )
 
-// event is one entry of the discrete-event queue.
+// event is one entry of the discrete-event queue. Field order keeps
+// the 8-byte-aligned fields contiguous: the 1-byte kind sits last so
+// its alignment fill coalesces with the tail padding instead of
+// splitting the pointer fields mid-struct (layout pinned by
+// TestHotStructSizes).
 type event struct {
 	at    time.Time
-	kind  evKind
 	seq   uint64
 	inst  *Instance   // evServe, evRetire; dispatch target for sharded evArrival
 	req   *Request    // evArrival
 	watts float64     // evCap
 	place placeChange // evPlace
 	fault faultChange // evFault
+	kind  evKind
 }
 
 // eventLess is the deterministic (at, kind, seq) order shared by the
@@ -101,6 +105,8 @@ func (q *eventQueue) Pop() interface{} {
 // pattern each shard already uses locally — so steady-state rounds
 // reuse one working set of event structs instead of allocating per
 // tick, arrival, and continuation.
+//
+//fleetvet:noalloc
 func (s *Supervisor) newEvent() *event {
 	if n := len(s.evFree); n > 0 {
 		ev := s.evFree[n-1]
@@ -120,6 +126,8 @@ func (s *Supervisor) mkEvent(at time.Time, kind evKind) *event {
 
 // recycleEvent returns a dead event to the free list, zeroed so stale
 // Instance/Request pointers cannot leak through reuse.
+//
+//fleetvet:noalloc
 func (s *Supervisor) recycleEvent(ev *event) {
 	*ev = event{}
 	s.evFree = append(s.evFree, ev)
@@ -225,6 +233,8 @@ func (s *Supervisor) retireAt(inst *Instance, t time.Time) {
 // landing between beats govern the very next beat. It touches only the
 // instance and the sink, which is what lets shards of the parallel
 // engine serve disjoint instance sets concurrently.
+//
+//fleetvet:noalloc
 func (s *Supervisor) serve(now time.Time, inst *Instance, sink engineSink) error {
 	inst.scheduled = false
 	if inst.retired {

@@ -499,6 +499,8 @@ func (inst *Instance) baselineFor(req *Request) workload.Output {
 // takeRequest pops a recycled Request from the instance's free list,
 // falling back to its supervisor's pool-less allocation path (the
 // supervisor sweep refills instance lists only indirectly, via mints).
+//
+//fleetvet:noalloc
 func (inst *Instance) takeRequest() *Request {
 	if n := len(inst.reqFree); n > 0 {
 		r := inst.reqFree[n-1]
@@ -513,12 +515,16 @@ func (inst *Instance) takeRequest() *Request {
 // into the instance's free list. Callers must ensure no reference
 // outlives the call — queues and the pending backlog hold live
 // requests, which are never freed.
+//
+//fleetvet:noalloc
 func (inst *Instance) freeRequest(r *Request) {
 	inst.reqFree = append(inst.reqFree, r)
 }
 
 // takeRequest pops from the supervisor's pool (round seeds and quantum
 // mode, both supervisor context).
+//
+//fleetvet:noalloc
 func (s *Supervisor) takeRequest() *Request {
 	if n := len(s.reqFree); n > 0 {
 		r := s.reqFree[n-1]
@@ -534,6 +540,8 @@ func (s *Supervisor) takeRequest() *Request {
 // sliding-window idiom (queue = queue[1:]) walks off its array and
 // forces a reallocation every few requests, which popRequest's O(depth)
 // pointer copy avoids entirely.
+//
+//fleetvet:noalloc
 func (inst *Instance) popRequest() *Request {
 	r := inst.queue[0]
 	n := copy(inst.queue, inst.queue[1:])
@@ -546,6 +554,8 @@ func (inst *Instance) popRequest() *Request {
 // instant and realized QoS loss of the served output against the
 // baseline-setting output of the same work item — the quantity the
 // cluster oracle predicts (per-beat, not per-plan-time).
+//
+//fleetvet:noalloc
 func (inst *Instance) finishRequest() float64 {
 	lat := inst.clk.Now().Sub(inst.cur.Arrival).Seconds()
 	inst.completed++

@@ -123,6 +123,8 @@ func (s *Supervisor) maybeEnterFluid(inst *Instance, now time.Time, sink engineS
 // instance re-materializes mid-drain if its queue shallows below the
 // exit depth. Safe from shard context: it touches only the instance,
 // its machine view, and the sink.
+//
+//fleetvet:noalloc
 func (s *Supervisor) drainFluid(inst *Instance, u time.Time, sink engineSink) {
 	exitDepth := s.fluidExitDepth()
 	for inst.fluid {

@@ -34,8 +34,7 @@ type shard struct {
 	// per host this removes nearly all heap traffic. Only set while
 	// running; compared against the heap top before use, so ordering is
 	// exactly the heap's.
-	next    *event
-	running bool
+	next *event
 
 	// trace buffers this shard's window-local trace events; the
 	// coordinator flushes buffers in host-index order at every barrier.
@@ -50,15 +49,21 @@ type shard struct {
 	// shard-local, drained at window ends and arrival landings.
 	fluidInsts []*Instance
 
-	// excluded marks the shard as serialized for the current window
-	// phase (it hosts a live draining instance), so runParallel skips
-	// it. Set and cleared by drainingShards.
-	excluded bool
-
 	err error
+
+	// running is set only while run executes (guards the next fast
+	// path); excluded marks the shard as serialized for the current
+	// window phase (it hosts a live draining instance), so runParallel
+	// skips it — set and cleared by drainingShards. The two bools sit
+	// together at the tail so they share one padding slot (pinned by
+	// TestHotStructSizes).
+	running  bool
+	excluded bool
 }
 
 // newEvent takes an event from the shard's free list (or allocates).
+//
+//fleetvet:noalloc
 func (sh *shard) newEvent() *event {
 	if n := len(sh.free); n > 0 {
 		ev := sh.free[n-1]
@@ -72,6 +77,8 @@ func (sh *shard) newEvent() *event {
 // recycle returns a fully handled event to the free list. Callers must
 // ensure no reference outlives the call (handled events are dead: serve
 // and the arrival handler retain nothing).
+//
+//fleetvet:noalloc
 func (sh *shard) recycle(ev *event) {
 	if len(sh.free) < 256 {
 		*ev = event{}
@@ -129,6 +136,8 @@ func (sh *shard) popHeap() *event {
 // pop returns the shard's earliest event strictly before end, draining
 // the peek-ahead slot with exact heap ordering, or nil when the shard
 // has no work left in the window.
+//
+//fleetvet:noalloc
 func (sh *shard) pop(end time.Time) *event {
 	if ev := sh.next; ev != nil {
 		sh.next = nil
@@ -163,6 +172,8 @@ func (sh *shard) hasWorkBefore(end time.Time) bool {
 // events in deterministic local order. It touches only this shard's
 // state and its residents (plus their thread-safe machine views), so
 // disjoint shards run concurrently.
+//
+//fleetvet:noalloc
 func (sh *shard) run(end time.Time) {
 	sh.running = true
 	for sh.err == nil {
@@ -212,6 +223,8 @@ func (sh *shard) drainFluidTo(u time.Time) bool {
 // absent: retirements re-arbitrate the whole cluster, so the
 // coordinator serializes any window in which one could occur and
 // processes it there (runSerial / barrier).
+//
+//fleetvet:noalloc
 func (sh *shard) handle(ev *event) {
 	switch ev.kind {
 	case evServe:
@@ -244,6 +257,8 @@ func (sh *shard) handle(ev *event) {
 
 // activate implements engineSink: schedule the instance's next service
 // continuation on its shard, using the peek-ahead slot while running.
+//
+//fleetvet:noalloc
 func (sh *shard) activate(inst *Instance, t time.Time) {
 	// Fluid instances have no discrete continuations (fluid.go).
 	if inst.retired || inst.scheduled || inst.fluid {

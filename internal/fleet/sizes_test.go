@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestHotStructSizes pins the field-aligned layout of the engine's
+// hot structs on 64-bit platforms. These are the types the event loop
+// touches per beat (event, shard) or hands across the API per round
+// (Request, RoundStats); a size growth here means a field reorder or
+// addition re-introduced interior padding — rework the layout (1-byte
+// fields last, pointer-sized fields contiguous) or consciously bump
+// the pin.
+//
+//   - event: kind (int8) sits last, so its alignment fill coalesces
+//     with the tail padding instead of splitting the pointer fields.
+//   - shard: the running/excluded bools share one tail padding slot
+//     instead of costing 8 bytes of fill each (160 -> 152).
+//   - Request and RoundStats were audited and are already optimal:
+//     Request is four machine words plus a time.Time, RoundStats keeps
+//     its lone bool (FaultActive) at the tail.
+func TestHotStructSizes(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("layout pins assume a 64-bit platform")
+	}
+	for _, tc := range []struct {
+		name string
+		got  uintptr
+		want uintptr
+	}{
+		{"event", unsafe.Sizeof(event{}), 248},
+		{"shard", unsafe.Sizeof(shard{}), 152},
+		{"Request", unsafe.Sizeof(Request{}), 56},
+		{"RoundStats", unsafe.Sizeof(RoundStats{}), 192},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("sizeof(%s) = %d, want %d (layout regression — see test doc)",
+				tc.name, tc.got, tc.want)
+		}
+	}
+	// The tie-break comparison field order (at, kind, seq) is
+	// independent of the struct layout; pin that kind is still the
+	// enum, not accidentally widened.
+	if s := unsafe.Sizeof(evKind(0)); s != 1 {
+		t.Errorf("sizeof(evKind) = %d, want 1", s)
+	}
+}

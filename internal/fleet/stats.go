@@ -191,6 +191,8 @@ const reqFreeFloor = 4
 // bookkeeping. All aggregation runs on supervisor-owned scratch
 // buffers: a steady-state round sorts and summarizes thousands of
 // latency samples without allocating.
+//
+//fleetvet:noalloc
 func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 	if len(s.aggScratch) < len(s.groups) {
 		s.aggScratch = make([]roundAgg, len(s.groups))
