@@ -1,12 +1,18 @@
-// Command benchplot renders a benchmark record (raw `go test -bench`
-// text or `-json` test2json stream, e.g. the committed BENCH_fleet.json)
-// into a dependency-free SVG figure: one bar panel of ns/op and one of
-// allocs/op per benchmark, with exact values annotated. CI attaches the
-// output as an artifact so scaling trends are visible per run.
+// Command benchplot renders benchmark records (raw `go test -bench`
+// text or `-json` test2json streams, e.g. the committed
+// BENCH_fleet.json) into a dependency-free SVG figure.
+//
+// With one input the figure is a snapshot: one bar panel of ns/op and
+// one of allocs/op per benchmark, with exact values annotated. With
+// several inputs — repeated -in flags or positional paths, in run
+// order — the figure is a trend: one line per benchmark across the
+// records, so a CI job can plot the committed baseline against fresh
+// runs and allocation or latency drift shows as a slope.
 //
 // Usage:
 //
 //	benchplot -in BENCH_fleet.json -out bench.svg [-title "fleet benchmarks"] [-filter regexp]
+//	benchplot -out trend.svg BENCH_fleet.json bench-run1.json bench-run2.json
 package main
 
 import (
@@ -21,39 +27,49 @@ import (
 	"repro/internal/plot"
 )
 
+// multiFlag collects repeated -in values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
-	in := flag.String("in", "", "benchmark record to read (default stdin); raw text or test2json")
+	var in multiFlag
+	flag.Var(&in, "in", "benchmark record to read (repeatable; default stdin); raw text or test2json")
 	out := flag.String("out", "bench.svg", "SVG file to write")
 	title := flag.String("title", "benchmark results", "figure title")
 	filter := flag.String("filter", "", "optional regexp; keep only matching benchmark names")
 	flag.Parse()
+	in = append(in, flag.Args()...)
 
-	if err := run(*in, *out, *title, *filter); err != nil {
+	if err := run(in, *out, *title, *filter); err != nil {
 		fmt.Fprintln(os.Stderr, "benchplot:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, title, filter string) error {
+// parseMeans reads one record and reduces it to filtered per-benchmark
+// means.
+func parseMeans(in string, re *regexp.Regexp) ([]benchparse.Result, error) {
 	var src io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		src = f
 	}
 	results, err := benchparse.Parse(src)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	means := benchparse.Means(results)
-	if filter != "" {
-		re, err := regexp.Compile(filter)
-		if err != nil {
-			return fmt.Errorf("bad -filter: %w", err)
-		}
+	if re != nil {
 		kept := means[:0]
 		for _, m := range means {
 			if re.MatchString(m.Name) {
@@ -62,10 +78,56 @@ func run(in, out, title, filter string) error {
 		}
 		means = kept
 	}
-	if len(means) == 0 {
-		return fmt.Errorf("no benchmark results in input")
+	return means, nil
+}
+
+func run(in []string, out, title, filter string) error {
+	var re *regexp.Regexp
+	if filter != "" {
+		var err error
+		if re, err = regexp.Compile(filter); err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	if len(in) == 0 {
+		in = []string{""} // stdin
+	}
+	records := make([][]benchparse.Result, len(in))
+	for i, path := range in {
+		means, err := parseMeans(path, re)
+		if err != nil {
+			return err
+		}
+		if len(means) == 0 {
+			return fmt.Errorf("no benchmark results in %s", nameOf(path))
+		}
+		records[i] = means
 	}
 
+	var panels []plot.Panel
+	if len(records) == 1 {
+		panels = barPanels(records[0])
+	} else {
+		var err error
+		if panels, err = trendPanels(in, records); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := plot.WriteSVG(f, title, panels); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// barPanels is the single-record snapshot: horizontal bars with exact
+// values.
+func barPanels(means []benchparse.Result) []plot.Panel {
 	var labels []string
 	var ns []float64
 	var allocLabels []string
@@ -85,14 +147,68 @@ func run(in, out, title, filter string) error {
 	if len(allocs) > 0 {
 		panels = append(panels, plot.Panel{Title: "allocations per op", Unit: " allocs/op", Labels: allocLabels, Bars: allocs})
 	}
+	return panels
+}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+// trendPanels is the multi-record CI-vs-CI view: x is the record index
+// in input order, one line series per benchmark. Benchmarks absent
+// from any record are dropped (with a note), since a gapped line would
+// misread as a measured value.
+func trendPanels(in []string, records [][]benchparse.Result) ([]plot.Panel, error) {
+	byName := make([]map[string]benchparse.Result, len(records))
+	inAll := map[string]int{}
+	for i, means := range records {
+		byName[i] = make(map[string]benchparse.Result, len(means))
+		for _, m := range means {
+			byName[i][m.Name] = m
+			inAll[m.Name]++
+		}
 	}
-	if err := plot.WriteSVG(f, title, panels); err != nil {
-		f.Close()
-		return err
+	var nsSeries, allocSeries []plot.Series
+	for _, m := range records[0] {
+		if inAll[m.Name] != len(records) {
+			continue
+		}
+		label := strings.TrimPrefix(m.Name, "Benchmark")
+		ns := plot.Series{Name: label}
+		al := plot.Series{Name: label, Values: make([]float64, 0, len(records))}
+		hasAllocs := true
+		for i := range records {
+			r := byName[i][m.Name]
+			ns.Values = append(ns.Values, r.NsPerOp)
+			if r.AllocsPerOp < 0 {
+				hasAllocs = false
+			} else {
+				al.Values = append(al.Values, r.AllocsPerOp)
+			}
+		}
+		nsSeries = append(nsSeries, ns)
+		if hasAllocs {
+			allocSeries = append(allocSeries, al)
+		}
 	}
-	return f.Close()
+	for name, n := range inAll {
+		if n != len(records) {
+			fmt.Fprintf(os.Stderr, "benchplot: %s is missing from %d of %d records; dropped from the trend\n",
+				name, len(records)-n, len(records))
+		}
+	}
+	if len(nsSeries) == 0 {
+		return nil, fmt.Errorf("no benchmark appears in all %d records", len(records))
+	}
+	panels := []plot.Panel{
+		{Title: fmt.Sprintf("time per op across %d records (%s .. %s)", len(records), nameOf(in[0]), nameOf(in[len(in)-1])),
+			Unit: " ns/op", Series: nsSeries},
+	}
+	if len(allocSeries) > 0 {
+		panels = append(panels, plot.Panel{Title: "allocations per op across records", Unit: " allocs/op", Series: allocSeries})
+	}
+	return panels, nil
+}
+
+func nameOf(path string) string {
+	if path == "" {
+		return "stdin"
+	}
+	return path
 }

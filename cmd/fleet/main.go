@@ -18,6 +18,10 @@
 //	fleet -scenario mix.json               # heterogeneous workload groups
 //	fleet -faults chaos.json -resilience r.csv   # chaos: seeded crashes, rack
 //	                                             # outages, throttles, sags
+//	fleet -serve :8080 -duration 30s       # live wall-clock server: HTTP gateway,
+//	                                       # admission control, real-time pacing
+//	fleet -serve none -duration 10s -swarm 12 -twin   # in-process client swarm
+//	                                                  # with twin feed-forward
 package main
 
 import (
@@ -68,6 +72,12 @@ func main() {
 	sloP95 := flag.Float64("slo-p95", 1.2, "p95 request-latency SLO in seconds the replay autoscaler provisions for")
 	scaleMin := flag.Int("scale-min", 1, "replay autoscaler lower instance bound")
 	scaleMax := flag.Int("scale-max", 0, "replay autoscaler upper instance bound (0 = total cluster cores)")
+	serveAddr := flag.String("serve", "", "run as a live wall-clock server: HTTP gateway address (e.g. :8080), or 'none' for the in-process -swarm only")
+	duration := flag.Duration("duration", 30*time.Second, "with -serve: wall-clock time to serve (one round per quantum)")
+	swarm := flag.Float64("swarm", 0, "with -serve: in-process open-loop client swarm rate in requests/sec (0 = none)")
+	twin := flag.Bool("twin", false, "with -serve: autoscale with the digital twin's faster-than-real-time what-if advice clamping the hysteresis policy")
+	admitQueue := flag.Int("admit-queue", 8, "with -serve: shed new requests once a group's backlog reaches this many per accepting instance")
+	latencyHist := flag.String("latency-hist", "", "with -serve: write the request-latency histogram CSV here")
 	sweepPath := flag.String("sweep", "", "run a Monte Carlo parameter sweep from this grid-spec JSON (see docs/SWEEP_FORMAT.md); aggregated CSV goes to stdout or -out")
 	outPath := flag.String("out", "", "with -sweep: write the CSV here instead of stdout")
 	procs := flag.Int("procs", 0, "with -sweep: worker pool size (0 = NumCPU; output is byte-identical at any value)")
@@ -107,6 +117,8 @@ func main() {
 		faultsPath: *faultsPath, resiliencePath: *resiliencePath,
 		sloP95: *sloP95, scaleMin: *scaleMin, scaleMax: *scaleMax,
 		sweepPath: *sweepPath, outPath: *outPath, procs: *procs, reps: *reps, hdr: *hdr,
+		serveAddr: *serveAddr, duration: *duration, swarm: *swarm, twin: *twin,
+		admitQueue: *admitQueue, latencyHist: *latencyHist,
 		instancesSet: instancesSet, roundsSet: roundsSet,
 	})
 	if *cpuprofile != "" {
@@ -123,15 +135,19 @@ type options struct {
 	replayPath, ratesPath, scenarioPath   string
 	faultsPath, resiliencePath, plotPath  string
 	sweepPath, outPath                    string
+	serveAddr, latencyHist                string
 	machines, cores, instances, rounds    int
 	dropAt, reqIters, workers, fluid      int
 	scaleMin, scaleMax, procs, reps       int
+	admitQueue                            int
 	epoch                                 bool
 	budget, dropTo, dropFrac, rate        float64
-	sloP95                                float64
+	sloP95, swarm                         float64
+	duration                              time.Duration
 	seed                                  int64
 	latency                               bool
 	feedforward                           bool
+	twin                                  bool
 	hdr                                   bool
 	instancesSet                          bool // -instances given explicitly
 	roundsSet                             bool // -rounds given explicitly
@@ -189,6 +205,9 @@ func run(o options) error {
 			Hdr:      o.hdr,
 			Log:      os.Stderr,
 		})
+	}
+	if o.serveAddr != "" {
+		return runServe(o)
 	}
 	if o.scenarioPath != "" {
 		return runScenario(o)

@@ -37,7 +37,7 @@ import (
 // feeds figures and must be a pure function of (scenario, seed). The
 // boundary packages (internal/clock's Real wall clock, cmd/ entry
 // points seeding from flags) stay outside it by design.
-const enginePkgs = "repro/internal/fleet,repro/internal/sweep,repro/internal/cluster"
+const enginePkgs = "repro/internal/fleet,repro/internal/sweep,repro/internal/cluster,repro/internal/serve"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

@@ -4,8 +4,9 @@
 // machines (docs/ARCHITECTURE.md). Three classes of nondeterminism can
 // silently break that:
 //
-//  1. Wall-clock reads — time.Now / time.Since — instead of the virtual
-//     clock.
+//  1. Wall-clock reads — time.Now / time.Since — and wall-clock waits —
+//     time.Sleep / time.After / timer constructors — instead of the
+//     virtual clock (reads) or an injected clock.Waiter (waits).
 //  2. The global math/rand source — rand.Intn and friends — instead of
 //     a seeded *rand.Rand instance.
 //  3. Iterating a map while appending to a slice, emitting trace/CSV
@@ -40,6 +41,19 @@ var seededConstructors = map[string]bool{
 	"New":       true,
 	"NewSource": true,
 	"NewZipf":   true,
+}
+
+// wallWaits are the time functions that block on (or schedule against)
+// the wall clock — as nondeterministic as reading it. The serving
+// mode's pacer sleeps through an injected clock.Waiter instead, whose
+// Virtual implementation advances instantly under test.
+var wallWaits = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -85,6 +99,10 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		if name == "Now" || name == "Since" {
 			pass.Reportf(call.Pos(),
 				"time.%s reads the wall clock: engine code must use the virtual timeline (clock.Clock)", name)
+		}
+		if wallWaits[name] {
+			pass.Reportf(call.Pos(),
+				"time.%s waits on the wall clock: engine code must pace through an injected clock.Waiter", name)
 		}
 	case "math/rand", "math/rand/v2":
 		if !seededConstructors[name] {

@@ -24,6 +24,13 @@ func allowedWallClock() time.Time {
 	return time.Now()
 }
 
+func wallWaits() {
+	time.Sleep(time.Second)         // want `time.Sleep waits on the wall clock`
+	<-time.After(time.Second)       // want `time.After waits on the wall clock`
+	t := time.NewTimer(time.Second) // want `time.NewTimer waits on the wall clock`
+	t.Stop()
+}
+
 // --- randomness ---
 
 func globalRand() int {

@@ -10,12 +10,13 @@ import (
 
 // TestEnginePackagesStayVetClean is the determinism regression pin for
 // every fleetvet finding fixed in the engine: internal/fleet,
-// internal/sweep, and internal/cluster must stay free of nodeterm and
-// evorder findings. Un-fixing one — removing the coordinator barrier
-// switch's shard-local default, adding a wall-clock read, emitting from
-// an unsorted map range — fails this test (and the CI lint job) before
-// it can perturb a figure. Runs the exact analyzer entry point
-// cmd/fleetvet uses, suppression included.
+// internal/sweep, internal/cluster, and internal/serve must stay free
+// of nodeterm and evorder findings. Un-fixing one — removing the
+// coordinator barrier switch's shard-local default, adding a
+// wall-clock read or sleep, emitting from an unsorted map range —
+// fails this test (and the CI lint job) before it can perturb a
+// figure. Runs the exact analyzer entry point cmd/fleetvet uses,
+// suppression included.
 func TestEnginePackagesStayVetClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the engine's dependency graph from source")
@@ -25,12 +26,13 @@ func TestEnginePackagesStayVetClean(t *testing.T) {
 		"repro/internal/fleet",
 		"repro/internal/sweep",
 		"repro/internal/cluster",
+		"repro/internal/serve",
 	)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if len(pkgs) != 3 {
-		t.Fatalf("got %d packages, want 3", len(pkgs))
+	if len(pkgs) != 4 {
+		t.Fatalf("got %d packages, want 4", len(pkgs))
 	}
 	known := map[string]bool{
 		nodeterm.Analyzer.Name:          true,

@@ -19,6 +19,17 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Waiter is a Clock that can also block until a later instant — the
+// seam the wall-clock serving mode paces on. Real sleeps on the system
+// clock; Virtual advances itself instead, so pacing logic written
+// against Waiter runs instantly and deterministically under test.
+type Waiter interface {
+	Clock
+	// Sleep blocks until d has elapsed on this clock (returns
+	// immediately for d <= 0).
+	Sleep(d time.Duration)
+}
+
 // Real is a Clock backed by the system monotonic clock.
 type Real struct{}
 
@@ -26,6 +37,15 @@ type Real struct{}
 //
 //fleetvet:allow nodeterm Real is the one sanctioned wall-clock boundary; everything else takes a Clock
 func (Real) Now() time.Time { return time.Now() }
+
+// Sleep blocks on the system clock.
+//
+//fleetvet:allow nodeterm Real is the one sanctioned wall-clock boundary; everything else takes a Waiter
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
 
 // Virtual is a manually advanced Clock. The zero value starts at the Unix
 // epoch and is safe for concurrent use.
@@ -61,6 +81,15 @@ func (v *Virtual) Advance(d time.Duration) {
 // simulation code that works in float64 seconds.
 func (v *Virtual) AdvanceSeconds(s float64) {
 	v.Advance(time.Duration(s * float64(time.Second)))
+}
+
+// Sleep advances the clock by d and returns immediately: virtual
+// waiting costs no wall time, which is what makes pacing logic written
+// against Waiter deterministic under test.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d > 0 {
+		v.Advance(d)
+	}
 }
 
 // Set positions the clock at t. It panics if t is earlier than the current

@@ -439,6 +439,9 @@ func (s *Supervisor) seedRound(gen *LoadGen, start, end time.Time, emit func(*ev
 			}
 		}
 	}
+	if s.hasInjected {
+		s.seedInjected(gen, start, end, emit, acc, &arrivals)
+	}
 	for _, inst := range s.insts {
 		if !inst.retired && (inst.sess != nil || len(inst.queue) > 0 || inst.selfFeed) {
 			wake(inst, start)

@@ -730,6 +730,14 @@ type Supervisor struct {
 	places []placeChange
 	trace  []TraceEvent
 
+	// Serving-mode state: externally received requests awaiting their
+	// instant on the event timeline (InjectArrivalAt). hasInjected
+	// latches once any arrival was injected, switching seedRound to
+	// also re-offer gateway-only backlog each round.
+	injected    []injectedArrival
+	injectSeq   int
+	hasInjected bool
+
 	// Autoscaling state, one optional policy per group (Autoscale,
 	// AutoscaleGroup).
 	scalers     []scalerEntry

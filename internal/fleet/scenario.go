@@ -165,9 +165,18 @@ type group struct {
 	// drainRoundCounters.
 	roundArrivals int
 
+	// Per-round shed counter (gateway admission refusals booked via
+	// RecordShed), zeroed by drainRoundCounters.
+	roundShed int
+
+	// injectIdx cycles InjectArrivalAt requests across the group's
+	// production streams.
+	injectIdx int
+
 	// Run totals for Report.PerGroup.
 	completed int
 	aborted   int
+	shed      int
 	lossSum   float64
 	lossN     int
 }

@@ -47,6 +47,9 @@ type GroupRoundStats struct {
 	LatencyP50 float64
 	LatencyP95 float64
 	LatencyP99 float64
+	// Shed counts the group's requests refused by serving-mode
+	// admission control this quantum (zero outside serving mode).
+	Shed int
 }
 
 // RoundStats reports one control quantum of the fleet.
@@ -86,7 +89,11 @@ type RoundStats struct {
 	FaultsLanded      int
 	FaultRedispatched int
 	FaultDropped      int
-	FaultActive       bool
+	// Shed counts requests refused by serving-mode admission control
+	// this quantum (zero outside serving mode). Sits before the tail
+	// bool so FaultActive's padding stays coalesced (sizes_test.go).
+	Shed        int
+	FaultActive bool
 }
 
 // InstanceLatency is one instance's request-latency summary over a run.
@@ -113,6 +120,9 @@ type GroupReport struct {
 	// MeanRequestLoss is the group's realized QoS loss averaged over
 	// its completed requests.
 	MeanRequestLoss float64
+	// Shed counts the group's requests refused by serving-mode
+	// admission control over the run (zero outside serving mode).
+	Shed int
 }
 
 // Report summarizes a fleet run.
@@ -140,6 +150,9 @@ type Report struct {
 	// counts. Nil unless a fault model is wired (fault.go), so unfaulted
 	// reports are byte-identical to pre-fault builds.
 	Resilience *Resilience
+	// Shed counts requests refused by serving-mode admission control
+	// over the run (zero outside serving mode).
+	Shed int
 }
 
 // percentile returns the nearest-rank p-th percentile of a sorted,
@@ -287,7 +300,10 @@ func (s *Supervisor) drainRoundCounters(rs *RoundStats) {
 			Arrivals:    a.arrivals,
 			Completions: a.completions,
 			QueueDepth:  a.queue,
+			Shed:        g.roundShed,
 		}
+		rs.Shed += g.roundShed
+		g.roundShed = 0
 		if a.perfN > 0 {
 			gs.MeanNormPerf = a.perfSum / float64(a.perfN)
 		}
@@ -373,7 +389,8 @@ func (s *Supervisor) Report() Report {
 		latsBy[inst.grp.index] = append(latsBy[inst.grp.index], inst.allLats...)
 	}
 	for gi, g := range s.groups {
-		gr := GroupReport{Group: g.name, Completions: g.completed, Aborted: g.aborted}
+		gr := GroupReport{Group: g.name, Completions: g.completed, Aborted: g.aborted, Shed: g.shed}
+		rep.Shed += g.shed
 		if g.lossN > 0 {
 			gr.MeanRequestLoss = g.lossSum / float64(g.lossN)
 		}

@@ -55,6 +55,10 @@ const (
 	// (State = 0) the fluid timeline (Value = queue depth at the
 	// transition). Only emitted when Scenario.Fluid is enabled.
 	TraceFluid TraceKind = "fluid"
+	// TraceShed is a request refused by serving-mode admission control
+	// instead of queued (Value unused). Only emitted in serving mode,
+	// via RecordShed.
+	TraceShed TraceKind = "shed"
 )
 
 // TraceEvent is one entry of the event-time trace: what happened, at
@@ -92,10 +96,11 @@ var traceKindRank = map[TraceKind]int{
 	TraceState:    8,
 	TraceRetire:   9,
 	TraceArrival:  10,
-	TraceComplete: 11,
-	TraceScale:    12,
-	TraceRound:    13,
-	TraceFluid:    14,
+	TraceShed:     11,
+	TraceComplete: 12,
+	TraceScale:    13,
+	TraceRound:    14,
+	TraceFluid:    15,
 }
 
 // SortTrace sorts trace events into the canonical deterministic order:
@@ -153,9 +158,9 @@ func (s *Supervisor) Trace() []TraceEvent {
 // Columns (see docs/TRACE_FORMAT.md for the full schema):
 //
 //	t_seconds — virtual seconds since the run epoch (fixed 6 decimals)
-//	kind      — the TraceKind string (arrival, complete, cap, fault,
-//	            throttle, recover, arbiter, state, start, drain, retire,
-//	            migrate, scale, round)
+//	kind      — the TraceKind string (arrival, shed, complete, cap,
+//	            fault, throttle, recover, arbiter, state, start, drain,
+//	            retire, migrate, scale, round)
 //	instance  — instance id the event is scoped to, -1 if none
 //	host      — host index the event is scoped to, -1 if none
 //	state     — DVFS state index for state and throttle events, -1

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Shed reasons returned by Admission.Admit. Empty string means the
+// request was admitted.
+const (
+	// ShedRate is a token-bucket refusal: the group's offered rate
+	// exceeds its provisioned requests-per-second and the burst
+	// allowance is spent.
+	ShedRate = "rate"
+	// ShedQueue is a backlog refusal: the group's standing queue
+	// already exceeds its per-instance watermark, so queueing this
+	// request would only grow an unserviceable backlog.
+	ShedQueue = "queue"
+	// ShedP95 is a latency refusal: the group's last measured p95 is
+	// over its objective while a backlog stands — new work would
+	// arrive behind requests already missing the SLO.
+	ShedP95 = "p95"
+)
+
+// AdmissionConfig is one workload group's admission policy. The zero
+// value admits everything — each mechanism arms only when its field is
+// set.
+type AdmissionConfig struct {
+	// Rate is the group's token-bucket refill in requests per second
+	// (<= 0 disables rate limiting).
+	Rate float64
+	// Burst is the bucket capacity in requests (default max(Rate, 1)):
+	// how far above the sustained rate a momentary spike may go.
+	Burst float64
+	// MaxQueuePerInstance sheds when the group's standing backlog
+	// reaches this many requests per accepting instance (<= 0
+	// disables). With no accepting instances the threshold applies to
+	// the backlog as a whole.
+	MaxQueuePerInstance int
+	// SLOP95 sheds while the group's last measured p95 exceeds this
+	// many seconds and a backlog stands (<= 0 disables).
+	SLOP95 float64
+}
+
+// GroupSignals is what admission control sees of one group's state:
+// the previous round's accepting count, standing queue, and measured
+// p95, refreshed by the serving loop after every Step.
+type GroupSignals struct {
+	Accepting  int
+	QueueDepth int
+	P95        float64
+}
+
+// bucket is one group's token-bucket state. Tokens refill lazily from
+// the receive timestamps of the requests themselves, so admission is a
+// pure function of the request stream — deterministic under a virtual
+// clock.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	primed bool
+}
+
+// Admission is the serving mode's per-group admission controller:
+// token-bucket rate limiting plus queue-depth and p95-breach load
+// shedding. Decisions are made at the serving loop only — the type is
+// not safe for concurrent use, and does not need to be.
+type Admission struct {
+	cfgs    []AdmissionConfig
+	buckets []bucket
+}
+
+// NewAdmission builds an admission controller with one config per
+// workload group, in group-index order.
+func NewAdmission(cfgs []AdmissionConfig) (*Admission, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("serve: admission needs at least one group config")
+	}
+	a := &Admission{
+		cfgs:    append([]AdmissionConfig(nil), cfgs...),
+		buckets: make([]bucket, len(cfgs)),
+	}
+	for i := range a.cfgs {
+		if a.cfgs[i].Rate > 0 && a.cfgs[i].Burst <= 0 {
+			a.cfgs[i].Burst = a.cfgs[i].Rate
+			if a.cfgs[i].Burst < 1 {
+				a.cfgs[i].Burst = 1
+			}
+		}
+	}
+	return a, nil
+}
+
+// Admit decides one request received at instant at for the given
+// group, against the group's last-round signals. It returns "" to
+// admit, or the shed reason. Backlog and latency breaches are checked
+// before the bucket, so shed requests do not consume tokens.
+func (a *Admission) Admit(group int, at time.Time, sig GroupSignals) string {
+	if group < 0 || group >= len(a.cfgs) {
+		return ShedQueue
+	}
+	cfg := &a.cfgs[group]
+	if cfg.MaxQueuePerInstance > 0 {
+		insts := sig.Accepting
+		if insts < 1 {
+			insts = 1
+		}
+		if sig.QueueDepth >= cfg.MaxQueuePerInstance*insts {
+			return ShedQueue
+		}
+	}
+	if cfg.SLOP95 > 0 && sig.P95 > cfg.SLOP95 && sig.QueueDepth > 0 {
+		return ShedP95
+	}
+	if cfg.Rate > 0 {
+		b := &a.buckets[group]
+		if !b.primed {
+			b.tokens, b.last, b.primed = cfg.Burst, at, true
+		}
+		if el := at.Sub(b.last).Seconds(); el > 0 {
+			b.tokens += el * cfg.Rate
+			if b.tokens > cfg.Burst {
+				b.tokens = cfg.Burst
+			}
+			b.last = at
+		}
+		if b.tokens < 1 {
+			return ShedRate
+		}
+		b.tokens--
+	}
+	return ""
+}

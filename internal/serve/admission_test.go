@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func at(s float64) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(s * float64(time.Second)))
+}
+
+// TestTokenBucketRefillAndBurst tables the bucket edge cases: burst
+// consumption, fractional refill, the burst cap after long idles, and
+// the primed-at-first-sight initialization.
+func TestTokenBucketRefillAndBurst(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  AdmissionConfig
+		reqs []struct {
+			at   float64
+			want string
+		}
+	}{
+		{
+			name: "burst spends then refills at rate",
+			cfg:  AdmissionConfig{Rate: 2, Burst: 2},
+			reqs: []struct {
+				at   float64
+				want string
+			}{
+				{0, ""},          // token 2 -> 1
+				{0, ""},          // 1 -> 0
+				{0, ShedRate},    // spent
+				{0.25, ShedRate}, // refill 0.5: still < 1
+				{0.5, ""},        // refill to 1 -> spend
+				{0.5, ShedRate},
+			},
+		},
+		{
+			name: "burst caps accumulation over long idle",
+			cfg:  AdmissionConfig{Rate: 10, Burst: 3},
+			reqs: []struct {
+				at   float64
+				want string
+			}{
+				{100, ""}, // hours idle still yield only Burst tokens
+				{100, ""},
+				{100, ""},
+				{100, ShedRate},
+			},
+		},
+		{
+			name: "sub-unit rate needs multiple seconds per token",
+			cfg:  AdmissionConfig{Rate: 0.5, Burst: 1},
+			reqs: []struct {
+				at   float64
+				want string
+			}{
+				{0, ""},
+				{1, ShedRate}, // 0.5 tokens
+				{2, ""},       // 1.0
+				{3, ShedRate},
+			},
+		},
+		{
+			name: "default burst is rate",
+			cfg:  AdmissionConfig{Rate: 3},
+			reqs: []struct {
+				at   float64
+				want string
+			}{
+				{0, ""}, {0, ""}, {0, ""}, {0, ShedRate},
+			},
+		},
+		{
+			name: "default burst floors at one token",
+			cfg:  AdmissionConfig{Rate: 0.25},
+			reqs: []struct {
+				at   float64
+				want string
+			}{
+				{0, ""}, {0, ShedRate},
+			},
+		},
+		{
+			name: "zero rate admits everything",
+			cfg:  AdmissionConfig{},
+			reqs: []struct {
+				at   float64
+				want string
+			}{
+				{0, ""}, {0, ""}, {0, ""}, {0, ""},
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			adm, err := NewAdmission([]AdmissionConfig{tc.cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, req := range tc.reqs {
+				if got := adm.Admit(0, at(req.at), GroupSignals{}); got != req.want {
+					t.Errorf("request %d at t=%.2fs: decision %q, want %q", i, req.at, got, req.want)
+				}
+			}
+		})
+	}
+}
+
+// TestShedVsQueueAtBreach tables the backlog and p95 shedding paths
+// and their interaction with the bucket: refused requests must not
+// consume tokens, and a p95 breach sheds only while a backlog stands.
+func TestShedVsQueueAtBreach(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  AdmissionConfig
+		sig  GroupSignals
+		want string
+	}{
+		{"clean signals admit", AdmissionConfig{MaxQueuePerInstance: 4, SLOP95: 0.6}, GroupSignals{Accepting: 2, QueueDepth: 3, P95: 0.3}, ""},
+		{"queue at watermark sheds", AdmissionConfig{MaxQueuePerInstance: 4}, GroupSignals{Accepting: 2, QueueDepth: 8}, ShedQueue},
+		{"queue under watermark admits", AdmissionConfig{MaxQueuePerInstance: 4}, GroupSignals{Accepting: 2, QueueDepth: 7}, ""},
+		{"no accepting instances: watermark applies to the backlog", AdmissionConfig{MaxQueuePerInstance: 4}, GroupSignals{Accepting: 0, QueueDepth: 4}, ShedQueue},
+		{"p95 breach with backlog sheds", AdmissionConfig{SLOP95: 0.6}, GroupSignals{Accepting: 2, QueueDepth: 1, P95: 0.7}, ShedP95},
+		{"p95 breach with empty queue admits", AdmissionConfig{SLOP95: 0.6}, GroupSignals{Accepting: 2, QueueDepth: 0, P95: 0.7}, ""},
+		{"p95 at objective admits", AdmissionConfig{SLOP95: 0.6}, GroupSignals{Accepting: 2, QueueDepth: 1, P95: 0.6}, ""},
+		{"queue breach outranks p95 breach", AdmissionConfig{MaxQueuePerInstance: 2, SLOP95: 0.6}, GroupSignals{Accepting: 1, QueueDepth: 5, P95: 0.9}, ShedQueue},
+		{"unconfigured admits under any signals", AdmissionConfig{}, GroupSignals{Accepting: 0, QueueDepth: 1 << 20, P95: 99}, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			adm, err := NewAdmission([]AdmissionConfig{tc.cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := adm.Admit(0, at(0), tc.sig); got != tc.want {
+				t.Errorf("decision %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestShedDoesNotConsumeTokens pins the check order: a queue-shed
+// request leaves the bucket untouched, so the next clean request still
+// finds its token.
+func TestShedDoesNotConsumeTokens(t *testing.T) {
+	adm, err := NewAdmission([]AdmissionConfig{{Rate: 1, Burst: 1, MaxQueuePerInstance: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	breach := GroupSignals{Accepting: 1, QueueDepth: 5}
+	clean := GroupSignals{Accepting: 1, QueueDepth: 0}
+	for i := 0; i < 3; i++ {
+		if got := adm.Admit(0, at(0), breach); got != ShedQueue {
+			t.Fatalf("breach request %d: decision %q, want %q", i, got, ShedQueue)
+		}
+	}
+	if got := adm.Admit(0, at(0), clean); got != "" {
+		t.Errorf("clean request after sheds: decision %q, want admit (token unspent)", got)
+	}
+	if got := adm.Admit(0, at(0), clean); got != ShedRate {
+		t.Errorf("second clean request: decision %q, want %q (token now spent)", got, ShedRate)
+	}
+}
+
+// TestAdmissionGroupsIndependent checks per-group isolation: group 1's
+// spent bucket must not shed group 0.
+func TestAdmissionGroupsIndependent(t *testing.T) {
+	adm, err := NewAdmission([]AdmissionConfig{{Rate: 100}, {Rate: 1, Burst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adm.Admit(1, at(0), GroupSignals{}); got != "" {
+		t.Fatalf("group 1 first request: %q, want admit", got)
+	}
+	if got := adm.Admit(1, at(0), GroupSignals{}); got != ShedRate {
+		t.Fatalf("group 1 second request: %q, want %q", got, ShedRate)
+	}
+	if got := adm.Admit(0, at(0), GroupSignals{}); got != "" {
+		t.Errorf("group 0 request: %q, want admit (independent bucket)", got)
+	}
+	if got := adm.Admit(99, at(0), GroupSignals{}); got != ShedQueue {
+		t.Errorf("out-of-range group: %q, want a shed decision", got)
+	}
+}

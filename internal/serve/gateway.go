@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// gwReq is one request as received at the gateway: which workload
+// group it belongs to, how many stream iterations it asks for, and the
+// instant the gateway stamped it with on the serving clock.
+type gwReq struct {
+	group int
+	iters int
+	at    time.Time
+}
+
+// Gateway is the fleet's ingress: a bounded in-process channel that
+// producers (the HTTP handler, a client swarm, tests) submit requests
+// into from any goroutine, and the serving loop drains once per round.
+// Submission never blocks — a full intake buffer refuses the request
+// and counts it as overflow, so a stalled serving loop back-pressures
+// producers instead of growing memory without bound.
+type Gateway struct {
+	clk       clock.Clock
+	ch        chan gwReq
+	submitted atomic.Int64
+	overflow  atomic.Int64
+}
+
+// NewGateway builds a gateway stamping receive instants from clk, with
+// an intake buffer of buf requests (default 1024).
+func NewGateway(clk clock.Clock, buf int) *Gateway {
+	if buf <= 0 {
+		buf = 1024
+	}
+	return &Gateway{clk: clk, ch: make(chan gwReq, buf)}
+}
+
+// Submit offers one request for the given workload group, sized in
+// stream iterations (0 = a whole stream), stamped with the gateway
+// clock's current instant. It never blocks: false means the intake
+// buffer was full and the request was refused at the door (counted in
+// Overflow, not Shed — it never reached admission control). Safe for
+// concurrent use.
+//
+//fleetvet:noalloc
+func (g *Gateway) Submit(group, iters int) bool {
+	g.submitted.Add(1)
+	select {
+	case g.ch <- gwReq{group: group, iters: iters, at: g.clk.Now()}:
+		return true
+	default:
+		g.overflow.Add(1)
+		return false
+	}
+}
+
+// drain moves every buffered request into dst without blocking,
+// returning the extended slice. The serving loop calls it once per
+// round with a reused scratch slice.
+//
+//fleetvet:noalloc
+func (g *Gateway) drain(dst []gwReq) []gwReq {
+	for {
+		select {
+		case req := <-g.ch:
+			dst = append(dst, req)
+		default:
+			return dst
+		}
+	}
+}
+
+// Submitted returns how many requests producers have offered, counting
+// refused ones.
+func (g *Gateway) Submitted() int64 { return g.submitted.Load() }
+
+// Overflow returns how many submissions the full intake buffer
+// refused.
+func (g *Gateway) Overflow() int64 { return g.overflow.Load() }

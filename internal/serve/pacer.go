@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Pacer ties the fleet's virtual timeline to a wall clock. It anchors
+// the virtual epoch (time.Unix(0, 0), the instant the fleet's round 0
+// opens) to the clock instant it was constructed at; from then on,
+// round r of virtual time corresponds to the wall window
+// [anchor + r·quantum, anchor + (r+1)·quantum).
+//
+// The serving loop runs one quantum behind the wall: WaitRound(r)
+// sleeps until round r's wall window has fully elapsed, the gateway is
+// drained — every request received during the window now carries its
+// true receive instant — and the engine then simulates the whole round
+// in one burst, far faster than the wall time it covers. The slack
+// between simulation cost and quantum length is the twin's budget.
+//
+// All waiting goes through the injected clock.Waiter: under
+// clock.Real the pacer paces, under clock.Virtual it advances time
+// instantly and the loop is deterministic.
+type Pacer struct {
+	clk     clock.Waiter
+	anchor  time.Time
+	epoch   time.Time
+	quantum time.Duration
+}
+
+// NewPacer anchors a pacer at clk's current instant.
+func NewPacer(clk clock.Waiter, quantum time.Duration) *Pacer {
+	return &Pacer{
+		clk:     clk,
+		anchor:  clk.Now(),
+		epoch:   time.Unix(0, 0),
+		quantum: quantum,
+	}
+}
+
+// WaitRound blocks until round r's wall window has fully elapsed —
+// i.e. until anchor + (r+1)·quantum. Returns immediately if that
+// instant has already passed (the loop is running late; the engine
+// catches up by simulating back-to-back rounds).
+func (p *Pacer) WaitRound(r int) {
+	target := p.anchor.Add(time.Duration(r+1) * p.quantum)
+	p.clk.Sleep(target.Sub(p.clk.Now()))
+}
+
+// Virtual maps a wall instant (as stamped by the pacer's clock) to its
+// virtual instant: the same offset from the virtual epoch as from the
+// wall anchor. Instants before the anchor clamp to the epoch.
+func (p *Pacer) Virtual(wall time.Time) time.Time {
+	d := wall.Sub(p.anchor)
+	if d < 0 {
+		d = 0
+	}
+	return p.epoch.Add(d)
+}

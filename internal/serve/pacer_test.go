@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestPacerRoundWindows pins the wall-window arithmetic: WaitRound(r)
+// sleeps to anchor + (r+1)·quantum exactly, and returns immediately
+// when the loop is already late.
+func TestPacerRoundWindows(t *testing.T) {
+	anchor := time.Unix(500, 250_000_000)
+	clk := clock.NewVirtual(anchor)
+	p := NewPacer(clk, time.Second)
+
+	p.WaitRound(0)
+	if want := anchor.Add(time.Second); !clk.Now().Equal(want) {
+		t.Errorf("after WaitRound(0) clock at %v, want %v", clk.Now(), want)
+	}
+	p.WaitRound(1)
+	if want := anchor.Add(2 * time.Second); !clk.Now().Equal(want) {
+		t.Errorf("after WaitRound(1) clock at %v, want %v", clk.Now(), want)
+	}
+	// Running late: round 1's window already elapsed, no sleep.
+	p.WaitRound(0)
+	if want := anchor.Add(2 * time.Second); !clk.Now().Equal(want) {
+		t.Errorf("late WaitRound(0) moved the clock to %v, want unchanged %v", clk.Now(), want)
+	}
+}
+
+// TestPacerVirtualMapping pins the wall-to-virtual translation: same
+// offset from the epoch as from the anchor, with pre-anchor instants
+// clamped to the epoch.
+func TestPacerVirtualMapping(t *testing.T) {
+	anchor := time.Unix(1_000_000, 123)
+	clk := clock.NewVirtual(anchor)
+	p := NewPacer(clk, time.Second)
+	epoch := time.Unix(0, 0)
+
+	for _, tc := range []struct {
+		offset time.Duration
+		want   time.Time
+	}{
+		{0, epoch},
+		{300 * time.Millisecond, epoch.Add(300 * time.Millisecond)},
+		{2500 * time.Millisecond, epoch.Add(2500 * time.Millisecond)},
+		{-time.Hour, epoch}, // before the anchor: clamp
+	} {
+		if got := p.Virtual(anchor.Add(tc.offset)); !got.Equal(tc.want) {
+			t.Errorf("Virtual(anchor%+v) = %v, want %v", tc.offset, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/calibrate"
+	"repro/internal/clock"
+	"repro/internal/fleet"
+	"repro/internal/workload"
+)
+
+func syntheticProfile(tb testing.TB) *calibrate.Profile {
+	tb.Helper()
+	prof, err := calibrate.Run(fleet.NewSynthetic(fleet.SyntheticOptions{}), calibrate.Options{Set: workload.Training})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return prof
+}
+
+// webScenario is the serving tests' fleet: one machine, one "web"
+// group of synthetic instances running open-loop (deterministic
+// service times), fed only by the gateway.
+func webScenario(prof *calibrate.Profile, instances int) fleet.Scenario {
+	return fleet.Scenario{
+		Machines:        1,
+		CoresPerMachine: 8,
+		Quantum:         time.Second,
+		ControlDisabled: true,
+		Groups: []fleet.WorkloadGroup{{
+			Name:      "web",
+			NewApp:    func() (workload.App, error) { return fleet.NewSynthetic(fleet.SyntheticOptions{}), nil },
+			Profile:   prof,
+			Instances: instances,
+		}},
+	}
+}
+
+func newServer(tb testing.TB, sup *fleet.Supervisor, clk clock.Waiter, gw *Gateway, adm *Admission) *Server {
+	tb.Helper()
+	srv, err := New(Config{Supervisor: sup, Clock: clk, Gateway: gw, Admission: adm})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv
+}
+
+// TestServeLoopCompletesRequests is the smoke path: requests submitted
+// during round 0's wall window are injected at their receive instants
+// and served within the round.
+func TestServeLoopCompletesRequests(t *testing.T) {
+	sup, err := fleet.NewScenario(webScenario(syntheticProfile(t), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual(time.Unix(1_000_000, 0)) // arbitrary wall anchor
+	gw := NewGateway(clk, 64)
+	srv := newServer(t, sup, clk, gw, nil)
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if !gw.Submit(0, 10) {
+			t.Fatalf("submit %d refused with an empty intake", i)
+		}
+	}
+	if err := srv.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Accepted(); got != n {
+		t.Errorf("accepted = %d, want %d", got, n)
+	}
+	if got := srv.Completions(); got != n {
+		t.Errorf("completions = %d, want %d (0.25 s services fit round 0)", got, n)
+	}
+	if got := sup.Report().Completions; got != n {
+		t.Errorf("fleet report completions = %d, want %d", got, n)
+	}
+	if got := srv.Round(); got != 1 {
+		t.Errorf("served rounds = %d, want 1", got)
+	}
+	// The wall clock advanced exactly one quantum.
+	wantNow := time.Unix(1_000_000, 0).Add(time.Second)
+	if !clk.Now().Equal(wantNow) {
+		t.Errorf("wall clock at %v after round 0, want %v", clk.Now(), wantNow)
+	}
+}
+
+// submitSpread stamps rate submissions uniformly across round r's wall
+// window by positioning the virtual clock at each receive instant —
+// the deterministic stand-in for a live client swarm.
+func submitSpread(tb testing.TB, clk *clock.Virtual, gw *Gateway, anchor time.Time, r, rate, iters int) {
+	tb.Helper()
+	start := anchor.Add(time.Duration(r) * time.Second)
+	for i := 0; i < rate; i++ {
+		clk.Set(start.Add(time.Duration(i) * time.Second / time.Duration(rate)))
+		if !gw.Submit(0, iters) {
+			tb.Fatalf("round %d submit %d refused", r, i)
+		}
+	}
+}
+
+// TestServeLoopDeterministic runs the identical serving schedule twice
+// — same arrival stamps, same admission policy — and requires
+// bit-identical fleet reports: the serving loop is a pure function of
+// the request stream once the clock is virtual.
+func TestServeLoopDeterministic(t *testing.T) {
+	prof := syntheticProfile(t)
+	anchor := time.Unix(5_000, 0)
+	run := func() fleet.Report {
+		sup, err := fleet.NewScenario(webScenario(prof, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := clock.NewVirtual(anchor)
+		gw := NewGateway(clk, 256)
+		adm, err := NewAdmission([]AdmissionConfig{{Rate: 10, Burst: 4, MaxQueuePerInstance: 6}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := newServer(t, sup, clk, gw, adm)
+		for r := 0; r < 6; r++ {
+			rate := 4 + 3*(r%3) // 4, 7, 10, 4, ...
+			submitSpread(t, clk, gw, anchor, r, rate, 10)
+			if err := srv.RunRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sup.Report()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical serving runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestBudgetDropShedsAndRecovers is the serving-mode acceptance check:
+// under a mid-run power-cap drop the fleet sheds load at the gateway
+// instead of queueing unboundedly, and the accepted-request p95
+// recovers once the cap lifts.
+func TestBudgetDropShedsAndRecovers(t *testing.T) {
+	const (
+		iters     = 10 // 0.25 s service at full frequency
+		rate      = 14 // offered load; capacity is 16/s uncapped, ~10.7/s at min DVFS
+		insts     = 4
+		watermark = 4
+		rounds    = 24
+		dropR     = 6  // cap drops entering round 6
+		liftR     = 14 // and lifts entering round 14
+	)
+	sc := webScenario(syntheticProfile(t), insts)
+	sup, err := fleet.NewScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := time.Unix(0, 0)
+	clk := clock.NewVirtual(anchor)
+	gw := NewGateway(clk, 1024)
+	adm, err := NewAdmission([]AdmissionConfig{{MaxQueuePerInstance: watermark}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(t, sup, clk, gw, adm)
+
+	// Schedule the cap drop and lift on the virtual timeline, exactly
+	// as cmd/fleet -serve does with its wall-clock flags.
+	epoch := time.Unix(0, 0)
+	sup.SetBudgetAt(epoch.Add(dropR*time.Second), 100)
+	sup.SetBudgetAt(epoch.Add(liftR*time.Second), 0)
+
+	var rs []fleet.RoundStats
+	for r := 0; r < rounds; r++ {
+		submitSpread(t, clk, gw, anchor, r, rate, iters)
+		if err := srv.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs = sup.Report().Rounds
+	if len(rs) != rounds {
+		t.Fatalf("got %d rounds, want %d", len(rs), rounds)
+	}
+
+	var shedBefore, shedDuring, maxQueue int
+	for r, s := range rs {
+		if s.QueueDepth > maxQueue {
+			maxQueue = s.QueueDepth
+		}
+		switch {
+		case r < dropR:
+			shedBefore += s.Shed
+		case r < liftR:
+			shedDuring += s.Shed
+		}
+	}
+	if shedBefore != 0 {
+		t.Errorf("shed %d requests before the cap dropped; uncapped capacity covers the load", shedBefore)
+	}
+	if shedDuring == 0 {
+		t.Errorf("cap drop to 100 W shed nothing; admission must refuse what the throttled fleet cannot serve")
+	}
+	// Shedding bounds the backlog: one round of excess arrivals can
+	// land before admission sees the breach, but the queue must not
+	// grow round over round for the whole capped window.
+	if limit := watermark*insts + rate; maxQueue > limit {
+		t.Errorf("peak backlog %d exceeds %d; shedding failed to bound the queue", maxQueue, limit)
+	}
+	// Recovery: by the last rounds the backlog has drained, shedding
+	// has stopped, and the accepted-request p95 is back at the uncapped
+	// service time.
+	tail := rs[rounds-2:]
+	for _, s := range tail {
+		if s.Shed != 0 {
+			t.Errorf("round %d still shedding %d after the cap lifted", s.Round, s.Shed)
+		}
+		if s.LatencyP95 > 0.6 {
+			t.Errorf("round %d p95 = %.3f s after the cap lifted, want recovered (< 0.6 s)", s.Round, s.LatencyP95)
+		}
+		if s.Completions == 0 {
+			t.Errorf("round %d served nothing after the cap lifted", s.Round)
+		}
+	}
+	// And the shed totals flow through to the run summary: per-round
+	// rows, the run total, the per-group attribution, and the serving
+	// counters all agree.
+	rep := sup.Report()
+	roundTotal := 0
+	for _, s := range rs {
+		roundTotal += s.Shed
+	}
+	if rep.Shed != roundTotal {
+		t.Errorf("report shed %d != per-round sum %d", rep.Shed, roundTotal)
+	}
+	if int64(rep.Shed) != srv.Shed() {
+		t.Errorf("report shed %d != server shed %d", rep.Shed, srv.Shed())
+	}
+	if rep.PerGroup[0].Shed != rep.Shed {
+		t.Errorf("group shed %d != total %d for a one-group fleet", rep.PerGroup[0].Shed, rep.Shed)
+	}
+}
+
+// TestRequestConservation pins the serving mode's bookkeeping: every
+// submitted request is accounted for exactly once across acceptance,
+// shedding, intake overflow, and invalid-group refusal; every accepted
+// request is either completed, still queued, or still pending
+// injection.
+func TestRequestConservation(t *testing.T) {
+	sup, err := fleet.NewScenario(webScenario(syntheticProfile(t), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := time.Unix(7, 0)
+	clk := clock.NewVirtual(anchor)
+	gw := NewGateway(clk, 8) // deliberately tiny: force overflow
+	adm, err := NewAdmission([]AdmissionConfig{{Rate: 5, MaxQueuePerInstance: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(t, sup, clk, gw, adm)
+
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 12; i++ {
+			gw.Submit(i%3-1, 10) // every third submission names group -1
+		}
+		if err := srv.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertConservation(t, srv, gw, sup)
+}
+
+func assertConservation(t *testing.T, srv *Server, gw *Gateway, sup *fleet.Supervisor) {
+	t.Helper()
+	submitted := gw.Submitted()
+	accounted := srv.Accepted() + srv.Shed() + srv.Invalid() + gw.Overflow()
+	if submitted != accounted {
+		t.Errorf("submitted %d != accepted %d + shed %d + invalid %d + overflow %d",
+			submitted, srv.Accepted(), srv.Shed(), srv.Invalid(), gw.Overflow())
+	}
+	rep := sup.Report()
+	inFlight := 0
+	if n := len(rep.Rounds); n > 0 {
+		inFlight = rep.Rounds[n-1].QueueDepth
+	}
+	if got := int64(rep.Completions + inFlight + sup.InjectedPending()); srv.Accepted() != got {
+		t.Errorf("accepted %d != completed %d + queued %d + pending injection %d",
+			srv.Accepted(), rep.Completions, inFlight, sup.InjectedPending())
+	}
+}
+
+// FuzzArrivalConservation drives the serving loop with an arbitrary
+// byte-stream-shaped arrival schedule and checks the conservation
+// invariant after every run: no request is ever double-counted or
+// lost, whatever the submission pattern.
+func FuzzArrivalConservation(f *testing.F) {
+	f.Add([]byte{3, 0x12, 0x81, 0xff, 7})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 1, 2, 3})
+	prof, profErr := calibrate.Run(fleet.NewSynthetic(fleet.SyntheticOptions{}), calibrate.Options{Set: workload.Training})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if profErr != nil {
+			t.Fatal(profErr)
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		sup, err := fleet.NewScenario(webScenario(prof, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchor := time.Unix(42, 0)
+		clk := clock.NewVirtual(anchor)
+		gw := NewGateway(clk, 16)
+		adm, err := NewAdmission([]AdmissionConfig{{Rate: 6, Burst: 3, MaxQueuePerInstance: 4, SLOP95: 0.6}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := newServer(t, sup, clk, gw, adm)
+
+		// Each byte is one submission: low bits pick the group (2 of 8
+		// values are invalid on purpose), high bits the size and the
+		// position inside the round. A zero byte ends the round.
+		r := 0
+		roundStart := anchor
+		for _, b := range data {
+			if b == 0 || r >= 8 {
+				if err := srv.RunRound(); err != nil {
+					t.Fatal(err)
+				}
+				r++
+				roundStart = anchor.Add(time.Duration(r) * time.Second)
+				if r >= 8 {
+					break
+				}
+				continue
+			}
+			group := int(b&0x07) - 1 // -1..6: everything but 0 is invalid for a 1-group fleet
+			iters := 1 + int(b>>5)
+			offset := time.Duration(b>>3&0x03) * 250 * time.Millisecond
+			if at := roundStart.Add(offset); at.After(clk.Now()) {
+				clk.Set(at)
+			}
+			gw.Submit(group, iters)
+		}
+		if err := srv.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+		assertConservation(t, srv, gw, sup)
+	})
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/calibrate"
+	"repro/internal/clock"
+	"repro/internal/fleet"
+)
+
+// twinScenario is the twin tests' fleet: like webScenario but with
+// split dispatch, the independent-station regime the planner and twin
+// feed-forward results are stated in.
+func twinScenario(prof *calibrate.Profile, instances int) fleet.Scenario {
+	sc := webScenario(prof, instances)
+	sc.SplitDispatch = true
+	return sc
+}
+
+// constScaler proposes a fixed count — a stateless stand-in for the
+// measurement-driven policy in clamp tests.
+type constScaler int
+
+func (c constScaler) Scale(fleet.ScaleObservation) int { return int(c) }
+
+// TestTwinScalerClampsToAdvice pins the feed-forward band: proposals
+// are clamped to ±1 of the advice, and the scaler is transparent with
+// no advice installed.
+func TestTwinScalerClampsToAdvice(t *testing.T) {
+	var obs fleet.ScaleObservation
+	for _, tc := range []struct {
+		name   string
+		inner  int
+		advice int
+		want   int
+	}{
+		{"no advice is transparent", 7, 0, 7},
+		{"proposal above band clamps down", 7, 3, 4},
+		{"proposal below band clamps up", 1, 5, 4},
+		{"proposal inside band passes", 4, 4, 4},
+		{"band edge passes", 5, 4, 5},
+		{"clamp floors at one instance", 0, 1, 1},
+		{"cleared advice is transparent again", 7, -1, 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := &TwinScaler{Inner: constScaler(tc.inner)}
+			ts.SetAdvice(tc.advice)
+			if got := ts.Scale(obs); got != tc.want {
+				t.Errorf("inner %d, advice %d: scale = %d, want %d", tc.inner, tc.advice, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTwinFeedForwardFewerScaleActions is the acceptance check for the
+// digital twin: on the same deterministic serving schedule — a trough
+// lead-in, then a sustained peak — the twin-fed policy (hysteresis
+// clamped to ±1 of the twin's what-if recommendation) must issue
+// strictly fewer scale actions than the pure measurement-driven
+// policy, at no more SLO violations. Fully virtual clock: the twin
+// advises synchronously and the whole comparison is deterministic.
+func TestTwinFeedForwardFewerScaleActions(t *testing.T) {
+	const (
+		iters  = 10  // 0.25 s service at full frequency
+		sloP95 = 0.6 // seconds
+		maxIn  = 8
+		trough = 2
+		peak   = 10
+		rounds = 40
+	)
+	prof := syntheticProfile(t)
+	anchor := time.Unix(0, 0)
+
+	run := func(useTwin bool) (moves, violations int) {
+		sup, err := fleet.NewScenario(twinScenario(prof, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := fleet.NewHysteresisScaler(fleet.HysteresisConfig{
+			SLO:          fleet.SLO{P95: sloP95},
+			Max:          maxIn,
+			DownFraction: 0.7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Clock: clock.NewVirtual(anchor), Supervisor: sup}
+		cfg.Gateway = NewGateway(cfg.Clock, 4096)
+		var scaler fleet.Autoscaler = inner
+		if useTwin {
+			ts := &TwinScaler{Inner: inner}
+			twin, err := NewTwin(TwinConfig{
+				Scenario:     func() fleet.Scenario { return twinScenario(prof, 0) },
+				ReqIters:     iters,
+				SLO:          fleet.SLO{P95: sloP95},
+				MaxInstances: maxIn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Twin, cfg.TwinScaler = twin, ts
+			scaler = ts
+		}
+		if err := sup.Autoscale(scaler, 500*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := cfg.Clock.(*clock.Virtual)
+		for r := 0; r < rounds; r++ {
+			rate := peak
+			if r < 6 {
+				rate = trough
+			}
+			submitSpread(t, clk, cfg.Gateway, anchor, r, rate, iters)
+			if err := srv.RunRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, rs := range sup.Report().Rounds {
+			if rs.LatencyP95 > sloP95 {
+				violations++
+			}
+		}
+		return sup.ScaleMoves(), violations
+	}
+
+	pureMoves, pureViol := run(false)
+	twinMoves, twinViol := run(true)
+	if twinMoves >= pureMoves {
+		t.Errorf("twin-fed policy issued %d scale actions, pure policy %d; want strictly fewer", twinMoves, pureMoves)
+	}
+	if twinViol > pureViol {
+		t.Errorf("twin-fed policy has %d SLO-breach rounds vs pure %d; damping must not cost the objective", twinViol, pureViol)
+	}
+}
+
+// TestTwinAdviseFindsFeasibleCount pins the what-if search itself: for
+// a snapshot whose recent trace peaks well above one instance's
+// capacity, the twin recommends a count that actually holds the SLO in
+// its own replay, and recommends less for a quiet trace.
+func TestTwinAdviseFindsFeasibleCount(t *testing.T) {
+	prof := syntheticProfile(t)
+	twin, err := NewTwin(TwinConfig{
+		Scenario:     func() fleet.Scenario { return twinScenario(prof, 0) },
+		ReqIters:     10,
+		SLO:          fleet.SLO{P95: 0.6},
+		MaxInstances: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fleet.FleetSnapshot{
+		Quantum: time.Second,
+		Groups: []fleet.GroupSnapshot{{
+			Name:           "web",
+			Accepting:      1,
+			RecentArrivals: []float64{2, 8, 10, 10},
+		}},
+	}
+	busy, err := twin.Advise(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy < 2 || busy > 8 {
+		t.Errorf("peak-10 advice = %d instances, want in (1, 8]: one 0.25 s-service instance cannot hold 10/s", busy)
+	}
+	snap.Groups[0].RecentArrivals = []float64{1, 1, 1, 1}
+	quiet, err := twin.Advise(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet >= busy {
+		t.Errorf("quiet-trace advice %d not below peak-trace advice %d", quiet, busy)
+	}
+	// Deterministic: the same snapshot advises the same count.
+	again, err := twin.Advise(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != quiet {
+		t.Errorf("repeated Advise diverged: %d then %d", quiet, again)
+	}
+}

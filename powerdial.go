@@ -42,6 +42,7 @@ import (
 	"repro/internal/influence"
 	"repro/internal/knobs"
 	"repro/internal/platform"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -310,6 +311,66 @@ const (
 	FleetFaultSag = fleet.FaultSag
 )
 
+// Serving types (see internal/serve): the wall-clock serving mode that
+// runs the fleet as a live power-capped server — a real-time gateway,
+// per-group admission control, a pacer tying the deterministic event
+// engine to the wall clock, and a digital twin replaying what-if
+// scenarios faster than real time to feed the autoscaler forward.
+type (
+	// ServeConfig assembles a serving loop.
+	ServeConfig = serve.Config
+	// Server owns the serving loop: one RunRound per control quantum,
+	// paced against the configured clock.
+	Server = serve.Server
+	// ServeGateway is the concurrency-safe request intake the serving
+	// loop drains once per round.
+	ServeGateway = serve.Gateway
+	// ServeAdmission is the per-group accept-or-shed policy: token
+	// bucket, backlog watermark, and p95-breach shedding.
+	ServeAdmission = serve.Admission
+	// ServeAdmissionConfig tunes one group's admission policy.
+	ServeAdmissionConfig = serve.AdmissionConfig
+	// ServeGroupSignals is the last closed round's signals admission
+	// decides on.
+	ServeGroupSignals = serve.GroupSignals
+	// ServePacer maps wall instants to virtual ones and paces the
+	// engine one quantum behind the wall clock.
+	ServePacer = serve.Pacer
+	// ServeTwin is the digital twin: snapshot the live fleet, replay
+	// what-if provisioning candidates faster than real time, recommend.
+	ServeTwin = serve.Twin
+	// ServeTwinConfig parameterizes the twin's what-if search.
+	ServeTwinConfig = serve.TwinConfig
+	// ServeTwinScaler clamps a measurement-driven autoscaler to ±1 of
+	// the twin's recommendation (feed-forward damping).
+	ServeTwinScaler = serve.TwinScaler
+	// ServeStats is the serving loop's counter snapshot (the /stats
+	// JSON).
+	ServeStats = serve.Stats
+	// FleetSnapshot captures a live fleet's serving state for the twin.
+	FleetSnapshot = fleet.FleetSnapshot
+	// FleetGroupSnapshot is one workload group's slice of a snapshot.
+	FleetGroupSnapshot = fleet.GroupSnapshot
+	// Clock is a read-only time source (clock.Virtual, RealClock).
+	Clock = clock.Clock
+	// ClockWaiter is a Clock that can block until a later instant — the
+	// injection seam the serving loop paces on.
+	ClockWaiter = clock.Waiter
+	// RealClock is the system wall clock, the one sanctioned
+	// nondeterminism boundary (cmd/fleet -serve binds it).
+	RealClock = clock.Real
+)
+
+// Admission shed reasons, as recorded per refused request.
+const (
+	// ServeShedRate is a token-bucket refusal.
+	ServeShedRate = serve.ShedRate
+	// ServeShedQueue is a backlog-watermark refusal.
+	ServeShedQueue = serve.ShedQueue
+	// ServeShedP95 is a latency-objective-breach refusal.
+	ServeShedP95 = serve.ShedP95
+)
+
 // Influence-tracing types (see internal/influence).
 type (
 	// Tracer observes one instrumented initialization.
@@ -420,6 +481,28 @@ func NewFleetSeededFaults(cfg FleetFaultConfig) *FleetSeededFaults {
 func WriteFleetResilienceCSV(w io.Writer, res *FleetResilience) error {
 	return fleet.WriteResilienceCSV(w, res)
 }
+
+// NewServer assembles and validates a serving loop over a fresh fleet.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewServeGateway builds the request intake: clk stamps receive
+// instants, buf bounds the per-round backlog (default 1024).
+func NewServeGateway(clk Clock, buf int) *ServeGateway { return serve.NewGateway(clk, buf) }
+
+// NewServeAdmission builds the per-group admission policy, one config
+// per workload group in scenario order.
+func NewServeAdmission(cfgs []ServeAdmissionConfig) (*ServeAdmission, error) {
+	return serve.NewAdmission(cfgs)
+}
+
+// NewServePacer anchors a pacer at clk's current instant: round r's
+// wall window is [anchor+r·quantum, anchor+(r+1)·quantum).
+func NewServePacer(clk ClockWaiter, quantum time.Duration) *ServePacer {
+	return serve.NewPacer(clk, quantum)
+}
+
+// NewServeTwin builds the digital twin for a scenario factory.
+func NewServeTwin(cfg ServeTwinConfig) (*ServeTwin, error) { return serve.NewTwin(cfg) }
 
 // PlanMD1Instances returns the smallest instance count that keeps every
 // independent M/D/1 station's p-quantile sojourn within target seconds
